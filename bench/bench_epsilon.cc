@@ -1,0 +1,54 @@
+// Abl-ε: the §3.2 design trade-off. Larger ε slack → wider variation
+// ranges → bigger uncertain sets but fewer range failures (recomputes);
+// smaller ε → tighter ranges but more recomputation. The paper recommends
+// ε = 1 standard deviation of the bootstrap outputs as the balance point.
+#include <vector>
+
+#include "bench_util.h"
+
+namespace gola {
+namespace {
+
+int Main(int argc, char** argv) {
+  int64_t rows = bench::RowsFromArgs(argc, argv, 200'000);
+  const int kBatches = 50;
+  bench::PrintHeader("Abl-eps: slack multiplier vs recomputes vs uncertain-set size",
+                     rows, kBatches, 60);
+  Engine engine = bench::MakeEngine(rows);
+  std::string sql = SbiQuery();
+
+  std::printf("%10s %12s %12s %12s %12s\n", "eps_mult", "recomputes", "max|U|",
+              "avg|U|", "total(s)");
+  for (double eps : {0.0, 0.25, 0.5, 1.0, 2.0, 4.0}) {
+    GolaOptions opts;
+    opts.num_batches = kBatches;
+    opts.bootstrap_replicates = 60;
+    opts.epsilon_mult = eps;
+    auto online = engine.ExecuteOnline(sql, opts);
+    GOLA_CHECK_OK(online.status());
+    int64_t max_u = 0;
+    double sum_u = 0;
+    int n = 0;
+    double total = 0;
+    int recomputes = 0;
+    while (!(*online)->done()) {
+      auto update = (*online)->Step();
+      GOLA_CHECK_OK(update.status());
+      max_u = std::max(max_u, update->uncertain_tuples);
+      sum_u += static_cast<double>(update->uncertain_tuples);
+      ++n;
+      total = update->elapsed_seconds;
+      recomputes = update->recomputes_so_far;
+    }
+    std::printf("%10.2f %12d %12lld %12.0f %12.3f\n", eps, recomputes,
+                static_cast<long long>(max_u), sum_u / n, total);
+  }
+  std::printf("\npaper shape: recomputes fall and |U| grows as eps increases; "
+              "eps = 1 sd balances both\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace gola
+
+int main(int argc, char** argv) { return gola::Main(argc, argv); }

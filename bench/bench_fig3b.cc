@@ -1,0 +1,95 @@
+// Figure 3(b) reproduction: per-batch query-time ratio of Classical Delta
+// Maintenance (CDM) over G-OLA for the first 10 mini-batches, on the
+// Conviva queries C1–C3 and TPC-H Q11/Q17/Q18/Q20. The paper's claim: the
+// ratio grows linearly with the batch index, because CDM rescans all
+// previously seen data whenever an inner aggregate changes while G-OLA
+// touches only the uncertain set plus the new batch.
+#include <vector>
+
+#include "baseline/cdm.h"
+#include "bench_util.h"
+
+namespace gola {
+namespace {
+
+int Main(int argc, char** argv) {
+  int64_t rows = bench::RowsFromArgs(argc, argv, 200'000);
+  const int kBatches = 10;
+  const int kReplicates = 60;
+  bench::PrintHeader("Figure 3(b): CDM / G-OLA per-batch time ratio", rows, kBatches,
+                     kReplicates);
+
+  Engine engine = bench::MakeEngine(rows);
+
+  std::vector<NamedQuery> queries;
+  for (const auto& q : AllQueries()) {
+    if (q.name != "SBI") queries.push_back(q);  // the figure uses C1..Q20
+  }
+
+  std::printf("%-6s", "batch");
+  for (const auto& q : queries) std::printf(" %9s", q.name.c_str());
+  std::printf("\n");
+
+  std::vector<std::vector<double>> ratios(queries.size());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const NamedQuery& q = queries[qi];
+    auto compiled = engine.Compile(q.sql);
+    GOLA_CHECK_OK(compiled.status());
+
+    // G-OLA per-batch times. Warm-up pass first so allocator state does not
+    // penalize whichever engine runs first.
+    GolaOptions gopts;
+    gopts.num_batches = kBatches;
+    gopts.bootstrap_replicates = kReplicates;
+    std::vector<double> gola_times;
+    {
+      auto online = engine.ExecuteOnline(q.sql, gopts);
+      GOLA_CHECK_OK(online.status());
+      while (!(*online)->done()) {
+        auto update = (*online)->Step();
+        GOLA_CHECK_OK(update.status());
+        gola_times.push_back(update->batch_seconds);
+      }
+    }
+
+    // CDM per-batch times on the same partitioning seed.
+    CdmOptions copts;
+    copts.num_batches = kBatches;
+    copts.seed = gopts.seed;
+    std::vector<double> cdm_times;
+    {
+      auto cdm = CdmExecutor::Create(&engine.catalog(), *compiled, copts);
+      GOLA_CHECK_OK(cdm.status());
+      while (!(*cdm)->done()) {
+        auto update = (*cdm)->Step();
+        GOLA_CHECK_OK(update.status());
+        cdm_times.push_back(update->batch_seconds);
+      }
+    }
+
+    for (int b = 0; b < kBatches; ++b) {
+      ratios[qi].push_back(cdm_times[static_cast<size_t>(b)] /
+                           std::max(1e-9, gola_times[static_cast<size_t>(b)]));
+    }
+  }
+
+  for (int b = 0; b < kBatches; ++b) {
+    std::printf("%-6d", b + 1);
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      std::printf(" %9.2f", ratios[qi][static_cast<size_t>(b)]);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nshape check: ratio at batch 10 vs batch 2 (paper: grows ~linearly)\n");
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    std::printf("  %-4s growth %5.1fx\n", queries[qi].name.c_str(),
+                ratios[qi][9] / std::max(1e-9, ratios[qi][1]));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace gola
+
+int main(int argc, char** argv) { return gola::Main(argc, argv); }

@@ -1,0 +1,161 @@
+// Operator microbenchmarks (google-benchmark): the building blocks whose
+// costs compose into the macro numbers — expression evaluation, hash
+// aggregation, dimension hash join, poissonized replicate maintenance,
+// partitioning, and query compilation.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "exec/hash_aggregate.h"
+#include "exec/hash_join.h"
+#include "parser/parser.h"
+#include "storage/partitioner.h"
+
+namespace gola {
+namespace {
+
+Table MakeNumericTable(int64_t rows) {
+  Rng rng(7);
+  auto schema = std::make_shared<Schema>(std::vector<Field>{
+      {"k", TypeId::kInt64}, {"x", TypeId::kFloat64}, {"y", TypeId::kFloat64}});
+  TableBuilder builder(schema, rows);
+  for (int64_t i = 0; i < rows; ++i) {
+    builder.AppendRow({Value::Int(rng.UniformInt(1, 64)),
+                       Value::Float(rng.Exponential(10)),
+                       Value::Float(rng.UniformDouble(0, 1))});
+  }
+  return builder.Finish();
+}
+
+void BM_FilterEvaluate(benchmark::State& state) {
+  Table t = MakeNumericTable(state.range(0));
+  Chunk chunk = t.Combined();
+  ExprPtr x = Expr::Col("x");
+  x->column_index = 1;
+  x->type = TypeId::kFloat64;
+  ExprPtr pred = Expr::Cmp(CmpOp::kGt, x, Expr::Lit(Value::Float(10.0)));
+  pred->type = TypeId::kBool;
+  for (auto _ : state) {
+    auto sel = EvaluatePredicate(*pred, chunk);
+    benchmark::DoNotOptimize(sel);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FilterEvaluate)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_HashAggregate(benchmark::State& state) {
+  Engine engine;
+  GOLA_CHECK_OK(engine.RegisterTable("t", MakeNumericTable(state.range(0))));
+  auto query = engine.Compile("SELECT k, SUM(x), AVG(y) FROM t GROUP BY k");
+  GOLA_CHECK_OK(query.status());
+  Table t = *(*engine.GetTable("t"));
+  Chunk chunk = t.Combined();
+  const BlockDef& block = query->root();
+  for (auto _ : state) {
+    HashAggregate agg(&block);
+    GOLA_CHECK_OK(agg.Update(chunk, nullptr));
+    auto post = agg.Finalize(1.0);
+    benchmark::DoNotOptimize(post);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HashAggregate)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_PoissonWeights(benchmark::State& state) {
+  PoissonWeights weights(100, 42);
+  std::vector<int32_t> buf;
+  int64_t serial = 0;
+  for (auto _ : state) {
+    weights.WeightsFor(serial++, &buf);
+    benchmark::DoNotOptimize(buf);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_PoissonWeights);
+
+void BM_ReplicatedAggUpdate(benchmark::State& state) {
+  PoissonWeights weights(static_cast<int>(state.range(0)), 42);
+  Expr call;
+  call.kind = ExprKind::kAggregateCall;
+  call.agg_kind = AggKind::kAvg;
+  auto fn = ResolveAggregate(call);
+  GOLA_CHECK_OK(fn.status());
+  ReplicatedAgg agg(*fn, &weights);
+  int64_t serial = 0;
+  for (auto _ : state) {
+    agg.UpdateNumeric(static_cast<double>(serial % 97), serial);
+    ++serial;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReplicatedAggUpdate)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_DimJoinProbe(benchmark::State& state) {
+  // Dimension of 1k rows, probe of range(0) rows.
+  Rng rng(3);
+  auto dim_schema = std::make_shared<Schema>(
+      std::vector<Field>{{"dk", TypeId::kInt64}, {"attr", TypeId::kFloat64}});
+  TableBuilder dim_builder(dim_schema);
+  for (int64_t i = 0; i < 1000; ++i) {
+    dim_builder.AppendRow({Value::Int(i), Value::Float(rng.NextDouble())});
+  }
+  Table dim = dim_builder.Finish();
+  ExprPtr build_key = Expr::Col("dk");
+  build_key->column_index = 0;
+  build_key->type = TypeId::kInt64;
+  auto table = DimHashTable::Build(dim, *build_key);
+  GOLA_CHECK_OK(table.status());
+
+  Table probe_table = MakeNumericTable(state.range(0));
+  Chunk probe = probe_table.Combined();
+  ExprPtr probe_key = Expr::Col("k");
+  probe_key->column_index = 0;
+  probe_key->type = TypeId::kInt64;
+  auto out_schema = std::make_shared<Schema>(std::vector<Field>{
+      {"k", TypeId::kInt64}, {"x", TypeId::kFloat64}, {"y", TypeId::kFloat64},
+      {"dk", TypeId::kInt64}, {"attr", TypeId::kFloat64}});
+  for (auto _ : state) {
+    auto joined = table->Probe(probe, *probe_key, out_schema);
+    benchmark::DoNotOptimize(joined);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DimJoinProbe)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_MiniBatchPartition(benchmark::State& state) {
+  Table t = MakeNumericTable(state.range(0));
+  for (auto _ : state) {
+    MiniBatchOptions opts;
+    opts.num_batches = 100;
+    MiniBatchPartitioner partitioner(t, opts);
+    benchmark::DoNotOptimize(partitioner.num_batches());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MiniBatchPartition)->Arg(1 << 16);
+
+void BM_CompileQ17(benchmark::State& state) {
+  Engine engine = bench::MakeEngine(1000);
+  std::string sql = Q17Query();
+  for (auto _ : state) {
+    auto compiled = engine.Compile(sql);
+    GOLA_CHECK_OK(compiled.status());
+    benchmark::DoNotOptimize(compiled);
+  }
+}
+BENCHMARK(BM_CompileQ17);
+
+void BM_BootstrapCI(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<double> replicates(100);
+  for (auto& r : replicates) r = rng.Normal(100, 5);
+  for (auto _ : state) {
+    auto ci = PercentileCI(replicates, 100.0);
+    benchmark::DoNotOptimize(ci);
+  }
+}
+BENCHMARK(BM_BootstrapCI);
+
+}  // namespace
+}  // namespace gola
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// §5 in-text claims (S5-overhead): G-OLA's full-pass overhead relative to
+// the batch engine (paper: ~+60%, dominated by error estimation) and the
+// accuracy-latency trade-off (paper: stopping at 2% RSD is ~10x faster
+// than batch). Run for Q17 and SBI.
+#include "bench_util.h"
+#include "common/stopwatch.h"
+
+namespace gola {
+namespace {
+
+void RunOne(Engine& engine, const NamedQuery& q, int64_t rows) {
+  (void)rows;
+  Stopwatch batch_timer;
+  auto exact = engine.ExecuteBatch(q.sql);
+  GOLA_CHECK_OK(exact.status());
+  double batch_seconds = batch_timer.ElapsedSeconds();
+
+  GolaOptions opts;
+  opts.num_batches = 100;
+  opts.bootstrap_replicates = 100;
+  auto online = engine.ExecuteOnline(q.sql, opts);
+  GOLA_CHECK_OK(online.status());
+
+  double first = -1, to_2pct = -1, to_5pct = -1, total = 0;
+  while (!(*online)->done()) {
+    auto update = (*online)->Step();
+    GOLA_CHECK_OK(update.status());
+    total = update->elapsed_seconds;
+    if (first < 0) first = total;
+    if (to_5pct < 0 && update->max_rsd <= 0.05) to_5pct = total;
+    if (to_2pct < 0 && update->max_rsd <= 0.02) to_2pct = total;
+  }
+
+  std::printf("%-5s batch=%7.3fs gola-total=%7.3fs overhead=%+5.0f%% | "
+              "first=%6.3fs (%4.1f%%) 5%%rsd=%6.3fs 2%%rsd=%6.3fs (%.1fx)\n",
+              q.name.c_str(), batch_seconds, total,
+              100 * (total / batch_seconds - 1.0), first,
+              100 * first / batch_seconds, to_5pct, to_2pct,
+              to_2pct > 0 ? batch_seconds / to_2pct : 0.0);
+}
+
+int Main(int argc, char** argv) {
+  int64_t rows = bench::RowsFromArgs(argc, argv, 1'000'000);
+  bench::PrintHeader("S5-overhead: G-OLA vs batch engine (paper: +60%, 10x to 2% RSD)",
+                     rows, 100, 100);
+  Engine engine = bench::MakeEngine(rows);
+  for (const auto& q : AllQueries()) {
+    if (q.name == "Q17" || q.name == "SBI") RunOne(engine, q, rows);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace gola
+
+int main(int argc, char** argv) { return gola::Main(argc, argv); }

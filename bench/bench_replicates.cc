@@ -1,0 +1,57 @@
+// Abl-B: bootstrap replicate budget. The paper attributes G-OLA's overhead
+// "primarily [to] the error estimation overheads"; this ablation quantifies
+// that: replicate count vs total online time, CI width and range-failure
+// rate. B = 100 is the classical bootstrap default the paper inherits from
+// BlinkDB.
+#include "bench_util.h"
+
+namespace gola {
+namespace {
+
+int Main(int argc, char** argv) {
+  int64_t rows = bench::RowsFromArgs(argc, argv, 200'000);
+  const int kBatches = 25;
+  bench::PrintHeader("Abl-B: bootstrap replicate budget (SBI)", rows, kBatches, 0);
+  Engine engine = bench::MakeEngine(rows);
+  std::string sql = SbiQuery();
+
+  Stopwatch timer;
+  auto exact = engine.ExecuteBatch(sql);
+  GOLA_CHECK_OK(exact.status());
+  double batch_seconds = timer.ElapsedSeconds();
+  std::printf("batch engine: %.3f s\n\n", batch_seconds);
+
+  std::printf("%6s %12s %14s %22s %12s\n", "B", "total(s)", "overhead", "CI @25% data",
+              "recomputes");
+  for (int b : {10, 25, 50, 100, 200}) {
+    GolaOptions opts;
+    opts.num_batches = kBatches;
+    opts.bootstrap_replicates = b;
+    auto online = engine.ExecuteOnline(sql, opts);
+    GOLA_CHECK_OK(online.status());
+    double total = 0;
+    double ci_width = 0;
+    int recomputes = 0;
+    while (!(*online)->done()) {
+      auto update = (*online)->Step();
+      GOLA_CHECK_OK(update.status());
+      total = update->elapsed_seconds;
+      recomputes = update->recomputes_so_far;
+      if (update->fraction_processed >= 0.24 && ci_width == 0) {
+        double lo = update->result.At(0, 1).ToDouble().ValueOr(0);
+        double hi = update->result.At(0, 2).ToDouble().ValueOr(0);
+        ci_width = hi - lo;
+      }
+    }
+    std::printf("%6d %12.3f %+13.0f%% %22.3f %12d\n", b, total,
+                100 * (total / batch_seconds - 1.0), ci_width, recomputes);
+  }
+  std::printf("\nshape: time grows ~linearly with B; CI estimates stabilize by "
+              "B~=50-100 (more replicates stop paying)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace gola
+
+int main(int argc, char** argv) { return gola::Main(argc, argv); }

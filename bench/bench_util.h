@@ -1,0 +1,73 @@
+// Shared setup and formatting for the experiment harness binaries. Every
+// bench prints a self-describing header with the workload parameters so
+// EXPERIMENTS.md rows are reproducible from the binary output alone.
+#ifndef GOLA_BENCH_BENCH_UTIL_H_
+#define GOLA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+#include "gola/gola.h"
+#include "workload/conviva_gen.h"
+#include "workload/queries.h"
+#include "workload/tpch_gen.h"
+
+namespace gola {
+namespace bench {
+
+/// Row count taken from argv[1] or the GOLA_BENCH_ROWS env var, else the
+/// given default. All benches accept this so CI can run them small.
+inline int64_t RowsFromArgs(int argc, char** argv, int64_t default_rows) {
+  if (argc > 1) return std::strtoll(argv[1], nullptr, 10);
+  if (const char* env = std::getenv("GOLA_BENCH_ROWS")) {
+    return std::strtoll(env, nullptr, 10);
+  }
+  return default_rows;
+}
+
+/// Keeps large allocations on the heap instead of per-allocation mmaps.
+/// Virtualized single-vCPU environments serve fresh pages slowly, so the
+/// default glibc mmap threshold makes big column copies fault-bound.
+inline void TuneAllocator() {
+#if defined(__GLIBC__)
+  mallopt(M_MMAP_THRESHOLD, 1 << 30);
+  mallopt(M_TRIM_THRESHOLD, 1 << 30);
+#endif
+}
+
+/// Registers "conviva" and "tpch" tables of the requested size.
+inline Engine MakeEngine(int64_t rows) {
+  TuneAllocator();
+  Engine engine;
+  ConvivaGenOptions conviva;
+  conviva.num_rows = rows;
+  conviva.num_ads = 64;
+  conviva.num_contents = 2000;
+  GOLA_CHECK_OK(engine.RegisterTable("conviva", GenerateConviva(conviva)));
+  TpchGenOptions tpch;
+  tpch.num_rows = rows;
+  // Part count grows with scale but is capped: per-part sample sizes must
+  // grow with the data for per-key variation ranges to tighten (the paper
+  // relaxes over-selective clauses for the same reason, footnote 12).
+  tpch.num_parts = std::clamp<int64_t>(rows / 500, 200, 2000);
+  tpch.num_suppliers = 200;
+  GOLA_CHECK_OK(engine.RegisterTable("tpch", GenerateTpch(tpch)));
+  return engine;
+}
+
+inline void PrintHeader(const std::string& title, int64_t rows, int batches,
+                        int replicates) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("rows per table: %lld | mini-batches: %d | bootstrap replicates: %d\n\n",
+              static_cast<long long>(rows), batches, replicates);
+}
+
+}  // namespace bench
+}  // namespace gola
+
+#endif  // GOLA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,112 @@
+// Interactive SQL console over the online engine — the command-line
+// equivalent of the paper's web-based query console (Figure 4): type any
+// aggregate SQL query and watch it refine; press Enter to stop a running
+// query early (the OLA control), exactly like the demo's stop button.
+//
+// Commands:
+//   \tables                  list registered tables
+//   \explain <sql>           show the lineage-block plan
+//   \batch <sql>             run with the blocking engine instead
+//   \save <table> <path>     persist a table in the golat binary format
+//   \load <table> <path>     register a golat file as a table
+//   \quit                    exit
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/string_util.h"
+#include "gola/gola.h"
+#include "storage/serde.h"
+#include "workload/conviva_gen.h"
+#include "workload/tpch_gen.h"
+
+int main() {
+  using namespace gola;
+
+  Engine engine;
+  {
+    ConvivaGenOptions conviva;
+    conviva.num_rows = 300'000;
+    GOLA_CHECK_OK(engine.RegisterTable("conviva", GenerateConviva(conviva)));
+    TpchGenOptions tpch;
+    tpch.num_rows = 300'000;
+    GOLA_CHECK_OK(engine.RegisterTable("tpch", GenerateTpch(tpch)));
+  }
+  std::printf("FluoDB-style console. Tables: conviva, tpch. \\quit to exit.\n");
+  std::printf("Try: SELECT AVG(play_time) FROM conviva WHERE buffer_time > "
+              "(SELECT AVG(buffer_time) FROM conviva)\n\n");
+
+  std::string line;
+  for (;;) {
+    std::printf("gola> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::string trimmed(Trim(line));
+    if (trimmed.empty()) continue;
+    if (trimmed == "\\quit" || trimmed == "\\q") break;
+    if (trimmed == "\\tables") {
+      for (const auto& name : engine.catalog().ListTables()) {
+        auto table = engine.GetTable(name);
+        std::printf("  %-10s %lld rows  (%s)\n", name.c_str(),
+                    static_cast<long long>((*table)->num_rows()),
+                    (*table)->schema()->ToString().c_str());
+      }
+      continue;
+    }
+    if (trimmed.rfind("\\explain ", 0) == 0) {
+      auto plan = engine.Explain(trimmed.substr(9));
+      std::printf("%s\n", plan.ok() ? plan->c_str() : plan.status().ToString().c_str());
+      continue;
+    }
+    if (trimmed.rfind("\\save ", 0) == 0 || trimmed.rfind("\\load ", 0) == 0) {
+      bool saving = trimmed[1] == 's';
+      auto parts = Split(trimmed.substr(6), ' ');
+      if (parts.size() != 2) {
+        std::printf("usage: \\%s <table> <path>\n", saving ? "save" : "load");
+        continue;
+      }
+      if (saving) {
+        auto table = engine.GetTable(parts[0]);
+        Status st = table.ok() ? WriteTableBinary(**table, parts[1]) : table.status();
+        std::printf("%s\n", st.ok() ? "saved" : st.ToString().c_str());
+      } else {
+        auto table = ReadTableBinary(parts[1]);
+        Status st = table.ok() ? engine.RegisterTable(parts[0], std::move(*table))
+                               : table.status();
+        std::printf("%s\n", st.ok() ? "loaded" : st.ToString().c_str());
+      }
+      continue;
+    }
+    if (trimmed.rfind("\\batch ", 0) == 0) {
+      auto result = engine.ExecuteBatch(trimmed.substr(7));
+      if (!result.ok()) {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+      } else {
+        std::printf("%s\n", result->ToString(20).c_str());
+      }
+      continue;
+    }
+
+    GolaOptions options;
+    options.num_batches = 20;
+    options.bootstrap_replicates = 100;
+    auto online = engine.ExecuteOnline(trimmed, options);
+    if (!online.ok()) {
+      std::printf("error: %s\n", online.status().ToString().c_str());
+      continue;
+    }
+    while (!(*online)->done()) {
+      auto update = (*online)->Step();
+      if (!update.ok()) {
+        std::printf("error: %s\n", update.status().ToString().c_str());
+        break;
+      }
+      std::printf("-- batch %d/%d (%.0f%% of data, max rsd %.2f%%, |U|=%lld)\n",
+                  update->batch_index, update->total_batches,
+                  100 * update->fraction_processed, 100 * update->max_rsd,
+                  static_cast<long long>(update->uncertain_tuples));
+      std::printf("%s\n", update->result.ToString(10).c_str());
+    }
+  }
+  return 0;
+}

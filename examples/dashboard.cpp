@@ -1,0 +1,116 @@
+// The demo scenario of the paper's §6: a MyTube Inc. operations dashboard
+// cycling through ad-popularity and user-retention metrics, every panel an
+// online query whose error bars tighten as mini-batches stream in — the
+// text-mode equivalent of the paper's Figure 4 web dashboard, with the
+// traditional batch engine's latency shown for contrast.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "gola/gola.h"
+#include "workload/conviva_gen.h"
+#include "workload/queries.h"
+
+namespace {
+
+/// Renders a crude inline error bar: value with a [lo──hi] span.
+std::string Bar(double lo, double hi, double full_lo, double full_hi) {
+  const int kWidth = 24;
+  auto pos = [&](double v) {
+    double t = (v - full_lo) / std::max(1e-9, full_hi - full_lo);
+    return std::clamp(static_cast<int>(t * kWidth), 0, kWidth - 1);
+  };
+  std::string bar(kWidth, ' ');
+  int a = pos(lo), b = pos(hi);
+  for (int i = a; i <= b; ++i) bar[static_cast<size_t>(i)] = '-';
+  bar[static_cast<size_t>(a)] = '[';
+  bar[static_cast<size_t>(b)] = ']';
+  return bar;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gola;
+
+  Engine engine;
+  ConvivaGenOptions gen;
+  gen.num_rows = 500'000;
+  gen.num_ads = 16;
+  GOLA_CHECK_OK(engine.RegisterTable("conviva", GenerateConviva(gen)));
+
+  struct Panel {
+    std::string title;
+    std::string sql;
+  };
+  std::vector<Panel> panels = {
+      {"User retention: avg playback of slow-buffering sessions", SbiQuery()},
+      {"Session quality: join-failure rate by geo (top 5)",
+       "SELECT geo, AVG(join_failure_rate) AS jfr FROM conviva "
+       "WHERE buffer_time > (SELECT AVG(buffer_time) FROM conviva) "
+       "GROUP BY geo ORDER BY jfr DESC, geo LIMIT 5"},
+      {"Ad health: abnormal sessions per ad (top 5)",
+       "SELECT ad_id, COUNT(*) AS n FROM conviva s "
+       "WHERE buffer_time > 1.5 * (SELECT AVG(buffer_time) FROM conviva t "
+       "                           WHERE t.ad_id = s.ad_id) "
+       "GROUP BY ad_id ORDER BY n DESC, ad_id LIMIT 5"},
+  };
+
+  for (const auto& panel : panels) {
+    std::printf("==============================================================\n");
+    std::printf("%s\n", panel.title.c_str());
+
+    Stopwatch batch_timer;
+    auto exact = engine.ExecuteBatch(panel.sql);
+    GOLA_CHECK_OK(exact.status());
+    double batch_s = batch_timer.ElapsedSeconds();
+
+    GolaOptions opts;
+    opts.num_batches = 25;
+    opts.bootstrap_replicates = 80;
+    auto online = engine.ExecuteOnline(panel.sql, opts);
+    GOLA_CHECK_OK(online.status());
+
+    // Show three refresh frames: early, mid, final.
+    while (!(*online)->done()) {
+      auto update = (*online)->Step();
+      GOLA_CHECK_OK(update.status());
+      int b = update->batch_index;
+      if (b != 1 && b != 8 && b != update->total_batches) continue;
+
+      std::printf("--- %3.0f%% of data, %.3fs (batch engine: %.3fs) ---\n",
+                  100 * update->fraction_processed, update->elapsed_seconds, batch_s);
+      const Table& r = update->result;
+      const auto& schema = *r.schema();
+      // Locate the first aggregate column and its lo/hi companions.
+      int value_col = -1, lo_col = -1, hi_col = -1;
+      for (size_t c = 0; c < schema.num_fields(); ++c) {
+        std::string name = schema.field(c).name;
+        if (name.size() > 3 && name.substr(name.size() - 3) == "_lo") {
+          lo_col = static_cast<int>(c);
+          hi_col = lo_col + 1;
+          value_col = *schema.FieldIndex(name.substr(0, name.size() - 3));
+          break;
+        }
+      }
+      if (value_col < 0) continue;
+      // Shared scale for the frame's bars.
+      double frame_lo = 1e300, frame_hi = -1e300;
+      for (int64_t i = 0; i < r.num_rows(); ++i) {
+        frame_lo = std::min(frame_lo, r.At(i, lo_col).ToDouble().ValueOr(0));
+        frame_hi = std::max(frame_hi, r.At(i, hi_col).ToDouble().ValueOr(0));
+      }
+      for (int64_t i = 0; i < r.num_rows(); ++i) {
+        std::string label = value_col > 0 ? r.At(i, 0).ToString() : "all";
+        double v = r.At(i, value_col).ToDouble().ValueOr(0);
+        double lo = r.At(i, lo_col).ToDouble().ValueOr(0);
+        double hi = r.At(i, hi_col).ToDouble().ValueOr(0);
+        std::printf("  %-6s %10.2f  %s\n", label.c_str(), v,
+                    Bar(lo, hi, frame_lo, frame_hi).c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Quickstart: load a small session log, run the paper's SBI query (Example
+// 1) online, and watch the answer refine batch by batch — stopping early
+// once the confidence is good enough, exactly the OLA user control.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+#include <cstdio>
+
+#include "gola/gola.h"
+#include "workload/conviva_gen.h"
+
+int main() {
+  using namespace gola;
+
+  // 1. Make an engine and register a table. Any Table works — build your
+  //    own with TableBuilder, load a CSV with ReadCsv, or generate one.
+  Engine engine;
+  ConvivaGenOptions gen;
+  gen.num_rows = 200'000;
+  GOLA_CHECK_OK(engine.RegisterTable("conviva", GenerateConviva(gen)));
+
+  const char* kSbi =
+      "SELECT AVG(play_time) AS avg_play FROM conviva "
+      "WHERE buffer_time > (SELECT AVG(buffer_time) FROM conviva)";
+
+  // 2. The traditional way: block until the exact answer is ready.
+  auto exact = engine.ExecuteBatch(kSbi);
+  GOLA_CHECK_OK(exact.status());
+  std::printf("exact answer (batch engine): %s\n\n", exact->At(0, 0).ToString().c_str());
+
+  // 3. The G-OLA way: iteratively refined approximate answers.
+  GolaOptions options;
+  options.num_batches = 25;
+  options.bootstrap_replicates = 100;
+  auto online = engine.ExecuteOnline(kSbi, options);
+  GOLA_CHECK_OK(online.status());
+
+  std::printf("%6s %12s %22s %8s %11s\n", "batch", "estimate", "95% CI", "rsd",
+              "uncertain");
+  while (!(*online)->done()) {
+    auto update = (*online)->Step();
+    GOLA_CHECK_OK(update.status());
+    const Table& r = update->result;
+    // Columns: avg_play, avg_play_lo, avg_play_hi, avg_play_rsd.
+    std::printf("%6d %12.3f [%9.3f,%9.3f] %7.2f%% %11lld\n", update->batch_index,
+                r.At(0, 0).ToDouble().ValueOr(0), r.At(0, 1).ToDouble().ValueOr(0),
+                r.At(0, 2).ToDouble().ValueOr(0),
+                100 * r.At(0, 3).ToDouble().ValueOr(0),
+                static_cast<long long>(update->uncertain_tuples));
+    // 4. Stop whenever the accuracy is good enough — the whole point of
+    //    online aggregation (§1 of the paper).
+    if (update->max_rsd < 0.005) {
+      std::printf("\nreached 0.5%% relative standard deviation after %.0f%% of "
+                  "the data — stopping early.\n",
+                  100 * update->fraction_processed);
+      break;
+    }
+  }
+  return 0;
+}

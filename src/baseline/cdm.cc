@@ -1,0 +1,115 @@
+#include "baseline/cdm.h"
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+
+namespace gola {
+
+CdmExecutor::CdmExecutor(const Catalog* catalog, CompiledQuery query,
+                         const CdmOptions& options)
+    : catalog_(catalog), query_(std::move(query)), options_(options) {}
+
+Result<std::unique_ptr<CdmExecutor>> CdmExecutor::Create(const Catalog* catalog,
+                                                         CompiledQuery query,
+                                                         const CdmOptions& options) {
+  std::unique_ptr<CdmExecutor> exec(new CdmExecutor(catalog, std::move(query), options));
+  GOLA_RETURN_NOT_OK(exec->Prepare());
+  return exec;
+}
+
+Status CdmExecutor::Prepare() {
+  if (query_.blocks.empty()) return Status::PlanError("empty query");
+  const std::string streamed = ToLower(query_.root().table);
+  for (const auto& block : query_.blocks) {
+    if (ToLower(block.table) != streamed) {
+      return Status::NotImplemented("CDM streams a single table");
+    }
+    if (!block.is_aggregate) {
+      return Status::NotImplemented("CDM requires aggregation in every block");
+    }
+  }
+  GOLA_ASSIGN_OR_RETURN(TablePtr table, catalog_->GetTable(streamed));
+  MiniBatchOptions part_opts;
+  part_opts.num_batches = options_.num_batches;
+  part_opts.row_shuffle = options_.row_shuffle;
+  part_opts.seed = options_.seed;
+  partitioner_ = std::make_unique<MiniBatchPartitioner>(*table, part_opts);
+
+  states_.reserve(query_.blocks.size());
+  for (const auto& block : query_.blocks) {
+    BlockState state;
+    state.block = &block;
+    // §3.1 semantics: any block that reads a nested aggregate's value —
+    // in WHERE or HAVING — is recomputed over all seen data whenever that
+    // value changes, i.e. every mini-batch. Only blocks with no such
+    // dependency are maintained incrementally.
+    state.incremental = block.depends_on.empty();
+    GOLA_ASSIGN_OR_RETURN(DimJoinSet dims, DimJoinSet::Build(block, *catalog_));
+    state.dims = std::move(dims);
+    if (state.incremental) {
+      state.agg = std::make_unique<HashAggregate>(&block);
+    }
+    states_.push_back(std::move(state));
+  }
+  return Status::OK();
+}
+
+Result<CdmUpdate> CdmExecutor::Step() {
+  if (done()) return Status::ExecutionError("all mini-batches already processed");
+  Stopwatch timer;
+  const int i = next_batch_;
+
+  int64_t rows_through = 0;
+  for (int b = 0; b <= i; ++b) {
+    rows_through += static_cast<int64_t>(partitioner_->batch(b).num_rows());
+  }
+  double scale = static_cast<double>(partitioner_->total_rows()) /
+                 static_cast<double>(rows_through);
+
+  CdmUpdate update;
+  update.batch_index = i + 1;
+
+  for (auto& state : states_) {
+    const BlockDef& block = *state.block;
+    Table result_sink;
+    if (state.incremental) {
+      // Delta update: fold only ΔD_i into the retained states.
+      const Chunk& batch = partitioner_->batch(i);
+      Chunk current = batch;
+      if (!state.dims->empty()) {
+        GOLA_ASSIGN_OR_RETURN(current, state.dims->Apply(block, current));
+      }
+      GOLA_ASSIGN_OR_RETURN(current, ApplyBlockFilters(block, current, &env_));
+      GOLA_RETURN_NOT_OK(state.agg->Update(current, &env_));
+      update.rows_scanned += static_cast<int64_t>(batch.num_rows());
+      GOLA_ASSIGN_OR_RETURN(Chunk post, state.agg->Finalize(scale));
+      GOLA_ASSIGN_OR_RETURN(post, ApplyHavingFilters(block, post, &env_));
+      GOLA_RETURN_NOT_OK(BroadcastOrEmit(block, post, &env_, &result_sink));
+    } else {
+      // The inner aggregate changed → the engine "has to read through D_i
+      // again in order to compute the correct answer" (§3.1).
+      HashAggregate agg(&block);
+      for (int b = 0; b <= i; ++b) {
+        const Chunk& chunk = partitioner_->batch(b);
+        Chunk current = chunk;
+        if (!state.dims->empty()) {
+          GOLA_ASSIGN_OR_RETURN(current, state.dims->Apply(block, current));
+        }
+        GOLA_ASSIGN_OR_RETURN(current, ApplyBlockFilters(block, current, &env_));
+        GOLA_RETURN_NOT_OK(agg.Update(current, &env_));
+        update.rows_scanned += static_cast<int64_t>(chunk.num_rows());
+      }
+      GOLA_ASSIGN_OR_RETURN(Chunk post, agg.Finalize(scale));
+      GOLA_ASSIGN_OR_RETURN(post, ApplyHavingFilters(block, post, &env_));
+      GOLA_RETURN_NOT_OK(BroadcastOrEmit(block, post, &env_, &result_sink));
+    }
+    if (block.kind == BlockKind::kRoot) update.result = std::move(result_sink);
+  }
+
+  next_batch_ = i + 1;
+  update.batch_seconds = timer.ElapsedSeconds();
+  return update;
+}
+
+}  // namespace gola

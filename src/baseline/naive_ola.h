@@ -1,0 +1,51 @@
+// Naive online aggregation: recompute the whole query from scratch on every
+// mini-batch prefix. The simplest correct online strategy and the upper
+// bound both CDM and G-OLA are measured against; per-batch cost grows
+// linearly and total cost is O(k²)·n.
+#ifndef GOLA_BASELINE_NAIVE_OLA_H_
+#define GOLA_BASELINE_NAIVE_OLA_H_
+
+#include <memory>
+
+#include "exec/batch_executor.h"
+#include "plan/binder.h"
+#include "storage/partitioner.h"
+
+namespace gola {
+
+struct NaiveOlaOptions {
+  int num_batches = 10;
+  uint64_t seed = 42;
+  bool row_shuffle = true;
+};
+
+struct NaiveOlaUpdate {
+  int batch_index = 0;  // 1-based
+  Table result;
+  double batch_seconds = 0;
+  int64_t rows_scanned = 0;
+};
+
+class NaiveOlaExecutor {
+ public:
+  static Result<std::unique_ptr<NaiveOlaExecutor>> Create(const Catalog* catalog,
+                                                          CompiledQuery query,
+                                                          const NaiveOlaOptions& options);
+
+  bool done() const { return next_batch_ >= partitioner_->num_batches(); }
+  Result<NaiveOlaUpdate> Step();
+
+ private:
+  NaiveOlaExecutor(const Catalog* catalog, CompiledQuery query,
+                   const NaiveOlaOptions& options);
+
+  const Catalog* catalog_;
+  CompiledQuery query_;
+  NaiveOlaOptions options_;
+  std::unique_ptr<MiniBatchPartitioner> partitioner_;
+  int next_batch_ = 0;
+};
+
+}  // namespace gola
+
+#endif  // GOLA_BASELINE_NAIVE_OLA_H_

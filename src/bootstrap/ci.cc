@@ -1,0 +1,97 @@
+#include "bootstrap/ci.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace gola {
+
+std::string ConfidenceInterval::ToString() const {
+  return Format("[%.6g, %.6g] @%.0f%%", lo, hi, level * 100);
+}
+
+namespace {
+
+/// Drops NaN placeholders (replicates with no defined result).
+void RemoveNaNs(std::vector<double>* v) {
+  v->erase(std::remove_if(v->begin(), v->end(),
+                          [](double x) { return std::isnan(x); }),
+           v->end());
+}
+
+}  // namespace
+
+ConfidenceInterval PercentileCI(std::vector<double> replicates, double estimate,
+                                double level) {
+  ConfidenceInterval ci;
+  ci.level = level;
+  RemoveNaNs(&replicates);
+  if (replicates.size() < 2) {
+    ci.lo = ci.hi = estimate;
+    return ci;
+  }
+  std::sort(replicates.begin(), replicates.end());
+  double alpha = (1.0 - level) / 2.0;
+  auto quantile = [&](double q) {
+    double pos = q * static_cast<double>(replicates.size() - 1);
+    size_t lo_idx = static_cast<size_t>(pos);
+    size_t hi_idx = std::min(lo_idx + 1, replicates.size() - 1);
+    double frac = pos - static_cast<double>(lo_idx);
+    return replicates[lo_idx] * (1 - frac) + replicates[hi_idx] * frac;
+  };
+  ci.lo = quantile(alpha);
+  ci.hi = quantile(1.0 - alpha);
+  return ci;
+}
+
+double ReplicateMean(const std::vector<double>& replicates) {
+  double s = 0;
+  size_t n = 0;
+  for (double v : replicates) {
+    if (std::isnan(v)) continue;
+    s += v;
+    ++n;
+  }
+  return n == 0 ? 0 : s / static_cast<double>(n);
+}
+
+double ReplicateStddev(const std::vector<double>& replicates) {
+  double mean = ReplicateMean(replicates);
+  double ss = 0;
+  size_t n = 0;
+  for (double v : replicates) {
+    if (std::isnan(v)) continue;
+    ss += (v - mean) * (v - mean);
+    ++n;
+  }
+  if (n < 2) return 0;
+  return std::sqrt(ss / static_cast<double>(n - 1));
+}
+
+double RelativeStdDev(const std::vector<double>& replicates, double estimate) {
+  if (estimate == 0) return 0;
+  return ReplicateStddev(replicates) / std::fabs(estimate);
+}
+
+VariationRange VariationRange::FromReplicates(const std::vector<double>& replicates,
+                                              double estimate, double epsilon_mult) {
+  double lo = estimate;
+  double hi = estimate;
+  bool any = false;
+  for (double v : replicates) {
+    if (std::isnan(v)) continue;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    any = true;
+  }
+  if (!any) return Point(estimate);
+  double eps = epsilon_mult * ReplicateStddev(replicates);
+  return {lo - eps, hi + eps};
+}
+
+std::string VariationRange::ToString() const {
+  return Format("R[%.6g, %.6g]", lo, hi);
+}
+
+}  // namespace gola

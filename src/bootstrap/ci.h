@@ -1,0 +1,57 @@
+// Error estimates derived from bootstrap replicate outputs: confidence
+// intervals, relative standard deviation, and the variation ranges R(u)
+// that drive deterministic/uncertain classification (paper §3.2).
+#ifndef GOLA_BOOTSTRAP_CI_H_
+#define GOLA_BOOTSTRAP_CI_H_
+
+#include <string>
+#include <vector>
+
+namespace gola {
+
+struct ConfidenceInterval {
+  double lo = 0;
+  double hi = 0;
+  double level = 0.95;
+
+  std::string ToString() const;
+};
+
+/// Percentile-method CI at the given level from replicate outputs.
+/// Falls back to [estimate, estimate] when fewer than 2 replicates exist.
+ConfidenceInterval PercentileCI(std::vector<double> replicates, double estimate,
+                                double level = 0.95);
+
+/// Mean and (sample) standard deviation of the replicate outputs.
+double ReplicateMean(const std::vector<double>& replicates);
+double ReplicateStddev(const std::vector<double>& replicates);
+
+/// Relative standard deviation: stddev(replicates) / |estimate| (0 when the
+/// estimate is 0). This is the y-axis of the paper's Figure 3(a).
+double RelativeStdDev(const std::vector<double>& replicates, double estimate);
+
+/// The variation range R(u) = [min(û) − ε, max(û) + ε] of §3.2, where
+/// ε = epsilon_mult * stddev(û); the paper recommends epsilon_mult = 1.
+struct VariationRange {
+  double lo = 0;
+  double hi = 0;
+
+  bool Contains(double v) const { return v >= lo && v <= hi; }
+  bool Contains(const VariationRange& other) const {
+    return other.lo >= lo && other.hi <= hi;
+  }
+  bool Overlaps(const VariationRange& other) const {
+    return lo <= other.hi && other.lo <= hi;
+  }
+  double width() const { return hi - lo; }
+
+  static VariationRange FromReplicates(const std::vector<double>& replicates,
+                                       double estimate, double epsilon_mult);
+  static VariationRange Point(double v) { return {v, v}; }
+
+  std::string ToString() const;
+};
+
+}  // namespace gola
+
+#endif  // GOLA_BOOTSTRAP_CI_H_

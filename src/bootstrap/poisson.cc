@@ -1,0 +1,2 @@
+// Intentionally header-only; this file anchors the module in the build.
+#include "bootstrap/poisson.h"

@@ -1,0 +1,157 @@
+#include "bootstrap/replicated_agg.h"
+
+#include <cmath>
+#include <limits>
+
+namespace gola {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
+
+ReplicatedAgg::ReplicatedAgg(const AggregateFunction* fn, const PoissonWeights* weights)
+    : fn_(fn), weights_(weights), simple_(fn->simple_kind()), main_(fn->CreateState()) {
+  size_t b = weights_ ? static_cast<size_t>(weights_->num_replicates()) : 0;
+  if (simple_ != SimpleAggKind::kNone) {
+    flat_sum_.assign(b, 0.0);
+    flat_count_.assign(b, 0.0);
+  } else {
+    replicates_.reserve(b);
+    for (size_t j = 0; j < b; ++j) replicates_.push_back(fn->CreateState());
+  }
+}
+
+void ReplicatedAgg::UpdateNumericWeighted(double v, const std::vector<int32_t>& weights) {
+  main_->UpdateNumeric(v, 1.0);
+  if (simple_ != SimpleAggKind::kNone) {
+    // Weight 0 contributes nothing, so the loop can run unconditionally —
+    // two contiguous FMA sweeps the compiler vectorizes.
+    size_t b = flat_sum_.size();
+    for (size_t j = 0; j < b; ++j) {
+      double w = static_cast<double>(weights[j]);
+      flat_sum_[j] += v * w;
+      flat_count_[j] += w;
+    }
+    return;
+  }
+  for (size_t j = 0; j < replicates_.size(); ++j) {
+    int32_t w = weights[j];
+    if (w > 0) replicates_[j]->UpdateNumeric(v, static_cast<double>(w));
+  }
+}
+
+void ReplicatedAgg::UpdateValueWeighted(const Value& v, const std::vector<int32_t>& weights) {
+  if (simple_ != SimpleAggKind::kNone) {
+    auto d = v.ToDouble();
+    UpdateNumericWeighted(d.ok() ? *d : 0.0, weights);
+    return;
+  }
+  main_->UpdateValue(v, 1.0);
+  for (size_t j = 0; j < replicates_.size(); ++j) {
+    int32_t w = weights[j];
+    if (w > 0) replicates_[j]->UpdateValue(v, static_cast<double>(w));
+  }
+}
+
+void ReplicatedAgg::UpdateNumeric(double v, int64_t serial) {
+  if (weights_ == nullptr || weights_->num_replicates() == 0) {
+    main_->UpdateNumeric(v, 1.0);
+    return;
+  }
+  weights_->WeightsFor(serial, &weight_buf_);
+  UpdateNumericWeighted(v, weight_buf_);
+}
+
+void ReplicatedAgg::UpdateValue(const Value& v, int64_t serial) {
+  if (weights_ == nullptr || weights_->num_replicates() == 0) {
+    main_->UpdateValue(v, 1.0);
+    return;
+  }
+  weights_->WeightsFor(serial, &weight_buf_);
+  UpdateValueWeighted(v, weight_buf_);
+}
+
+void ReplicatedAgg::Merge(const ReplicatedAgg& other) {
+  main_->Merge(*other.main_);
+  if (simple_ != SimpleAggKind::kNone) {
+    for (size_t j = 0; j < flat_sum_.size(); ++j) {
+      flat_sum_[j] += other.flat_sum_[j];
+      flat_count_[j] += other.flat_count_[j];
+    }
+    return;
+  }
+  for (size_t j = 0; j < replicates_.size(); ++j) {
+    replicates_[j]->Merge(*other.replicates_[j]);
+  }
+}
+
+ReplicatedAgg ReplicatedAgg::Clone() const {
+  ReplicatedAgg copy(fn_, weights_);
+  copy.main_ = main_->Clone();
+  if (simple_ != SimpleAggKind::kNone) {
+    copy.flat_sum_ = flat_sum_;
+    copy.flat_count_ = flat_count_;
+    return copy;
+  }
+  copy.replicates_.clear();
+  copy.replicates_.reserve(replicates_.size());
+  for (const auto& rep : replicates_) copy.replicates_.push_back(rep->Clone());
+  return copy;
+}
+
+Value ReplicatedAgg::Finalize(double scale) const { return main_->Finalize(scale); }
+
+std::vector<double> ReplicatedAgg::FinalizeReplicates(double scale) const {
+  if (simple_ != SimpleAggKind::kNone) {
+    size_t b = flat_sum_.size();
+    std::vector<double> out(b, kNaN);
+    for (size_t j = 0; j < b; ++j) {
+      switch (simple_) {
+        case SimpleAggKind::kCount:
+          out[j] = flat_count_[j] * scale;
+          break;
+        case SimpleAggKind::kSum:
+          if (flat_count_[j] > 0) out[j] = flat_sum_[j] * scale;
+          break;
+        case SimpleAggKind::kAvg:
+          if (flat_count_[j] > 0) out[j] = flat_sum_[j] / flat_count_[j];
+          break;
+        case SimpleAggKind::kNone:
+          break;
+      }
+    }
+    return out;
+  }
+  std::vector<double> out;
+  out.reserve(replicates_.size());
+  for (const auto& rep : replicates_) {
+    Value v = rep->Finalize(scale);
+    double d = kNaN;
+    if (!v.is_null()) {
+      auto converted = v.ToDouble();
+      if (converted.ok()) d = *converted;
+    }
+    out.push_back(d);
+  }
+  return out;
+}
+
+ConfidenceInterval ReplicatedAgg::CI(double scale, double level) const {
+  Value est = Finalize(scale);
+  double e = est.is_null() ? 0.0 : est.ToDouble().ValueOr(0.0);
+  return PercentileCI(FinalizeReplicates(scale), e, level);
+}
+
+double ReplicatedAgg::Rsd(double scale) const {
+  Value est = Finalize(scale);
+  double e = est.is_null() ? 0.0 : est.ToDouble().ValueOr(0.0);
+  return RelativeStdDev(FinalizeReplicates(scale), e);
+}
+
+VariationRange ReplicatedAgg::Range(double scale, double epsilon_mult) const {
+  Value est = Finalize(scale);
+  double e = est.is_null() ? 0.0 : est.ToDouble().ValueOr(0.0);
+  return VariationRange::FromReplicates(FinalizeReplicates(scale), e, epsilon_mult);
+}
+
+}  // namespace gola

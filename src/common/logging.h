@@ -1,0 +1,68 @@
+// Minimal logging and invariant-check macros.
+//
+// GOLA_CHECK(cond) aborts on violation; it guards programmer invariants, not
+// user input (user input errors flow through Status).
+#ifndef GOLA_COMMON_LOGGING_H_
+#define GOLA_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace gola {
+namespace internal {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kFatal = 4 };
+
+/// Global minimum level actually emitted; default kInfo.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+/// Stream-style log sink that emits the accumulated message on destruction
+/// and aborts the process for kFatal.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Sink that swallows everything (used for disabled levels).
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) { return *this; }
+};
+
+}  // namespace internal
+}  // namespace gola
+
+#define GOLA_LOG_INTERNAL(level)                                          \
+  ::gola::internal::LogMessage(::gola::internal::LogLevel::level,         \
+                               __FILE__, __LINE__).stream()
+
+#define GOLA_LOG(severity) GOLA_LOG_INTERNAL(k##severity)
+
+#define GOLA_CHECK(cond)                                                  \
+  if (!(cond))                                                            \
+  GOLA_LOG_INTERNAL(kFatal) << "Check failed: " #cond " "
+
+#define GOLA_CHECK_OK(expr)                                               \
+  do {                                                                    \
+    ::gola::Status _st = (expr);                                          \
+    if (!_st.ok())                                                        \
+      GOLA_LOG_INTERNAL(kFatal) << "Status not OK: " << _st.ToString();   \
+  } while (0)
+
+#define GOLA_DCHECK(cond) GOLA_CHECK(cond)
+
+#endif  // GOLA_COMMON_LOGGING_H_

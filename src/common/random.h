@@ -1,0 +1,196 @@
+// Deterministic, fast PRNG (xoshiro256**) plus the distributions the engine
+// needs: uniform, normal, exponential, Poisson, Zipf. Header-only so hot
+// loops inline.
+//
+// Determinism matters beyond reproducibility of experiments: the bootstrap
+// replicate weights must be a pure function of (seed, tuple serial,
+// replicate id) so that a range-failure recompute reconstructs byte-identical
+// replicate states (see bootstrap/poisson.h).
+#ifndef GOLA_COMMON_RANDOM_H_
+#define GOLA_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace gola {
+
+/// SplitMix64: used to seed xoshiro and as a cheap stateless hash-to-random.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& si : s_) {
+      x = SplitMix64(x);
+      si = x;
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, n) without modulo bias for practical n.
+  uint64_t NextBelow(uint64_t n) {
+    if (n == 0) return 0;
+    // Lemire's method.
+    __uint128_t m = static_cast<__uint128_t>(Next()) * n;
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Standard normal via Box-Muller (one draw per call, stateless variant).
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 <= 0) u1 = 1e-18;
+    double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    return mean + stddev * z;
+  }
+
+  /// Exponential with the given mean.
+  double Exponential(double mean) {
+    double u = NextDouble();
+    if (u <= 0) u = 1e-18;
+    return -mean * std::log(u);
+  }
+
+  /// Log-normal: exp(Normal(mu, sigma)).
+  double LogNormal(double mu, double sigma) {
+    return std::exp(Normal(mu, sigma));
+  }
+
+  /// Poisson via Knuth for small lambda, normal approximation for large.
+  int64_t Poisson(double lambda) {
+    if (lambda <= 0) return 0;
+    if (lambda < 30.0) {
+      const double limit = std::exp(-lambda);
+      double p = 1.0;
+      int64_t k = 0;
+      do {
+        ++k;
+        p *= NextDouble();
+      } while (p > limit);
+      return k - 1;
+    }
+    double v = Normal(lambda, std::sqrt(lambda));
+    return v < 0 ? 0 : static_cast<int64_t>(v + 0.5);
+  }
+
+  /// Zipf-distributed integer in [1, n] with exponent s (rejection sampling,
+  /// Jim Gray's method).
+  int64_t Zipf(int64_t n, double s) {
+    // Precomputation-free rejection inversion; fine for generator use.
+    const double b = std::pow(2.0, s - 1.0);
+    double x, t;
+    do {
+      x = std::floor(std::pow(NextDouble(), -1.0 / (s - 1.0)));
+      t = std::pow(1.0 + 1.0 / x, s - 1.0);
+    } while (x > static_cast<double>(n) ||
+             NextDouble() * x * (t - 1.0) * b > t * (b - 1.0));
+    return static_cast<int64_t>(x);
+  }
+
+  /// Bernoulli trial with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+/// Stateless Poisson(1) sample derived purely from a 64-bit key; used for
+/// poissonized bootstrap weights (bit-reproducible on recompute).
+inline int32_t StatelessPoisson1(uint64_t key) {
+  // Inverse-CDF walk for lambda = 1 using a single uniform.
+  // P(0)=.3679 P(1)=.3679 P(2)=.1839 P(3)=.0613 P(4)=.0153 ...
+  double u = static_cast<double>(SplitMix64(key) >> 11) * 0x1.0p-53;
+  double p = 0.36787944117144233;  // e^-1
+  double cdf = p;
+  int32_t k = 0;
+  while (u > cdf && k < 16) {
+    ++k;
+    p /= k;
+    cdf += p;
+  }
+  return k;
+}
+
+namespace internal_random {
+
+/// 65536-entry inverse-CDF table for Poisson(1): maps a 16-bit uniform to a
+/// sample. Quantization error is < 2^-16 per mass point — negligible for
+/// bootstrap weights — and sampling becomes a hash plus four table lookups
+/// per 4 replicates instead of four CDF walks.
+struct Poisson1Table {
+  uint8_t value[65536];
+
+  Poisson1Table() {
+    double p = 0.36787944117144233;  // e^-1
+    double cdf = p;
+    int k = 0;
+    for (int i = 0; i < 65536; ++i) {
+      double u = (static_cast<double>(i) + 0.5) / 65536.0;
+      while (u > cdf && k < 16) {
+        ++k;
+        p /= k;
+        cdf += p;
+      }
+      value[i] = static_cast<uint8_t>(k);
+    }
+  }
+};
+
+inline const Poisson1Table& GetPoisson1Table() {
+  static const Poisson1Table* table = new Poisson1Table();
+  return *table;
+}
+
+}  // namespace internal_random
+
+/// Four consecutive Poisson(1) samples from one 64-bit key (one hash, four
+/// 16-bit table lookups). Sample j corresponds to bits [16j, 16j+16).
+inline void StatelessPoisson1x4(uint64_t key, int32_t out[4]) {
+  const auto& table = internal_random::GetPoisson1Table();
+  uint64_t h = SplitMix64(key);
+  out[0] = table.value[h & 0xFFFF];
+  out[1] = table.value[(h >> 16) & 0xFFFF];
+  out[2] = table.value[(h >> 32) & 0xFFFF];
+  out[3] = table.value[(h >> 48) & 0xFFFF];
+}
+
+}  // namespace gola
+
+#endif  // GOLA_COMMON_RANDOM_H_

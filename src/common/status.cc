@@ -1,0 +1,52 @@
+#include "common/status.h"
+
+namespace gola {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "Invalid argument";
+    case StatusCode::kNotImplemented: return "Not implemented";
+    case StatusCode::kKeyError: return "Key error";
+    case StatusCode::kTypeError: return "Type error";
+    case StatusCode::kParseError: return "Parse error";
+    case StatusCode::kPlanError: return "Plan error";
+    case StatusCode::kExecutionError: return "Execution error";
+    case StatusCode::kIoError: return "IO error";
+    case StatusCode::kInternal: return "Internal error";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string msg)
+    : state_(std::make_unique<State>(State{code, std::move(msg)})) {}
+
+Status::Status(const Status& other)
+    : state_(other.state_ ? std::make_unique<State>(*other.state_) : nullptr) {}
+
+Status& Status::operator=(const Status& other) {
+  if (this != &other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+  }
+  return *this;
+}
+
+const std::string& Status::message() const {
+  static const std::string kEmpty;
+  return ok() ? kEmpty : state_->msg;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(state_->code);
+  out += ": ";
+  out += state_->msg;
+  return out;
+}
+
+Status Status::WithContext(const std::string& context) const {
+  if (ok()) return *this;
+  return Status(state_->code, context + ": " + state_->msg);
+}
+
+}  // namespace gola

@@ -1,0 +1,146 @@
+// Status and Result<T>: exception-free error handling in the style of
+// Apache Arrow / RocksDB. Every fallible public API in this library returns
+// either a Status (no payload) or a Result<T> (payload or error).
+#ifndef GOLA_COMMON_STATUS_H_
+#define GOLA_COMMON_STATUS_H_
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace gola {
+
+/// Machine-readable category of an error carried by Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotImplemented,
+  kKeyError,         // lookup of a name/key failed
+  kTypeError,        // type check / coercion failure
+  kParseError,       // SQL text could not be parsed
+  kPlanError,        // query could not be planned / bound
+  kExecutionError,   // runtime failure during execution
+  kIoError,
+  kInternal,
+};
+
+/// Returns a short human-readable name for the code ("Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// An operation outcome: OK, or an error code plus message.
+///
+/// Status is cheap to copy in the OK case (single pointer, null when OK).
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string msg);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status KeyError(std::string msg) {
+    return Status(StatusCode::kKeyError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status PlanError(std::string msg) {
+    return Status(StatusCode::kPlanError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  const std::string& message() const;
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  /// Prepends context to the error message (no-op if OK).
+  Status WithContext(const std::string& context) const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::unique_ptr<State> state_;  // null == OK
+};
+
+/// A value of type T or an error Status. Exactly one of the two is present.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): by-design implicit, mirrors Arrow.
+  Result(T value) : payload_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : payload_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(payload_);
+  }
+
+  T& value() & { return std::get<T>(payload_); }
+  const T& value() const& { return std::get<T>(payload_); }
+  T&& value() && { return std::move(std::get<T>(payload_)); }
+
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(payload_) : std::move(fallback);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace gola
+
+/// Propagates a non-OK Status from the enclosing function.
+#define GOLA_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::gola::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+#define GOLA_CONCAT_IMPL(a, b) a##b
+#define GOLA_CONCAT(a, b) GOLA_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result<T> expression; on error returns the Status, otherwise
+/// moves the value into `lhs` (which may be a declaration).
+#define GOLA_ASSIGN_OR_RETURN(lhs, rexpr)                         \
+  auto GOLA_CONCAT(_res_, __LINE__) = (rexpr);                    \
+  if (!GOLA_CONCAT(_res_, __LINE__).ok())                         \
+    return GOLA_CONCAT(_res_, __LINE__).status();                 \
+  lhs = std::move(GOLA_CONCAT(_res_, __LINE__)).value()
+
+#endif  // GOLA_COMMON_STATUS_H_

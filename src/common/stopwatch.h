@@ -1,0 +1,36 @@
+// Wall-clock stopwatch used by the benchmark harness and the controller's
+// per-batch timing.
+#ifndef GOLA_COMMON_STOPWATCH_H_
+#define GOLA_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace gola {
+
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last Restart(), in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gola
+
+#endif  // GOLA_COMMON_STOPWATCH_H_

@@ -1,0 +1,113 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+
+namespace gola {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (shutdown_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+namespace {
+
+thread_local bool tls_in_pool = false;
+
+/// Shared by the caller and all helper tasks of one ParallelFor; the caller
+/// blocks until every helper task has *exited* (not merely until all
+/// iterations completed), so helpers can never touch freed state.
+struct ParallelForState {
+  explicit ParallelForState(size_t n_in, const std::function<void(size_t)>& fn_in)
+      : n(n_in), fn(fn_in) {}
+
+  const size_t n;
+  const std::function<void(size_t)>& fn;  // caller outlives all tasks
+  std::atomic<size_t> next{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t tasks_remaining = 0;
+
+  void RunBody() {
+    tls_in_pool = true;
+    for (;;) {
+      size_t i = next.fetch_add(1);
+      if (i >= n) break;
+      fn(i);
+    }
+    tls_in_pool = false;
+  }
+
+  void TaskDone() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (--tasks_remaining == 0) cv.notify_all();
+  }
+};
+
+}  // namespace
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || tls_in_pool) {
+    // Inline (also avoids deadlock on reentrant use from a worker thread).
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto state = std::make_shared<ParallelForState>(n, fn);
+  const size_t helpers = std::min(n, workers_.size());
+  state->tasks_remaining = helpers;
+  for (size_t t = 0; t < helpers; ++t) {
+    Submit([state] {
+      state->RunBody();
+      state->TaskDone();
+    });
+  }
+  // The calling thread participates too, then waits for every helper task
+  // to exit before the shared state (and `fn`) can go away.
+  state->RunBody();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->tasks_remaining == 0; });
+}
+
+ThreadPool& ThreadPool::Default() {
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+}  // namespace gola

@@ -1,0 +1,50 @@
+// Fixed-size worker pool with a blocking ParallelFor. This is the
+// single-node stand-in for the paper's Spark executors: batch operators
+// split their input chunks across workers and merge partial states, which
+// exercises the same partial/merge aggregation code paths a cluster would.
+#ifndef GOLA_COMMON_THREAD_POOL_H_
+#define GOLA_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gola {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (0 → hardware concurrency, min 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, n) across the pool and blocks until all
+  /// iterations complete. Reentrant calls are executed inline.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Process-wide default pool (lazily constructed, never destroyed —
+  /// avoids static-destruction ordering issues).
+  static ThreadPool& Default();
+
+ private:
+  void Submit(std::function<void()> task);
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+};
+
+}  // namespace gola
+
+#endif  // GOLA_COMMON_THREAD_POOL_H_

@@ -1,0 +1,268 @@
+#include "exec/batch_executor.h"
+
+#include <mutex>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "exec/hash_aggregate.h"
+#include "exec/hash_join.h"
+#include "exec/sort.h"
+
+namespace gola {
+
+// ----------------------------------------------------------- DimJoinSet --
+
+Result<DimJoinSet> DimJoinSet::Build(const BlockDef& block, const Catalog& catalog) {
+  DimJoinSet set;
+  // Layout after stage j = streamed columns + dims[0..j] columns; the final
+  // stage equals block.input_schema.
+  std::vector<Field> fields;
+  GOLA_ASSIGN_OR_RETURN(SchemaPtr streamed, catalog.GetSchema(block.table));
+  fields = streamed->fields();
+  for (const auto& join : block.dim_joins) {
+    GOLA_ASSIGN_OR_RETURN(TablePtr dim, catalog.GetTable(join.table));
+    GOLA_ASSIGN_OR_RETURN(DimHashTable table, DimHashTable::Build(*dim, *join.build_key));
+    set.tables_.push_back(std::move(table));
+    for (const auto& f : dim->schema()->fields()) fields.push_back(f);
+    set.stage_schemas_.push_back(std::make_shared<Schema>(fields));
+  }
+  return set;
+}
+
+Result<Chunk> DimJoinSet::Apply(const BlockDef& block, const Chunk& chunk) const {
+  Chunk current = chunk;
+  for (size_t j = 0; j < tables_.size(); ++j) {
+    GOLA_ASSIGN_OR_RETURN(
+        current, tables_[j].Probe(current, *block.dim_joins[j].probe_key,
+                                  stage_schemas_[j]));
+  }
+  return current;
+}
+
+// ----------------------------------------------------------- filtering --
+
+Result<Chunk> ApplyBlockFilters(const BlockDef& block, const Chunk& input,
+                                const BroadcastEnv* env) {
+  size_t n = input.num_rows();
+  if (n == 0) return input;
+  std::vector<uint8_t> mask(n, 1);
+  bool all = true;
+  auto apply = [&](const Expr& pred) -> Status {
+    GOLA_ASSIGN_OR_RETURN(std::vector<uint8_t> sel, EvaluatePredicate(pred, input, env));
+    for (size_t i = 0; i < n; ++i) {
+      mask[i] &= sel[i];
+      if (!mask[i]) all = false;
+    }
+    return Status::OK();
+  };
+  for (const auto& c : block.certain_conjuncts) {
+    GOLA_RETURN_NOT_OK(apply(*c));
+  }
+  for (const auto& c : block.uncertain_conjuncts) {
+    ExprPtr pred = c.ToPointExpr();
+    GOLA_RETURN_NOT_OK(apply(*pred));
+  }
+  if (all) return input;
+  return input.Filter(mask);
+}
+
+Result<Chunk> ApplyHavingFilters(const BlockDef& block, const Chunk& post,
+                                 const BroadcastEnv* env) {
+  if (block.having_certain.empty() && block.having_uncertain.empty()) return post;
+  size_t n = post.num_rows();
+  std::vector<uint8_t> mask(n, 1);
+  auto apply = [&](const Expr& pred) -> Status {
+    GOLA_ASSIGN_OR_RETURN(std::vector<uint8_t> sel, EvaluatePredicate(pred, post, env));
+    for (size_t i = 0; i < n; ++i) mask[i] &= sel[i];
+    return Status::OK();
+  };
+  for (const auto& c : block.having_certain) {
+    GOLA_RETURN_NOT_OK(apply(*c));
+  }
+  for (const auto& c : block.having_uncertain) {
+    ExprPtr pred = c.ToPointExpr();
+    GOLA_RETURN_NOT_OK(apply(*pred));
+  }
+  return post.Filter(mask);
+}
+
+namespace {
+
+/// Projects / sorts / limits a post-aggregation (or filtered SPJ) chunk into
+/// the root block's output table.
+Result<Table> EmitRootOutput(const BlockDef& block, const Chunk& rows,
+                             const BroadcastEnv* env) {
+  std::vector<Column> out_cols;
+  out_cols.reserve(block.output_exprs.size());
+  for (const auto& e : block.output_exprs) {
+    GOLA_ASSIGN_OR_RETURN(Column c, Evaluate(*e, rows, env));
+    out_cols.push_back(std::move(c));
+  }
+  Chunk out(block.output_schema, std::move(out_cols));
+
+  if (!block.order_by.empty()) {
+    std::vector<Column> keys;
+    std::vector<bool> desc;
+    for (const auto& s : block.order_by) {
+      GOLA_ASSIGN_OR_RETURN(Column c, Evaluate(*s.expr, rows, env));
+      keys.push_back(std::move(c));
+      desc.push_back(s.descending);
+    }
+    GOLA_ASSIGN_OR_RETURN(out, SortChunk(out, keys, desc, block.limit));
+  } else if (block.limit >= 0 && static_cast<int64_t>(out.num_rows()) > block.limit) {
+    out = out.Slice(0, static_cast<size_t>(block.limit));
+  }
+  Table result(block.output_schema);
+  result.AppendChunk(std::move(out));
+  return result;
+}
+
+}  // namespace
+
+Status BroadcastOrEmit(const BlockDef& block, const Chunk& rows, BroadcastEnv* env,
+                       Table* result) {
+  switch (block.kind) {
+    case BlockKind::kScalar: {
+      GOLA_ASSIGN_OR_RETURN(Column values, Evaluate(*block.value_expr, rows, env));
+      if (block.corr_key) {
+        std::unordered_map<Value, Value, ValueHash> keyed;
+        keyed.reserve(rows.num_rows());
+        for (size_t i = 0; i < rows.num_rows(); ++i) {
+          keyed[rows.column(0).GetValue(i)] = values.GetValue(i);
+        }
+        env->SetKeyed(block.id, std::move(keyed));
+      } else {
+        if (values.size() != 1) {
+          return Status::ExecutionError("scalar subquery did not produce one row");
+        }
+        env->SetScalar(block.id, values.GetValue(0));
+      }
+      return Status::OK();
+    }
+    case BlockKind::kMembership: {
+      std::unordered_set<Value, ValueHash> members;
+      const Column& keys = rows.column(static_cast<size_t>(block.membership_key_index));
+      members.reserve(rows.num_rows());
+      for (size_t i = 0; i < rows.num_rows(); ++i) {
+        if (!keys.IsNull(i)) members.insert(keys.GetValue(i));
+      }
+      env->SetMembership(block.id, std::move(members));
+      return Status::OK();
+    }
+    case BlockKind::kRoot: {
+      GOLA_ASSIGN_OR_RETURN(*result, EmitRootOutput(block, rows, env));
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable block kind");
+}
+
+// --------------------------------------------------------- BatchExecutor --
+
+Result<Table> BatchExecutor::Execute(const CompiledQuery& query,
+                                     const BatchExecOptions& opts) {
+  return Run(query, {}, opts);
+}
+
+Result<Table> BatchExecutor::ExecuteOnChunks(const CompiledQuery& query,
+                                             const std::string& streamed_table,
+                                             const std::vector<const Chunk*>& chunks,
+                                             const BatchExecOptions& opts) {
+  std::unordered_map<std::string, std::vector<const Chunk*>> overrides;
+  overrides[ToLower(streamed_table)] = chunks;
+  return Run(query, overrides, opts);
+}
+
+Result<Table> BatchExecutor::Run(
+    const CompiledQuery& query,
+    const std::unordered_map<std::string, std::vector<const Chunk*>>& overrides,
+    const BatchExecOptions& opts) {
+  BroadcastEnv env;
+  Table result;
+  for (const auto& block : query.blocks) {
+    std::vector<const Chunk*> chunks;
+    auto it = overrides.find(ToLower(block.table));
+    TablePtr table_holder;  // keeps catalog chunks alive
+    if (it != overrides.end()) {
+      chunks = it->second;
+    } else {
+      GOLA_ASSIGN_OR_RETURN(table_holder, catalog_->GetTable(block.table));
+      for (const auto& c : table_holder->chunks()) chunks.push_back(&c);
+    }
+    GOLA_RETURN_NOT_OK(ExecuteBlock(block, chunks, opts, &env, &result));
+  }
+  return result;
+}
+
+Status BatchExecutor::ExecuteBlock(const BlockDef& block,
+                                   const std::vector<const Chunk*>& chunks,
+                                   const BatchExecOptions& opts, BroadcastEnv* env,
+                                   Table* result) {
+  GOLA_ASSIGN_OR_RETURN(DimJoinSet dims, DimJoinSet::Build(block, *catalog_));
+
+  // Per-chunk pipeline: join → filter → (aggregate | collect).
+  size_t num_chunks = chunks.size();
+  std::vector<std::unique_ptr<HashAggregate>> partials(num_chunks);
+  std::vector<Chunk> spj_outputs(num_chunks);
+  std::vector<Status> statuses(num_chunks);
+
+  auto process_chunk = [&](size_t idx) {
+    auto body = [&]() -> Status {
+      Chunk current = *chunks[idx];
+      if (!dims.empty()) {
+        GOLA_ASSIGN_OR_RETURN(current, dims.Apply(block, current));
+      }
+      GOLA_ASSIGN_OR_RETURN(current, ApplyBlockFilters(block, current, env));
+      if (block.is_aggregate) {
+        partials[idx] = std::make_unique<HashAggregate>(&block);
+        GOLA_RETURN_NOT_OK(partials[idx]->Update(current, env));
+      } else {
+        spj_outputs[idx] = std::move(current);
+      }
+      return Status::OK();
+    };
+    statuses[idx] = body();
+  };
+
+  if (opts.pool != nullptr && num_chunks > 1) {
+    opts.pool->ParallelFor(num_chunks, process_chunk);
+  } else {
+    for (size_t i = 0; i < num_chunks; ++i) process_chunk(i);
+  }
+  for (const auto& st : statuses) {
+    GOLA_RETURN_NOT_OK(st);
+  }
+
+  if (!block.is_aggregate) {
+    if (block.kind != BlockKind::kRoot) {
+      return Status::PlanError("non-aggregate subquery blocks are not supported");
+    }
+    Chunk all;
+    if (num_chunks == 0) {
+      all = Chunk(block.input_schema, [&] {
+        std::vector<Column> cols;
+        for (const auto& f : block.input_schema->fields()) cols.emplace_back(f.type);
+        return cols;
+      }());
+    } else {
+      for (auto& c : spj_outputs) {
+        GOLA_RETURN_NOT_OK(all.Append(c));
+      }
+    }
+    GOLA_ASSIGN_OR_RETURN(*result, EmitRootOutput(block, all, env));
+    return Status::OK();
+  }
+
+  // Merge partials, finalize with the multiplicity scale, apply HAVING.
+  HashAggregate merged(&block);
+  for (auto& partial : partials) {
+    if (partial) {
+      GOLA_RETURN_NOT_OK(merged.Merge(std::move(*partial)));
+    }
+  }
+  GOLA_ASSIGN_OR_RETURN(Chunk post, merged.Finalize(opts.scale));
+  GOLA_ASSIGN_OR_RETURN(post, ApplyHavingFilters(block, post, env));
+  return BroadcastOrEmit(block, post, env, result);
+}
+
+}  // namespace gola

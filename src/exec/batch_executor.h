@@ -1,0 +1,91 @@
+// The traditional (exact, blocking) engine: executes a compiled block DAG
+// bottom-up, filling a BroadcastEnv with exact subquery values. It is
+//  (a) the baseline G-OLA is compared against in Figure 3(a),
+//  (b) the ground truth for the exactness tests, and
+//  (c) the building block reused by the CDM / naive-OLA baselines, which
+//      re-run it over growing chunk prefixes.
+#ifndef GOLA_EXEC_BATCH_EXECUTOR_H_
+#define GOLA_EXEC_BATCH_EXECUTOR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "exec/hash_join.h"
+#include "expr/evaluator.h"
+#include "plan/binder.h"
+#include "plan/logical_plan.h"
+#include "storage/table.h"
+
+namespace gola {
+
+struct BatchExecOptions {
+  /// Multiplicity scale applied to COUNT/SUM finalization (§2.2 multiset
+  /// semantics); 1.0 for plain exact execution.
+  double scale = 1.0;
+  /// Worker pool for partition-parallel operators (null → sequential).
+  ThreadPool* pool = nullptr;
+};
+
+class BatchExecutor {
+ public:
+  explicit BatchExecutor(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Executes the query over the cataloged tables.
+  Result<Table> Execute(const CompiledQuery& query, const BatchExecOptions& opts = {});
+
+  /// Executes with the chunks of `streamed_table` replaced by `chunks` —
+  /// i.e. evaluates Q(D_i, scale) over an explicit data prefix. Dimension
+  /// tables still come from the catalog in full.
+  Result<Table> ExecuteOnChunks(const CompiledQuery& query,
+                                const std::string& streamed_table,
+                                const std::vector<const Chunk*>& chunks,
+                                const BatchExecOptions& opts = {});
+
+ private:
+  Result<Table> Run(const CompiledQuery& query,
+                    const std::unordered_map<std::string, std::vector<const Chunk*>>&
+                        overrides,
+                    const BatchExecOptions& opts);
+
+  Status ExecuteBlock(const BlockDef& block, const std::vector<const Chunk*>& chunks,
+                      const BatchExecOptions& opts, BroadcastEnv* env, Table* result);
+
+  const Catalog* catalog_;
+};
+
+/// Shared helper: evaluates every conjunct (certain first, then uncertain
+/// point forms) and returns the chunk filtered by their conjunction.
+Result<Chunk> ApplyBlockFilters(const BlockDef& block, const Chunk& input,
+                                const BroadcastEnv* env);
+
+/// Shared helper: applies the block's HAVING conjuncts (point forms) to a
+/// post-aggregation chunk.
+Result<Chunk> ApplyHavingFilters(const BlockDef& block, const Chunk& post,
+                                 const BroadcastEnv* env);
+
+/// Shared helper: given the (HAVING-filtered) post-aggregation chunk of an
+/// aggregate block — or the filtered input rows of a plain SPJ root —
+/// broadcasts subquery values into `env` or emits the root output into
+/// `result`, exactly as the batch engine does.
+Status BroadcastOrEmit(const BlockDef& block, const Chunk& rows, BroadcastEnv* env,
+                       Table* result);
+
+/// Shared helper: joins `chunk` through the block's dimension joins using
+/// prebuilt hash tables (one per DimJoin, in order).
+class DimJoinSet {
+ public:
+  static Result<DimJoinSet> Build(const BlockDef& block, const Catalog& catalog);
+  Result<Chunk> Apply(const BlockDef& block, const Chunk& chunk) const;
+  bool empty() const { return tables_.empty(); }
+
+ private:
+  std::vector<DimHashTable> tables_;
+  std::vector<SchemaPtr> stage_schemas_;  // layout after each join stage
+};
+
+}  // namespace gola
+
+#endif  // GOLA_EXEC_BATCH_EXECUTOR_H_

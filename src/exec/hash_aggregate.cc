@@ -1,0 +1,113 @@
+#include "exec/hash_aggregate.h"
+
+#include "common/logging.h"
+
+namespace gola {
+
+HashAggregate::HashAggregate(const BlockDef* block) : block_(block) {
+  GOLA_CHECK(block_->is_aggregate);
+}
+
+HashAggregate::StateVec HashAggregate::NewStates() const {
+  StateVec states;
+  states.reserve(block_->aggs.size());
+  for (const auto& agg : block_->aggs) states.push_back(agg.fn->CreateState());
+  return states;
+}
+
+Status HashAggregate::Update(const Chunk& input, const BroadcastEnv* env) {
+  size_t n = input.num_rows();
+  if (n == 0) return Status::OK();
+
+  // Evaluate group keys and aggregate arguments vectorized.
+  std::vector<Column> key_cols;
+  key_cols.reserve(block_->group_by.size());
+  for (const auto& g : block_->group_by) {
+    GOLA_ASSIGN_OR_RETURN(Column c, Evaluate(*g, input, env));
+    key_cols.push_back(std::move(c));
+  }
+  std::vector<Column> arg_cols;
+  std::vector<bool> has_arg;
+  for (const auto& agg : block_->aggs) {
+    if (agg.call->children.empty()) {
+      arg_cols.emplace_back(TypeId::kFloat64);
+      has_arg.push_back(false);
+    } else {
+      GOLA_ASSIGN_OR_RETURN(Column c, Evaluate(*agg.call->children[0], input, env));
+      arg_cols.push_back(std::move(c));
+      has_arg.push_back(true);
+    }
+  }
+
+  GroupKey key;
+  key.values.resize(key_cols.size());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t k = 0; k < key_cols.size(); ++k) key.values[k] = key_cols[k].GetValue(i);
+    auto it = groups_.find(key);
+    if (it == groups_.end()) {
+      it = groups_.emplace(key, NewStates()).first;
+    }
+    StateVec& states = it->second;
+    for (size_t a = 0; a < states.size(); ++a) {
+      if (!has_arg[a]) {
+        states[a]->UpdateValue(Value::Int(1), 1.0);  // COUNT(*)
+        continue;
+      }
+      if (arg_cols[a].IsNull(i)) continue;  // SQL aggregates skip NULLs
+      if (IsNumeric(arg_cols[a].type()) || arg_cols[a].type() == TypeId::kBool) {
+        states[a]->UpdateNumeric(arg_cols[a].NumericAt(i), 1.0);
+      } else {
+        states[a]->UpdateValue(arg_cols[a].GetValue(i), 1.0);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status HashAggregate::Merge(HashAggregate&& other) {
+  for (auto& [key, states] : other.groups_) {
+    auto it = groups_.find(key);
+    if (it == groups_.end()) {
+      groups_.emplace(std::move(key), std::move(states));
+    } else {
+      for (size_t a = 0; a < states.size(); ++a) {
+        it->second[a]->Merge(*states[a]);
+      }
+    }
+  }
+  other.groups_.clear();
+  return Status::OK();
+}
+
+Result<Chunk> HashAggregate::Finalize(double scale) const {
+  size_t num_keys = block_->group_by.size();
+  size_t num_aggs = block_->aggs.size();
+  std::vector<Column> cols;
+  cols.reserve(num_keys + num_aggs);
+  for (size_t k = 0; k < num_keys; ++k) {
+    cols.emplace_back(block_->post_agg_schema->field(k).type);
+  }
+  for (size_t a = 0; a < num_aggs; ++a) {
+    cols.emplace_back(block_->post_agg_schema->field(num_keys + a).type);
+  }
+
+  auto emit = [&](const GroupKey* key, const StateVec* states) {
+    for (size_t k = 0; k < num_keys; ++k) cols[k].Append(key->values[k]);
+    for (size_t a = 0; a < num_aggs; ++a) {
+      double s = block_->aggs[a].fn->ScalesWithMultiplicity() ? scale : 1.0;
+      cols[num_keys + a].Append((*states)[a]->Finalize(s));
+    }
+  };
+
+  if (groups_.empty() && num_keys == 0) {
+    // Global aggregation over an empty input still yields one row.
+    GroupKey empty;
+    StateVec states = NewStates();
+    emit(&empty, &states);
+  } else {
+    for (const auto& [key, states] : groups_) emit(&key, &states);
+  }
+  return Chunk(block_->post_agg_schema, std::move(cols));
+}
+
+}  // namespace gola

@@ -1,0 +1,45 @@
+#include "exec/hash_join.h"
+
+#include "expr/evaluator.h"
+
+namespace gola {
+
+Result<DimHashTable> DimHashTable::Build(const Table& dim, const Expr& build_key) {
+  DimHashTable table;
+  table.build_rows_ = dim.Combined();
+  GOLA_ASSIGN_OR_RETURN(Column keys, Evaluate(build_key, table.build_rows_));
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (keys.IsNull(i)) continue;
+    table.index_[keys.GetValue(i)].push_back(static_cast<int64_t>(i));
+  }
+  return table;
+}
+
+Result<Chunk> DimHashTable::Probe(const Chunk& probe, const Expr& probe_key,
+                                  const SchemaPtr& output_schema) const {
+  GOLA_ASSIGN_OR_RETURN(Column keys, Evaluate(probe_key, probe));
+  std::vector<int64_t> probe_rows;
+  std::vector<int64_t> build_rows;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (keys.IsNull(i)) continue;
+    auto it = index_.find(keys.GetValue(i));
+    if (it == index_.end()) continue;
+    for (int64_t b : it->second) {
+      probe_rows.push_back(static_cast<int64_t>(i));
+      build_rows.push_back(b);
+    }
+  }
+  Chunk left = probe.Take(probe_rows);
+  Chunk right = build_rows_.Take(build_rows);
+  std::vector<Column> cols;
+  cols.reserve(left.num_columns() + right.num_columns());
+  for (size_t c = 0; c < left.num_columns(); ++c) cols.push_back(left.column(c));
+  for (size_t c = 0; c < right.num_columns(); ++c) cols.push_back(right.column(c));
+  Chunk out(output_schema, std::move(cols));
+  if (left.has_serials()) {
+    out.set_serials(left.serials());
+  }
+  return out;
+}
+
+}  // namespace gola

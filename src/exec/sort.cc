@@ -1,0 +1,44 @@
+#include "exec/sort.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace gola {
+
+std::vector<int64_t> SortIndices(const std::vector<Column>& keys,
+                                 const std::vector<bool>& descending) {
+  size_t n = keys.empty() ? 0 : keys[0].size();
+  std::vector<int64_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  if (keys.empty()) return idx;
+  GOLA_CHECK(keys.size() == descending.size());
+
+  std::stable_sort(idx.begin(), idx.end(), [&](int64_t a, int64_t b) {
+    for (size_t k = 0; k < keys.size(); ++k) {
+      Value va = keys[k].GetValue(static_cast<size_t>(a));
+      Value vb = keys[k].GetValue(static_cast<size_t>(b));
+      if (va == vb) continue;
+      bool less = va < vb;
+      return descending[k] ? !less : less;
+    }
+    return false;
+  });
+  return idx;
+}
+
+Result<Chunk> SortChunk(const Chunk& chunk, const std::vector<Column>& keys,
+                        const std::vector<bool>& descending, int64_t limit) {
+  std::vector<int64_t> idx = SortIndices(keys, descending);
+  if (keys.empty()) {
+    idx.resize(chunk.num_rows());
+    std::iota(idx.begin(), idx.end(), 0);
+  }
+  if (limit >= 0 && static_cast<int64_t>(idx.size()) > limit) {
+    idx.resize(static_cast<size_t>(limit));
+  }
+  return chunk.Take(idx);
+}
+
+}  // namespace gola

@@ -1,0 +1,24 @@
+// Chunk sorting by multiple key columns with ASC/DESC, plus top-N limit.
+#ifndef GOLA_EXEC_SORT_H_
+#define GOLA_EXEC_SORT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/chunk.h"
+
+namespace gola {
+
+/// Returns the row permutation that sorts by the key columns in order
+/// (stable; NULLs first on ASC, last on DESC).
+std::vector<int64_t> SortIndices(const std::vector<Column>& keys,
+                                 const std::vector<bool>& descending);
+
+/// Reorders `chunk` by `keys`/`descending` and applies `limit` (< 0 → all).
+Result<Chunk> SortChunk(const Chunk& chunk, const std::vector<Column>& keys,
+                        const std::vector<bool>& descending, int64_t limit);
+
+}  // namespace gola
+
+#endif  // GOLA_EXEC_SORT_H_

@@ -1,0 +1,395 @@
+#include "expr/aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace gola {
+
+namespace {
+
+// ---------------------------------------------------------------- COUNT --
+class CountState : public AggState {
+ public:
+  void UpdateNumeric(double, double w) override { count_ += w; }
+  void UpdateValue(const Value&, double w) override { count_ += w; }
+  void Merge(const AggState& other) override {
+    count_ += static_cast<const CountState&>(other).count_;
+  }
+  Value Finalize(double scale) const override { return Value::Float(count_ * scale); }
+  std::unique_ptr<AggState> Clone() const override {
+    return std::make_unique<CountState>(*this);
+  }
+
+ private:
+  double count_ = 0;
+};
+
+// ------------------------------------------------------------------ SUM --
+class SumState : public AggState {
+ public:
+  void UpdateNumeric(double v, double w) override {
+    sum_ += v * w;
+    if (w > 0) any_ = true;
+  }
+  void Merge(const AggState& other) override {
+    const auto& o = static_cast<const SumState&>(other);
+    sum_ += o.sum_;
+    any_ = any_ || o.any_;
+  }
+  Value Finalize(double scale) const override {
+    return any_ ? Value::Float(sum_ * scale) : Value::Null();
+  }
+  std::unique_ptr<AggState> Clone() const override {
+    return std::make_unique<SumState>(*this);
+  }
+
+ private:
+  double sum_ = 0;
+  bool any_ = false;
+};
+
+// ------------------------------------------------------------------ AVG --
+class AvgState : public AggState {
+ public:
+  void UpdateNumeric(double v, double w) override {
+    sum_ += v * w;
+    count_ += w;
+  }
+  void Merge(const AggState& other) override {
+    const auto& o = static_cast<const AvgState&>(other);
+    sum_ += o.sum_;
+    count_ += o.count_;
+  }
+  Value Finalize(double) const override {
+    return count_ > 0 ? Value::Float(sum_ / count_) : Value::Null();
+  }
+  std::unique_ptr<AggState> Clone() const override {
+    return std::make_unique<AvgState>(*this);
+  }
+
+ private:
+  double sum_ = 0;
+  double count_ = 0;
+};
+
+// -------------------------------------------------------------- MIN/MAX --
+class MinMaxState : public AggState {
+ public:
+  explicit MinMaxState(bool is_min) : is_min_(is_min) {}
+
+  void UpdateNumeric(double v, double w) override {
+    if (w <= 0) return;
+    UpdateValue(Value::Float(v), w);
+  }
+  void UpdateValue(const Value& v, double w) override {
+    if (w <= 0 || v.is_null()) return;
+    if (!has_ || (is_min_ ? v < current_ : current_ < v)) current_ = v;
+    has_ = true;
+  }
+  void Merge(const AggState& other) override {
+    const auto& o = static_cast<const MinMaxState&>(other);
+    if (o.has_) UpdateValue(o.current_, 1.0);
+  }
+  Value Finalize(double) const override { return has_ ? current_ : Value::Null(); }
+  std::unique_ptr<AggState> Clone() const override {
+    return std::make_unique<MinMaxState>(*this);
+  }
+
+ private:
+  bool is_min_;
+  bool has_ = false;
+  Value current_;
+};
+
+// ---------------------------------------------------------- VAR/STDDEV --
+class VarState : public AggState {
+ public:
+  explicit VarState(bool stddev) : stddev_(stddev) {}
+
+  void UpdateNumeric(double v, double w) override {
+    n_ += w;
+    sum_ += v * w;
+    sumsq_ += v * v * w;
+  }
+  void Merge(const AggState& other) override {
+    const auto& o = static_cast<const VarState&>(other);
+    n_ += o.n_;
+    sum_ += o.sum_;
+    sumsq_ += o.sumsq_;
+  }
+  Value Finalize(double) const override {
+    if (n_ <= 1) return Value::Null();
+    double mean = sum_ / n_;
+    double var = (sumsq_ - n_ * mean * mean) / (n_ - 1);
+    if (var < 0) var = 0;  // guard FP cancellation
+    return Value::Float(stddev_ ? std::sqrt(var) : var);
+  }
+  std::unique_ptr<AggState> Clone() const override {
+    return std::make_unique<VarState>(*this);
+  }
+
+ private:
+  bool stddev_;
+  double n_ = 0;
+  double sum_ = 0;
+  double sumsq_ = 0;
+};
+
+// ------------------------------------------------------------- QUANTILE --
+// Reservoir-sampled quantile; deterministic replacement so recomputation
+// paths reproduce the same state. Weights > 1 insert repeated copies
+// (bootstrap replicate weights are small integers).
+class QuantileState : public AggState {
+ public:
+  QuantileState(double q, size_t capacity) : q_(q), capacity_(capacity) {}
+
+  void UpdateNumeric(double v, double w) override {
+    int64_t copies = static_cast<int64_t>(std::llround(w));
+    for (int64_t c = 0; c < copies; ++c) Insert(v);
+  }
+  void Merge(const AggState& other) override {
+    const auto& o = static_cast<const QuantileState&>(other);
+    for (double v : o.reservoir_) Insert(v);
+  }
+  Value Finalize(double) const override {
+    if (reservoir_.empty()) return Value::Null();
+    std::vector<double> sorted = reservoir_;
+    std::sort(sorted.begin(), sorted.end());
+    double pos = q_ * static_cast<double>(sorted.size() - 1);
+    size_t lo = static_cast<size_t>(pos);
+    size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return Value::Float(sorted[lo] * (1 - frac) + sorted[hi] * frac);
+  }
+  std::unique_ptr<AggState> Clone() const override {
+    return std::make_unique<QuantileState>(*this);
+  }
+
+ private:
+  void Insert(double v) {
+    ++seen_;
+    if (reservoir_.size() < capacity_) {
+      reservoir_.push_back(v);
+      return;
+    }
+    uint64_t r = SplitMix64(static_cast<uint64_t>(seen_) * 0x2545F4914F6CDD1DULL);
+    uint64_t idx = r % static_cast<uint64_t>(seen_);
+    if (idx < capacity_) reservoir_[static_cast<size_t>(idx)] = v;
+  }
+
+  double q_;
+  size_t capacity_;
+  int64_t seen_ = 0;
+  std::vector<double> reservoir_;
+};
+
+// ------------------------------------------------------- function shims --
+class CountFunction : public AggregateFunction {
+ public:
+  const char* name() const override { return "COUNT"; }
+  Result<TypeId> ResultType(TypeId) const override { return TypeId::kFloat64; }
+  std::unique_ptr<AggState> CreateState() const override {
+    return std::make_unique<CountState>();
+  }
+  bool ScalesWithMultiplicity() const override { return true; }
+  SimpleAggKind simple_kind() const override { return SimpleAggKind::kCount; }
+};
+
+class SumFunction : public AggregateFunction {
+ public:
+  const char* name() const override { return "SUM"; }
+  Result<TypeId> ResultType(TypeId input) const override {
+    if (!IsNumeric(input)) return Status::TypeError("SUM expects a numeric argument");
+    return TypeId::kFloat64;
+  }
+  std::unique_ptr<AggState> CreateState() const override {
+    return std::make_unique<SumState>();
+  }
+  bool ScalesWithMultiplicity() const override { return true; }
+  SimpleAggKind simple_kind() const override { return SimpleAggKind::kSum; }
+};
+
+class AvgFunction : public AggregateFunction {
+ public:
+  const char* name() const override { return "AVG"; }
+  Result<TypeId> ResultType(TypeId input) const override {
+    if (!IsNumeric(input)) return Status::TypeError("AVG expects a numeric argument");
+    return TypeId::kFloat64;
+  }
+  std::unique_ptr<AggState> CreateState() const override {
+    return std::make_unique<AvgState>();
+  }
+  bool ScalesWithMultiplicity() const override { return false; }
+  SimpleAggKind simple_kind() const override { return SimpleAggKind::kAvg; }
+};
+
+class MinMaxFunction : public AggregateFunction {
+ public:
+  explicit MinMaxFunction(bool is_min) : is_min_(is_min) {}
+  const char* name() const override { return is_min_ ? "MIN" : "MAX"; }
+  Result<TypeId> ResultType(TypeId input) const override { return input; }
+  std::unique_ptr<AggState> CreateState() const override {
+    return std::make_unique<MinMaxState>(is_min_);
+  }
+  bool ScalesWithMultiplicity() const override { return false; }
+
+ private:
+  bool is_min_;
+};
+
+class VarFunction : public AggregateFunction {
+ public:
+  explicit VarFunction(bool stddev) : stddev_(stddev) {}
+  const char* name() const override { return stddev_ ? "STDDEV" : "VAR"; }
+  Result<TypeId> ResultType(TypeId input) const override {
+    if (!IsNumeric(input)) return Status::TypeError("VAR/STDDEV expects numeric");
+    return TypeId::kFloat64;
+  }
+  std::unique_ptr<AggState> CreateState() const override {
+    return std::make_unique<VarState>(stddev_);
+  }
+  bool ScalesWithMultiplicity() const override { return false; }
+
+ private:
+  bool stddev_;
+};
+
+class QuantileFunction : public AggregateFunction {
+ public:
+  explicit QuantileFunction(double q) : q_(q) {}
+  const char* name() const override { return "QUANTILE"; }
+  Result<TypeId> ResultType(TypeId input) const override {
+    if (!IsNumeric(input)) return Status::TypeError("QUANTILE expects numeric");
+    return TypeId::kFloat64;
+  }
+  std::unique_ptr<AggState> CreateState() const override {
+    return std::make_unique<QuantileState>(q_, 4096);
+  }
+  bool ScalesWithMultiplicity() const override { return false; }
+
+ private:
+  double q_;
+};
+
+// ----------------------------------------------------------------- UDAF --
+class SimpleUdafState : public AggState {
+ public:
+  explicit SimpleUdafState(const SimpleUdafSpec* spec)
+      : spec_(spec), acc_(spec->state_size, 0.0) {}
+
+  void UpdateNumeric(double v, double w) override { spec_->step(acc_, v, w); }
+  void Merge(const AggState& other) override {
+    spec_->merge(acc_, static_cast<const SimpleUdafState&>(other).acc_);
+  }
+  Value Finalize(double scale) const override {
+    return Value::Float(spec_->finalize(acc_, scale));
+  }
+  std::unique_ptr<AggState> Clone() const override {
+    return std::make_unique<SimpleUdafState>(*this);
+  }
+
+ private:
+  const SimpleUdafSpec* spec_;
+  std::vector<double> acc_;
+};
+
+class SimpleUdafFunction : public AggregateFunction {
+ public:
+  explicit SimpleUdafFunction(SimpleUdafSpec spec) : spec_(std::move(spec)) {}
+  const char* name() const override { return spec_.name.c_str(); }
+  Result<TypeId> ResultType(TypeId input) const override {
+    if (!IsNumeric(input)) {
+      return Status::TypeError(spec_.name + " expects a numeric argument");
+    }
+    return spec_.result_type;
+  }
+  std::unique_ptr<AggState> CreateState() const override {
+    return std::make_unique<SimpleUdafState>(&spec_);
+  }
+  bool ScalesWithMultiplicity() const override { return spec_.scales_with_multiplicity; }
+
+ private:
+  SimpleUdafSpec spec_;
+};
+
+struct UdafRegistry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<SimpleUdafFunction>> functions;
+};
+
+UdafRegistry& GetUdafRegistry() {
+  static UdafRegistry* registry = new UdafRegistry();
+  return *registry;
+}
+
+// Built-in singletons (trivially destructible pointers, never freed).
+const CountFunction* const kCount = new CountFunction();
+const SumFunction* const kSum = new SumFunction();
+const AvgFunction* const kAvg = new AvgFunction();
+const MinMaxFunction* const kMin = new MinMaxFunction(true);
+const MinMaxFunction* const kMax = new MinMaxFunction(false);
+const VarFunction* const kVar = new VarFunction(false);
+const VarFunction* const kStddev = new VarFunction(true);
+
+}  // namespace
+
+Result<const AggregateFunction*> ResolveAggregate(const Expr& agg_call) {
+  GOLA_CHECK(agg_call.kind == ExprKind::kAggregateCall);
+  switch (agg_call.agg_kind) {
+    case AggKind::kCountStar:
+    case AggKind::kCount:
+      return kCount;
+    case AggKind::kSum: return kSum;
+    case AggKind::kAvg: return kAvg;
+    case AggKind::kMin: return kMin;
+    case AggKind::kMax: return kMax;
+    case AggKind::kVar: return kVar;
+    case AggKind::kStddev: return kStddev;
+    case AggKind::kQuantile: {
+      // Quantile functions are parameterized; cache per distinct q.
+      static std::mutex mu;
+      static std::vector<std::pair<double, QuantileFunction*>>* cache =
+          new std::vector<std::pair<double, QuantileFunction*>>();
+      std::lock_guard<std::mutex> lock(mu);
+      for (auto& [q, fn] : *cache) {
+        if (q == agg_call.agg_param) return fn;
+      }
+      auto* fn = new QuantileFunction(agg_call.agg_param);
+      cache->emplace_back(agg_call.agg_param, fn);
+      return fn;
+    }
+    case AggKind::kUdaf: {
+      auto& registry = GetUdafRegistry();
+      std::lock_guard<std::mutex> lock(registry.mu);
+      for (const auto& fn : registry.functions) {
+        if (EqualsIgnoreCase(fn->name(), agg_call.func_name)) return fn.get();
+      }
+      return Status::KeyError("unknown UDAF: " + agg_call.func_name);
+    }
+  }
+  return Status::Internal("unreachable aggregate kind");
+}
+
+Status RegisterUdaf(SimpleUdafSpec spec) {
+  if (spec.name.empty() || !spec.step || !spec.merge || !spec.finalize) {
+    return Status::InvalidArgument("UDAF spec requires name, step, merge and finalize");
+  }
+  spec.name = ToLower(spec.name);
+  auto& registry = GetUdafRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (auto& fn : registry.functions) {
+    if (EqualsIgnoreCase(fn->name(), spec.name)) {
+      fn = std::make_unique<SimpleUdafFunction>(std::move(spec));
+      return Status::OK();
+    }
+  }
+  registry.functions.push_back(std::make_unique<SimpleUdafFunction>(std::move(spec)));
+  return Status::OK();
+}
+
+}  // namespace gola

@@ -1,0 +1,333 @@
+#include "expr/evaluator.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "expr/functions.h"
+
+namespace gola {
+
+namespace {
+
+Result<Column> EvalArithmetic(const Expr& expr, const Chunk& chunk,
+                              const BroadcastEnv* env) {
+  if (expr.arith_op == ArithOp::kNeg) {
+    GOLA_ASSIGN_OR_RETURN(Column in, Evaluate(*expr.children[0], chunk, env));
+    size_t n = in.size();
+    if (in.type() == TypeId::kInt64 && !in.has_nulls()) {
+      std::vector<int64_t> out(n);
+      for (size_t i = 0; i < n; ++i) out[i] = -in.ints()[i];
+      return Column::MakeInt(std::move(out));
+    }
+    Column out(expr.type == TypeId::kInt64 ? TypeId::kInt64 : TypeId::kFloat64);
+    out.Reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (in.IsNull(i)) out.AppendNull();
+      else if (out.type() == TypeId::kInt64) out.AppendInt(-in.ints()[i]);
+      else out.AppendFloat(-in.NumericAt(i));
+    }
+    return out;
+  }
+
+  GOLA_ASSIGN_OR_RETURN(Column lhs, Evaluate(*expr.children[0], chunk, env));
+  GOLA_ASSIGN_OR_RETURN(Column rhs, Evaluate(*expr.children[1], chunk, env));
+  size_t n = lhs.size();
+  bool int_result = expr.type == TypeId::kInt64;
+
+  // Fast path: both int, no nulls, int result.
+  if (int_result && lhs.type() == TypeId::kInt64 && rhs.type() == TypeId::kInt64 &&
+      !lhs.has_nulls() && !rhs.has_nulls()) {
+    std::vector<int64_t> out(n);
+    const auto& a = lhs.ints();
+    const auto& b = rhs.ints();
+    switch (expr.arith_op) {
+      case ArithOp::kAdd: for (size_t i = 0; i < n; ++i) out[i] = a[i] + b[i]; break;
+      case ArithOp::kSub: for (size_t i = 0; i < n; ++i) out[i] = a[i] - b[i]; break;
+      case ArithOp::kMul: for (size_t i = 0; i < n; ++i) out[i] = a[i] * b[i]; break;
+      case ArithOp::kMod:
+        for (size_t i = 0; i < n; ++i) out[i] = b[i] == 0 ? 0 : a[i] % b[i];
+        break;
+      default: GOLA_LOG(Fatal) << "int fast path on division";
+    }
+    return Column::MakeInt(std::move(out));
+  }
+
+  Column out(int_result ? TypeId::kInt64 : TypeId::kFloat64);
+  out.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (lhs.IsNull(i) || rhs.IsNull(i)) {
+      out.AppendNull();
+      continue;
+    }
+    double a = lhs.NumericAt(i);
+    double b = rhs.NumericAt(i);
+    double r = 0;
+    switch (expr.arith_op) {
+      case ArithOp::kAdd: r = a + b; break;
+      case ArithOp::kSub: r = a - b; break;
+      case ArithOp::kMul: r = a * b; break;
+      case ArithOp::kDiv:
+        if (b == 0) {
+          out.AppendNull();
+          continue;
+        }
+        r = a / b;
+        break;
+      case ArithOp::kMod:
+        if (b == 0) {
+          out.AppendNull();
+          continue;
+        }
+        r = std::fmod(a, b);
+        break;
+      case ArithOp::kNeg: break;
+    }
+    if (int_result) out.AppendInt(static_cast<int64_t>(r));
+    else out.AppendFloat(r);
+  }
+  return out;
+}
+
+bool CompareValues(CmpOp op, double a, double b) {
+  switch (op) {
+    case CmpOp::kEq: return a == b;
+    case CmpOp::kNe: return a != b;
+    case CmpOp::kLt: return a < b;
+    case CmpOp::kLe: return a <= b;
+    case CmpOp::kGt: return a > b;
+    case CmpOp::kGe: return a >= b;
+  }
+  return false;
+}
+
+bool CompareStrings(CmpOp op, const std::string& a, const std::string& b) {
+  int c = a.compare(b);
+  switch (op) {
+    case CmpOp::kEq: return c == 0;
+    case CmpOp::kNe: return c != 0;
+    case CmpOp::kLt: return c < 0;
+    case CmpOp::kLe: return c <= 0;
+    case CmpOp::kGt: return c > 0;
+    case CmpOp::kGe: return c >= 0;
+  }
+  return false;
+}
+
+Result<Column> EvalComparison(const Expr& expr, const Chunk& chunk,
+                              const BroadcastEnv* env) {
+  GOLA_ASSIGN_OR_RETURN(Column lhs, Evaluate(*expr.children[0], chunk, env));
+  GOLA_ASSIGN_OR_RETURN(Column rhs, Evaluate(*expr.children[1], chunk, env));
+  size_t n = lhs.size();
+  std::vector<uint8_t> out(n, 0);
+  if (lhs.type() == TypeId::kString && rhs.type() == TypeId::kString) {
+    for (size_t i = 0; i < n; ++i) {
+      if (lhs.IsNull(i) || rhs.IsNull(i)) continue;
+      out[i] = CompareStrings(expr.cmp_op, lhs.strings()[i], rhs.strings()[i]) ? 1 : 0;
+    }
+  } else if (lhs.type() == TypeId::kString || rhs.type() == TypeId::kString) {
+    return Status::TypeError("cannot compare STRING with non-STRING: " + expr.ToString());
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      if (lhs.IsNull(i) || rhs.IsNull(i)) continue;
+      out[i] = CompareValues(expr.cmp_op, lhs.NumericAt(i), rhs.NumericAt(i)) ? 1 : 0;
+    }
+  }
+  return Column::MakeBool(std::move(out));
+}
+
+Result<Column> EvalLogical(const Expr& expr, const Chunk& chunk,
+                           const BroadcastEnv* env) {
+  GOLA_ASSIGN_OR_RETURN(Column lhs, Evaluate(*expr.children[0], chunk, env));
+  size_t n = lhs.size();
+  std::vector<uint8_t> out(n, 0);
+  if (expr.logical_op == LogicalOp::kNot) {
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = (!lhs.IsNull(i) && lhs.bools()[i] == 0) ? 1 : 0;
+    }
+    return Column::MakeBool(std::move(out));
+  }
+  GOLA_ASSIGN_OR_RETURN(Column rhs, Evaluate(*expr.children[1], chunk, env));
+  for (size_t i = 0; i < n; ++i) {
+    bool a = !lhs.IsNull(i) && lhs.bools()[i] != 0;
+    bool b = !rhs.IsNull(i) && rhs.bools()[i] != 0;
+    out[i] = (expr.logical_op == LogicalOp::kAnd ? (a && b) : (a || b)) ? 1 : 0;
+  }
+  return Column::MakeBool(std::move(out));
+}
+
+Result<Column> EvalSubqueryRef(const Expr& expr, const Chunk& chunk,
+                               const BroadcastEnv* env) {
+  if (env == nullptr) {
+    return Status::ExecutionError("subquery reference without broadcast environment");
+  }
+  const SubqueryValue* sv = env->Find(expr.subquery_id);
+  if (sv == nullptr) {
+    return Status::ExecutionError(
+        Format("subquery %d has not been evaluated yet", expr.subquery_id));
+  }
+  size_t n = chunk.num_rows();
+  TypeId out_type = expr.type == TypeId::kNull ? TypeId::kFloat64 : expr.type;
+  if (!sv->keyed) {
+    return Column::MakeConstant(sv->scalar, out_type, n);
+  }
+  // Correlated: look up per-row by the outer key expression.
+  if (expr.children.empty()) {
+    return Status::ExecutionError("correlated subquery reference missing outer key");
+  }
+  GOLA_ASSIGN_OR_RETURN(Column keys, Evaluate(*expr.children[0], chunk, env));
+  Column out(out_type);
+  out.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto it = sv->keyed_values.find(keys.GetValue(i));
+    if (it == sv->keyed_values.end()) out.AppendNull();
+    else out.Append(it->second);
+  }
+  return out;
+}
+
+Result<Column> EvalInSubquery(const Expr& expr, const Chunk& chunk,
+                              const BroadcastEnv* env) {
+  if (env == nullptr) {
+    return Status::ExecutionError("IN subquery without broadcast environment");
+  }
+  const SubqueryValue* sv = env->Find(expr.subquery_id);
+  if (sv == nullptr) {
+    return Status::ExecutionError(
+        Format("subquery %d has not been evaluated yet", expr.subquery_id));
+  }
+  GOLA_ASSIGN_OR_RETURN(Column keys, Evaluate(*expr.children[0], chunk, env));
+  size_t n = keys.size();
+  std::vector<uint8_t> out(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    if (keys.IsNull(i)) continue;
+    bool in = sv->members.count(keys.GetValue(i)) > 0;
+    out[i] = (in != expr.negated) ? 1 : 0;
+  }
+  return Column::MakeBool(std::move(out));
+}
+
+Result<Column> EvalCase(const Expr& expr, const Chunk& chunk, const BroadcastEnv* env) {
+  size_t n = chunk.num_rows();
+  TypeId out_type = expr.type == TypeId::kNull ? TypeId::kFloat64 : expr.type;
+  // Evaluate all branches, then select row-wise (simple, not short-circuit).
+  std::vector<Column> whens, thens;
+  Column else_col(out_type);
+  bool has_else = expr.children.size() % 2 == 1;
+  size_t num_arms = expr.children.size() / 2;
+  for (size_t a = 0; a < num_arms; ++a) {
+    GOLA_ASSIGN_OR_RETURN(Column w, Evaluate(*expr.children[2 * a], chunk, env));
+    GOLA_ASSIGN_OR_RETURN(Column t, Evaluate(*expr.children[2 * a + 1], chunk, env));
+    whens.push_back(std::move(w));
+    thens.push_back(std::move(t));
+  }
+  if (has_else) {
+    GOLA_ASSIGN_OR_RETURN(else_col, Evaluate(*expr.children.back(), chunk, env));
+  }
+  Column out(out_type);
+  out.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    bool matched = false;
+    for (size_t a = 0; a < num_arms && !matched; ++a) {
+      if (!whens[a].IsNull(i) && whens[a].bools()[i] != 0) {
+        if (thens[a].IsNull(i)) out.AppendNull();
+        else if (out_type == TypeId::kFloat64 && thens[a].type() != TypeId::kFloat64)
+          out.AppendFloat(thens[a].NumericAt(i));
+        else out.Append(thens[a].GetValue(i));
+        matched = true;
+      }
+    }
+    if (!matched) {
+      if (!has_else || else_col.IsNull(i)) out.AppendNull();
+      else if (out_type == TypeId::kFloat64 && else_col.type() != TypeId::kFloat64)
+        out.AppendFloat(else_col.NumericAt(i));
+      else out.Append(else_col.GetValue(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Column> Evaluate(const Expr& expr, const Chunk& chunk, const BroadcastEnv* env) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral: {
+      TypeId t = expr.literal.is_null()
+                     ? (expr.type == TypeId::kNull ? TypeId::kFloat64 : expr.type)
+                     : expr.literal.type();
+      return Column::MakeConstant(expr.literal, t, chunk.num_rows());
+    }
+    case ExprKind::kColumnRef: {
+      if (expr.column_index < 0) {
+        return Status::PlanError("unbound column reference: " + expr.column_name);
+      }
+      return chunk.column(static_cast<size_t>(expr.column_index));
+    }
+    case ExprKind::kArithmetic:
+      return EvalArithmetic(expr, chunk, env);
+    case ExprKind::kComparison:
+      return EvalComparison(expr, chunk, env);
+    case ExprKind::kLogical:
+      return EvalLogical(expr, chunk, env);
+    case ExprKind::kFunctionCall: {
+      GOLA_ASSIGN_OR_RETURN(const ScalarFunction* fn,
+                            FunctionRegistry::Global().Lookup(expr.func_name));
+      std::vector<Column> args;
+      args.reserve(expr.children.size());
+      for (const auto& child : expr.children) {
+        GOLA_ASSIGN_OR_RETURN(Column c, Evaluate(*child, chunk, env));
+        args.push_back(std::move(c));
+      }
+      return fn->eval(args);
+    }
+    case ExprKind::kAggregateCall:
+      // Post-aggregation contexts bind the aggregate's output slot to a
+      // column of the aggregated chunk.
+      if (expr.column_index < 0) {
+        return Status::PlanError("aggregate evaluated outside aggregation context: " +
+                                 expr.ToString());
+      }
+      return chunk.column(static_cast<size_t>(expr.column_index));
+    case ExprKind::kCase:
+      return EvalCase(expr, chunk, env);
+    case ExprKind::kIsNull: {
+      GOLA_ASSIGN_OR_RETURN(Column in, Evaluate(*expr.children[0], chunk, env));
+      bool want_not_null = expr.literal.type() == TypeId::kBool && expr.literal.AsBool();
+      std::vector<uint8_t> out(in.size());
+      for (size_t i = 0; i < in.size(); ++i) {
+        out[i] = (in.IsNull(i) != want_not_null) ? 1 : 0;
+      }
+      return Column::MakeBool(std::move(out));
+    }
+    case ExprKind::kSubqueryRef:
+      return EvalSubqueryRef(expr, chunk, env);
+    case ExprKind::kInSubquery:
+      return EvalInSubquery(expr, chunk, env);
+  }
+  return Status::Internal("unreachable expression kind");
+}
+
+Result<std::vector<uint8_t>> EvaluatePredicate(const Expr& expr, const Chunk& chunk,
+                                               const BroadcastEnv* env) {
+  GOLA_ASSIGN_OR_RETURN(Column c, Evaluate(expr, chunk, env));
+  if (c.type() != TypeId::kBool) {
+    return Status::TypeError("predicate is not boolean: " + expr.ToString());
+  }
+  size_t n = c.size();
+  std::vector<uint8_t> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = (!c.IsNull(i) && c.bools()[i] != 0) ? 1 : 0;
+  return out;
+}
+
+Result<Value> EvaluateScalar(const Expr& expr, const BroadcastEnv* env) {
+  // Evaluate over a one-row, zero-column chunk.
+  Chunk row(std::make_shared<Schema>(std::vector<Field>{}), {});
+  std::vector<int64_t> serial = {0};
+  row.set_serials(std::move(serial));
+  GOLA_ASSIGN_OR_RETURN(Column c, Evaluate(expr, row, env));
+  if (c.size() != 1) return Status::ExecutionError("scalar expression produced " +
+                                                   std::to_string(c.size()) + " rows");
+  return c.GetValue(0);
+}
+
+}  // namespace gola

@@ -1,0 +1,79 @@
+// Vectorized expression evaluation over chunks.
+//
+// Nested-aggregate subqueries never appear inline at evaluation time: the
+// planner replaces them with kSubqueryRef / kInSubquery placeholders whose
+// current values live in a BroadcastEnv — exactly the paper's "broadcast the
+// latest aggregate results between lineage blocks" (§3.3). The batch engine
+// fills the env with exact values; the online engine refreshes it with
+// running estimates every mini-batch.
+//
+// NULL semantics: arithmetic propagates NULL; comparisons and logical
+// connectives evaluate to (non-NULL) FALSE when an operand is NULL — the
+// filter-oriented simplification used throughout this engine.
+#ifndef GOLA_EXPR_EVALUATOR_H_
+#define GOLA_EXPR_EVALUATOR_H_
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/status.h"
+#include "expr/expr.h"
+#include "storage/chunk.h"
+
+namespace gola {
+
+/// The broadcast value of one subquery: a global scalar, a correlation-keyed
+/// scalar map, or a membership set (IN-subquery).
+struct SubqueryValue {
+  bool keyed = false;
+  bool membership = false;
+  Value scalar;
+  std::unordered_map<Value, Value, ValueHash> keyed_values;
+  std::unordered_set<Value, ValueHash> members;
+};
+
+class BroadcastEnv {
+ public:
+  void SetScalar(int id, Value v) {
+    SubqueryValue sv;
+    sv.scalar = std::move(v);
+    values_[id] = std::move(sv);
+  }
+  void SetKeyed(int id, std::unordered_map<Value, Value, ValueHash> m) {
+    SubqueryValue sv;
+    sv.keyed = true;
+    sv.keyed_values = std::move(m);
+    values_[id] = std::move(sv);
+  }
+  void SetMembership(int id, std::unordered_set<Value, ValueHash> s) {
+    SubqueryValue sv;
+    sv.membership = true;
+    sv.members = std::move(s);
+    values_[id] = std::move(sv);
+  }
+
+  const SubqueryValue* Find(int id) const {
+    auto it = values_.find(id);
+    return it == values_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::unordered_map<int, SubqueryValue> values_;
+};
+
+/// Evaluates a bound expression over the chunk; `env` may be null when the
+/// expression contains no subquery references.
+Result<Column> Evaluate(const Expr& expr, const Chunk& chunk,
+                        const BroadcastEnv* env = nullptr);
+
+/// Evaluates a boolean expression into a selection mask (NULL → 0).
+Result<std::vector<uint8_t>> EvaluatePredicate(const Expr& expr, const Chunk& chunk,
+                                               const BroadcastEnv* env = nullptr);
+
+/// Evaluates an expression that references no columns (constant folding /
+/// single-row evaluation). Used for literals and subquery result exprs.
+Result<Value> EvaluateScalar(const Expr& expr, const BroadcastEnv* env = nullptr);
+
+}  // namespace gola
+
+#endif  // GOLA_EXPR_EVALUATOR_H_

@@ -1,0 +1,126 @@
+// Expression IR shared by the binder, the batch evaluator and the online
+// engine. A single tagged node type keeps rewriting (e.g. replacing nested
+// subqueries with SubqueryRef placeholders) straightforward.
+#ifndef GOLA_EXPR_EXPR_H_
+#define GOLA_EXPR_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/data_type.h"
+#include "storage/value.h"
+
+namespace gola {
+
+enum class ExprKind {
+  kLiteral,
+  kColumnRef,
+  kArithmetic,
+  kComparison,
+  kLogical,
+  kFunctionCall,
+  kAggregateCall,   // bound to an output slot of the enclosing aggregation
+  kCase,            // children: [when1, then1, when2, then2, ..., else?]
+  kIsNull,          // children: [operand]; value.AsBool() true → IS NOT NULL
+  kSubqueryRef,     // scalar subquery output; children: [outer key expr] if correlated
+  kInSubquery,      // children: [key expr]; membership subquery
+};
+
+enum class ArithOp { kAdd, kSub, kMul, kDiv, kMod, kNeg };
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class LogicalOp { kAnd, kOr, kNot };
+
+enum class AggKind {
+  kCountStar,
+  kCount,
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+  kVar,
+  kStddev,
+  kQuantile,  // param = quantile in [0,1]
+  kUdaf,      // func_name names a registered UDAF
+};
+
+const char* AggKindName(AggKind kind);
+const char* CmpOpSymbol(CmpOp op);
+
+/// Flips the comparison so `a op b` ⇔ `b flip(op) a`.
+CmpOp FlipCmp(CmpOp op);
+
+class Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+class Expr {
+ public:
+  ExprKind kind;
+  /// Result type; set by the binder (kNull until bound).
+  TypeId type = TypeId::kNull;
+  std::vector<ExprPtr> children;
+
+  // --- kLiteral ---
+  Value literal;
+
+  // --- kColumnRef ---
+  std::string column_name;   // possibly "table.column" before binding
+  int column_index = -1;     // position in the input chunk once bound
+  /// Set by the binder when the reference resolves in an enclosing query's
+  /// scope (a correlated column). Its column_index then addresses the
+  /// *outer* block's input chunk.
+  bool from_outer_scope = false;
+
+  // --- operators ---
+  ArithOp arith_op = ArithOp::kAdd;
+  CmpOp cmp_op = CmpOp::kEq;
+  LogicalOp logical_op = LogicalOp::kAnd;
+
+  // --- kFunctionCall / kAggregateCall(kUdaf) ---
+  std::string func_name;
+
+  // --- kAggregateCall ---
+  AggKind agg_kind = AggKind::kCount;
+  double agg_param = 0.0;    // quantile fraction
+  int agg_slot = -1;         // output slot within the enclosing aggregation
+
+  // --- kSubqueryRef / kInSubquery ---
+  int subquery_id = -1;
+  bool negated = false;      // NOT IN
+
+  // Factory helpers ----------------------------------------------------
+  static ExprPtr Lit(Value v);
+  static ExprPtr Col(std::string name);
+  static ExprPtr Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Neg(ExprPtr operand);
+  static ExprPtr Cmp(CmpOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr And(ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Or(ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Not(ExprPtr operand);
+  static ExprPtr Func(std::string name, std::vector<ExprPtr> args);
+  static ExprPtr Agg(AggKind kind, ExprPtr arg, double param = 0.0);
+  static ExprPtr Udaf(std::string name, ExprPtr arg);
+  static ExprPtr SubqueryScalar(int id, ExprPtr outer_key = nullptr);
+  static ExprPtr SubqueryIn(int id, ExprPtr key, bool negated);
+
+  /// Deep copy.
+  ExprPtr Clone() const;
+
+  /// SQL-ish rendering for EXPLAIN and error messages.
+  std::string ToString() const;
+
+  /// True if the subtree contains any kAggregateCall node.
+  bool ContainsAggregate() const;
+  /// True if the subtree contains kSubqueryRef/kInSubquery nodes.
+  bool ContainsSubqueryRef() const;
+  /// Collects distinct column names referenced in the subtree.
+  void CollectColumns(std::vector<std::string>* out) const;
+  /// Collects pointers to aggregate-call nodes in the subtree.
+  void CollectAggregates(std::vector<Expr*>* out);
+  void CollectSubqueryRefs(std::vector<Expr*>* out);
+};
+
+}  // namespace gola
+
+#endif  // GOLA_EXPR_EXPR_H_

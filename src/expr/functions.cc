@@ -1,0 +1,354 @@
+#include "expr/functions.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace gola {
+
+namespace {
+
+/// Wraps a double→double kernel into a ScalarFunction.
+ScalarFunction Unary(const std::string& name, double (*fn)(double)) {
+  ScalarFunction f;
+  f.name = name;
+  f.arity = 1;
+  f.bind = [name](const std::vector<TypeId>& args) -> Result<TypeId> {
+    if (!IsNumeric(args[0]) && args[0] != TypeId::kBool) {
+      return Status::TypeError(name + " expects a numeric argument");
+    }
+    return TypeId::kFloat64;
+  };
+  f.eval = [fn](const std::vector<Column>& args) -> Result<Column> {
+    const Column& in = args[0];
+    std::vector<double> out(in.size());
+    for (size_t i = 0; i < in.size(); ++i) out[i] = fn(in.NumericAt(i));
+    Column c = Column::MakeFloat(std::move(out));
+    // Propagate nulls.
+    for (size_t i = 0; i < in.size(); ++i) {
+      if (in.IsNull(i)) {
+        Column tmp(TypeId::kFloat64);
+        for (size_t j = 0; j < in.size(); ++j) {
+          if (in.IsNull(j)) tmp.AppendNull();
+          else tmp.AppendFloat(c.floats()[j]);
+        }
+        return tmp;
+      }
+    }
+    return c;
+  };
+  return f;
+}
+
+ScalarFunction Binary(const std::string& name, double (*fn)(double, double)) {
+  ScalarFunction f;
+  f.name = name;
+  f.arity = 2;
+  f.bind = [name](const std::vector<TypeId>& args) -> Result<TypeId> {
+    for (TypeId t : args) {
+      if (!IsNumeric(t) && t != TypeId::kBool) {
+        return Status::TypeError(name + " expects numeric arguments");
+      }
+    }
+    return TypeId::kFloat64;
+  };
+  f.eval = [fn](const std::vector<Column>& args) -> Result<Column> {
+    size_t n = args[0].size();
+    Column out(TypeId::kFloat64);
+    out.Reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (args[0].IsNull(i) || args[1].IsNull(i)) out.AppendNull();
+      else out.AppendFloat(fn(args[0].NumericAt(i), args[1].NumericAt(i)));
+    }
+    return out;
+  };
+  return f;
+}
+
+double BucketKernel(double x, double width) {
+  if (width <= 0) return x;
+  return std::floor(x / width) * width;
+}
+
+/// SQL LIKE matching: '%' matches any run, '_' any single character.
+/// Iterative two-pointer algorithm with backtracking to the last '%'.
+bool LikeMatch(const std::string& s, const std::string& pattern) {
+  size_t si = 0, pi = 0;
+  size_t star_pi = std::string::npos, star_si = 0;
+  while (si < s.size()) {
+    if (pi < pattern.size() && (pattern[pi] == '_' || pattern[pi] == s[si])) {
+      ++si;
+      ++pi;
+    } else if (pi < pattern.size() && pattern[pi] == '%') {
+      star_pi = pi++;
+      star_si = si;
+    } else if (star_pi != std::string::npos) {
+      pi = star_pi + 1;
+      si = ++star_si;
+    } else {
+      return false;
+    }
+  }
+  while (pi < pattern.size() && pattern[pi] == '%') ++pi;
+  return pi == pattern.size();
+}
+
+}  // namespace
+
+FunctionRegistry::FunctionRegistry() {
+  Register(Unary("abs", [](double x) { return std::fabs(x); }));
+  Register(Unary("sqrt", [](double x) { return std::sqrt(x); }));
+  Register(Unary("ln", [](double x) { return std::log(x); }));
+  Register(Unary("log10", [](double x) { return std::log10(x); }));
+  Register(Unary("exp", [](double x) { return std::exp(x); }));
+  Register(Unary("floor", [](double x) { return std::floor(x); }));
+  Register(Unary("ceil", [](double x) { return std::ceil(x); }));
+  Register(Unary("round", [](double x) { return std::round(x); }));
+  Register(Binary("pow", [](double a, double b) { return std::pow(a, b); }));
+  Register(Binary("least", [](double a, double b) { return a < b ? a : b; }));
+  Register(Binary("greatest", [](double a, double b) { return a > b ? a : b; }));
+  // bucket(x, w): left edge of the width-w histogram bucket containing x.
+  Register(Binary("bucket", &BucketKernel));
+
+  // if(cond, then, else) — vectorized three-way select.
+  {
+    ScalarFunction f;
+    f.name = "if";
+    f.arity = 3;
+    f.bind = [](const std::vector<TypeId>& args) -> Result<TypeId> {
+      if (args[0] != TypeId::kBool) {
+        return Status::TypeError("if() expects a boolean condition");
+      }
+      if (args[1] != args[2]) {
+        if (IsNumeric(args[1]) && IsNumeric(args[2])) return TypeId::kFloat64;
+        return Status::TypeError("if() branches must have a common type");
+      }
+      return args[1];
+    };
+    f.eval = [](const std::vector<Column>& args) -> Result<Column> {
+      size_t n = args[0].size();
+      TypeId out_type = args[1].type() == args[2].type() ? args[1].type() : TypeId::kFloat64;
+      Column out(out_type);
+      out.Reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        bool cond = !args[0].IsNull(i) && args[0].bools()[i] != 0;
+        const Column& src = cond ? args[1] : args[2];
+        if (src.IsNull(i)) {
+          out.AppendNull();
+        } else if (out_type == TypeId::kFloat64 && src.type() != TypeId::kFloat64) {
+          out.AppendFloat(src.NumericAt(i));
+        } else {
+          out.Append(src.GetValue(i));
+        }
+      }
+      return out;
+    };
+    Register(std::move(f));
+  }
+
+  // coalesce(a, b, ...) — first non-NULL.
+  {
+    ScalarFunction f;
+    f.name = "coalesce";
+    f.arity = -1;
+    f.bind = [](const std::vector<TypeId>& args) -> Result<TypeId> {
+      if (args.empty()) return Status::TypeError("coalesce() needs arguments");
+      TypeId t = args[0];
+      for (TypeId a : args) {
+        if (a == t) continue;
+        if (IsNumeric(a) && IsNumeric(t)) t = TypeId::kFloat64;
+        else return Status::TypeError("coalesce() arguments must share a type");
+      }
+      return t;
+    };
+    f.eval = [](const std::vector<Column>& args) -> Result<Column> {
+      size_t n = args[0].size();
+      TypeId out_type = args[0].type();
+      for (const auto& a : args) {
+        if (a.type() != out_type) out_type = TypeId::kFloat64;
+      }
+      Column out(out_type);
+      out.Reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        bool found = false;
+        for (const auto& a : args) {
+          if (!a.IsNull(i)) {
+            if (out_type == TypeId::kFloat64 && a.type() != TypeId::kFloat64) {
+              out.AppendFloat(a.NumericAt(i));
+            } else {
+              out.Append(a.GetValue(i));
+            }
+            found = true;
+            break;
+          }
+        }
+        if (!found) out.AppendNull();
+      }
+      return out;
+    };
+    Register(std::move(f));
+  }
+
+  // like(s, pattern) — SQL LIKE; also reachable via the LIKE operator.
+  {
+    ScalarFunction f;
+    f.name = "like";
+    f.arity = 2;
+    f.bind = [](const std::vector<TypeId>& args) -> Result<TypeId> {
+      if (args[0] != TypeId::kString || args[1] != TypeId::kString) {
+        return Status::TypeError("LIKE expects STRING operands");
+      }
+      return TypeId::kBool;
+    };
+    f.eval = [](const std::vector<Column>& args) -> Result<Column> {
+      Column out(TypeId::kBool);
+      for (size_t i = 0; i < args[0].size(); ++i) {
+        if (args[0].IsNull(i) || args[1].IsNull(i)) out.AppendBool(false);
+        else out.AppendBool(LikeMatch(args[0].strings()[i], args[1].strings()[i]));
+      }
+      return out;
+    };
+    Register(std::move(f));
+  }
+
+  // String helpers.
+  {
+    ScalarFunction f;
+    f.name = "lower";
+    f.arity = 1;
+    f.bind = [](const std::vector<TypeId>& args) -> Result<TypeId> {
+      if (args[0] != TypeId::kString) return Status::TypeError("lower() expects STRING");
+      return TypeId::kString;
+    };
+    f.eval = [](const std::vector<Column>& args) -> Result<Column> {
+      Column out(TypeId::kString);
+      for (size_t i = 0; i < args[0].size(); ++i) {
+        if (args[0].IsNull(i)) out.AppendNull();
+        else out.AppendString(ToLower(args[0].strings()[i]));
+      }
+      return out;
+    };
+    Register(std::move(f));
+  }
+  {
+    ScalarFunction f;
+    f.name = "upper";
+    f.arity = 1;
+    f.bind = [](const std::vector<TypeId>& args) -> Result<TypeId> {
+      if (args[0] != TypeId::kString) return Status::TypeError("upper() expects STRING");
+      return TypeId::kString;
+    };
+    f.eval = [](const std::vector<Column>& args) -> Result<Column> {
+      Column out(TypeId::kString);
+      for (size_t i = 0; i < args[0].size(); ++i) {
+        if (args[0].IsNull(i)) out.AppendNull();
+        else out.AppendString(ToUpper(args[0].strings()[i]));
+      }
+      return out;
+    };
+    Register(std::move(f));
+  }
+  {
+    ScalarFunction f;
+    f.name = "length";
+    f.arity = 1;
+    f.bind = [](const std::vector<TypeId>& args) -> Result<TypeId> {
+      if (args[0] != TypeId::kString) return Status::TypeError("length() expects STRING");
+      return TypeId::kInt64;
+    };
+    f.eval = [](const std::vector<Column>& args) -> Result<Column> {
+      Column out(TypeId::kInt64);
+      for (size_t i = 0; i < args[0].size(); ++i) {
+        if (args[0].IsNull(i)) out.AppendNull();
+        else out.AppendInt(static_cast<int64_t>(args[0].strings()[i].size()));
+      }
+      return out;
+    };
+    Register(std::move(f));
+  }
+  {
+    // substr(s, start_1_based, len)
+    ScalarFunction f;
+    f.name = "substr";
+    f.arity = 3;
+    f.bind = [](const std::vector<TypeId>& args) -> Result<TypeId> {
+      if (args[0] != TypeId::kString || !IsNumeric(args[1]) || !IsNumeric(args[2])) {
+        return Status::TypeError("substr(STRING, INT, INT)");
+      }
+      return TypeId::kString;
+    };
+    f.eval = [](const std::vector<Column>& args) -> Result<Column> {
+      Column out(TypeId::kString);
+      for (size_t i = 0; i < args[0].size(); ++i) {
+        if (args[0].IsNull(i)) {
+          out.AppendNull();
+          continue;
+        }
+        const std::string& s = args[0].strings()[i];
+        int64_t start = static_cast<int64_t>(args[1].NumericAt(i)) - 1;
+        int64_t len = static_cast<int64_t>(args[2].NumericAt(i));
+        if (start < 0) start = 0;
+        if (start >= static_cast<int64_t>(s.size()) || len <= 0) {
+          out.AppendString("");
+        } else {
+          out.AppendString(s.substr(static_cast<size_t>(start),
+                                    static_cast<size_t>(len)));
+        }
+      }
+      return out;
+    };
+    Register(std::move(f));
+  }
+  {
+    ScalarFunction f;
+    f.name = "concat";
+    f.arity = -1;
+    f.bind = [](const std::vector<TypeId>&) -> Result<TypeId> { return TypeId::kString; };
+    f.eval = [](const std::vector<Column>& args) -> Result<Column> {
+      Column out(TypeId::kString);
+      size_t n = args.empty() ? 0 : args[0].size();
+      for (size_t i = 0; i < n; ++i) {
+        std::string s;
+        for (const auto& a : args) {
+          if (!a.IsNull(i)) s += a.GetValue(i).ToString();
+        }
+        out.AppendString(std::move(s));
+      }
+      return out;
+    };
+    Register(std::move(f));
+  }
+}
+
+FunctionRegistry& FunctionRegistry::Global() {
+  static FunctionRegistry* registry = new FunctionRegistry();
+  return *registry;
+}
+
+void FunctionRegistry::Register(ScalarFunction fn) {
+  fn.name = ToLower(fn.name);
+  for (auto& existing : functions_) {
+    if (existing.name == fn.name) {
+      existing = std::move(fn);
+      return;
+    }
+  }
+  functions_.push_back(std::move(fn));
+}
+
+Result<const ScalarFunction*> FunctionRegistry::Lookup(const std::string& name) const {
+  std::string lower = ToLower(name);
+  for (const auto& fn : functions_) {
+    if (fn.name == lower) return &fn;
+  }
+  return Status::KeyError("unknown function: " + name);
+}
+
+std::vector<std::string> FunctionRegistry::ListNames() const {
+  std::vector<std::string> out;
+  out.reserve(functions_.size());
+  for (const auto& fn : functions_) out.push_back(fn.name);
+  return out;
+}
+
+}  // namespace gola

@@ -1,0 +1,45 @@
+// Scalar function registry. Built-ins cover the math/string helpers used by
+// the paper's workloads; users can register additional UDFs (paper §2:
+// "user-defined functions and aggregates").
+#ifndef GOLA_EXPR_FUNCTIONS_H_
+#define GOLA_EXPR_FUNCTIONS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/column.h"
+
+namespace gola {
+
+struct ScalarFunction {
+  std::string name;
+  /// Expected argument count; -1 for variadic.
+  int arity = 1;
+  /// Result type given argument types.
+  std::function<Result<TypeId>(const std::vector<TypeId>&)> bind;
+  /// Vectorized kernel: evaluated argument columns → result column.
+  std::function<Result<Column>(const std::vector<Column>&)> eval;
+};
+
+class FunctionRegistry {
+ public:
+  /// Process-wide registry preloaded with the built-ins.
+  static FunctionRegistry& Global();
+
+  /// Registers (or replaces) a UDF under a case-insensitive name.
+  void Register(ScalarFunction fn);
+
+  Result<const ScalarFunction*> Lookup(const std::string& name) const;
+
+  std::vector<std::string> ListNames() const;
+
+ private:
+  FunctionRegistry();
+  std::vector<ScalarFunction> functions_;
+};
+
+}  // namespace gola
+
+#endif  // GOLA_EXPR_FUNCTIONS_H_

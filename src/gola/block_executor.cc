@@ -1,0 +1,813 @@
+#include "gola/block_executor.h"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "exec/sort.h"
+
+namespace gola {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Filters a PostAggChunk (point + replicate columns) by a row mask.
+void FilterPostAgg(PostAggChunk* post, const std::vector<uint8_t>& mask) {
+  post->point = post->point.Filter(mask);
+  for (auto& rep : post->replicate_cols) {
+    for (auto& col : rep) col = col.Filter(mask);
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ OnlineEnv --
+
+void OnlineEnv::SetScalar(int id, ScalarBroadcast b) {
+  if (b.keyed) {
+    std::unordered_map<Value, Value, ValueHash> point_map;
+    point_map.reserve(b.keyed_entries.size());
+    for (const auto& [key, entry] : b.keyed_entries) point_map[key] = entry.point;
+    point_.SetKeyed(id, std::move(point_map));
+  } else {
+    point_.SetScalar(id, b.global.point);
+  }
+  scalars_[id] = std::move(b);
+}
+
+void OnlineEnv::SetMembershipView(int id, std::unordered_set<Value, ValueHash> members,
+                                  MembershipSource* source) {
+  point_.SetMembership(id, std::move(members));
+  membership_[id] = source;
+}
+
+const ScalarBroadcast* OnlineEnv::scalar(int id) const {
+  auto it = scalars_.find(id);
+  return it == scalars_.end() ? nullptr : &it->second;
+}
+
+MembershipSource* OnlineEnv::membership(int id) const {
+  auto it = membership_.find(id);
+  return it == membership_.end() ? nullptr : it->second;
+}
+
+// ------------------------------------------------------ OnlineBlockExec --
+
+OnlineBlockExec::OnlineBlockExec(const BlockDef* block, const Catalog* catalog,
+                                 const GolaOptions* options,
+                                 const PoissonWeights* weights)
+    : block_(block), catalog_(catalog), options_(options), weights_(weights) {}
+
+Status OnlineBlockExec::Init() {
+  if (initialized_) return Status::OK();
+  GOLA_ASSIGN_OR_RETURN(DimJoinSet dims, DimJoinSet::Build(*block_, *catalog_));
+  dims_ = std::move(dims);
+  if (!block_->is_aggregate) {
+    return Status::NotImplemented(
+        "online execution requires an aggregation in every block");
+  }
+  agg_ = std::make_unique<OnlineAggregate>(block_, weights_);
+  uncertain_ = Chunk(block_->input_schema, [&] {
+    std::vector<Column> cols;
+    for (const auto& f : block_->input_schema->fields()) cols.emplace_back(f.type);
+    return cols;
+  }());
+  uncertain_.set_serials({});
+
+  uncertain_point_exprs_.clear();
+  for (const auto& uc : block_->uncertain_conjuncts) {
+    uncertain_point_exprs_.push_back(uc.ToPointExpr());
+  }
+  conj_states_.assign(block_->uncertain_conjuncts.size(), ConjunctState{});
+
+  // Membership classification conjunct (kMembership blocks): usable when
+  // there is exactly one HAVING conjunct of comparison shape whose rhs is
+  // group-free.
+  if (block_->kind == BlockKind::kMembership) {
+    if (block_->group_by.size() != 1) {
+      return Status::NotImplemented(
+          "membership subqueries must group by exactly the emitted key");
+    }
+    size_t total = block_->having_certain.size() + block_->having_uncertain.size();
+    if (total == 0) {
+      membership_monotone_ = true;  // presence-only membership: monotone
+    } else if (total == 1 && block_->having_certain.size() == 1) {
+      const ExprPtr& h = block_->having_certain[0];
+      if (h->kind == ExprKind::kComparison) {
+        ExprPtr lhs = h->children[0];
+        ExprPtr rhs = h->children[1];
+        CmpOp cmp = h->cmp_op;
+        if (!lhs->ContainsAggregate() && rhs->ContainsAggregate()) {
+          std::swap(lhs, rhs);
+          cmp = FlipCmp(cmp);
+        }
+        if (lhs->ContainsAggregate() && !rhs->ContainsAggregate()) {
+          ClsConjunct cls;
+          cls.lhs = lhs;
+          cls.cmp = cmp;
+          cls.certain_rhs = rhs;
+          cls_conjunct_ = std::move(cls);
+        }
+      }
+    } else if (total == 1 && block_->having_uncertain.size() == 1) {
+      const UncertainConjunct& uc = block_->having_uncertain[0];
+      if (uc.form == UncertainConjunct::Form::kScalarCmp && !uc.outer_key) {
+        ClsConjunct cls;
+        cls.lhs = uc.lhs;
+        cls.cmp = uc.cmp;
+        cls.rhs_subquery_id = uc.subquery_id;
+        cls_conjunct_ = std::move(cls);
+      }
+    }
+    // Otherwise: no usable conjunct → every key classifies uncertain.
+  }
+
+  initialized_ = true;
+  return Status::OK();
+}
+
+void OnlineBlockExec::Reset() {
+  if (agg_) agg_->Reset();
+  if (initialized_) {
+    uncertain_ = Chunk(block_->input_schema, [&] {
+      std::vector<Column> cols;
+      for (const auto& f : block_->input_schema->fields()) cols.emplace_back(f.type);
+      return cols;
+    }());
+    uncertain_.set_serials({});
+  }
+  for (auto& cs : conj_states_) cs = ConjunctState{};
+  last_overlay_.reset();
+  last_point_lhs_.clear();
+  last_members_.clear();
+  classify_cache_.clear();
+  rows_seen_ = 0;
+}
+
+Result<Chunk> OnlineBlockExec::Prepare(const Chunk& batch, const BroadcastEnv* env) {
+  Chunk current = batch;
+  if (dims_ && !dims_->empty()) {
+    GOLA_ASSIGN_OR_RETURN(current, dims_->Apply(*block_, current));
+  }
+  // Certain conjuncts only; uncertain conjuncts go through classification.
+  size_t n = current.num_rows();
+  if (n == 0 || block_->certain_conjuncts.empty()) return current;
+  std::vector<uint8_t> mask(n, 1);
+  for (const auto& c : block_->certain_conjuncts) {
+    GOLA_ASSIGN_OR_RETURN(std::vector<uint8_t> sel, EvaluatePredicate(*c, current, env));
+    for (size_t i = 0; i < n; ++i) mask[i] &= sel[i];
+  }
+  return current.Filter(mask);
+}
+
+Result<bool> OnlineBlockExec::CheckEnvelopes(OnlineEnv* env) {
+  for (size_t c = 0; c < block_->uncertain_conjuncts.size(); ++c) {
+    const UncertainConjunct& uc = block_->uncertain_conjuncts[c];
+    ConjunctState& cs = conj_states_[c];
+    switch (uc.form) {
+      case UncertainConjunct::Form::kScalarCmp: {
+        const ScalarBroadcast* sb = env->scalar(uc.subquery_id);
+        if (sb == nullptr) break;
+        if (cs.has_global) {
+          const ScalarEntry& e = sb->global;
+          // Failure: the running value or a bootstrap output escaped the
+          // envelope (§3.2). The ε padding is slack, not part of the check.
+          if (!cs.global_envelope.Contains(e.core)) return true;
+          if (cs.global_envelope.Contains(e.padded)) cs.global_envelope = e.padded;
+        }
+        for (auto& [key, envelope] : cs.keyed_envelopes) {
+          const ScalarEntry* e = sb->Find(key);
+          if (e == nullptr) return true;  // key vanished from the broadcast
+          if (!envelope.Contains(e->core)) return true;
+          if (envelope.Contains(e->padded)) envelope = e->padded;
+        }
+        break;
+      }
+      case UncertainConjunct::Form::kMembership: {
+        MembershipSource* src = env->membership(uc.subquery_id);
+        if (src == nullptr) break;
+        for (const auto& [key, decision] : cs.member_decisions) {
+          // Decision-validity check: the key's current running value vs the
+          // current threshold range. Values drifting far from the threshold
+          // never trigger; only decisions at risk of flipping do.
+          TriState now = src->CurrentPointDecision(key);
+          if (now != (decision.is_member ? TriState::kTrue : TriState::kFalse)) {
+            return true;
+          }
+        }
+        break;
+      }
+      case UncertainConjunct::Form::kOpaque:
+        break;  // never classified deterministically → nothing to violate
+    }
+  }
+  return false;
+}
+
+Result<TriState> OnlineBlockExec::ClassifyScalarRow(const UncertainConjunct& uc,
+                                                    size_t conj_idx, double lhs,
+                                                    const Value& key, OnlineEnv* env) {
+  const ScalarBroadcast* sb = env->scalar(uc.subquery_id);
+  if (sb == nullptr) return TriState::kUncertain;
+  ConjunctState& cs = conj_states_[conj_idx];
+
+  const VariationRange* envelope = nullptr;
+  if (uc.outer_key) {
+    auto it = cs.keyed_envelopes.find(key);
+    if (it != cs.keyed_envelopes.end()) envelope = &it->second;
+  } else if (cs.has_global) {
+    envelope = &cs.global_envelope;
+  }
+
+  const ScalarEntry* entry = sb->Find(uc.outer_key ? key : Value());
+  if (envelope == nullptr) {
+    if (entry == nullptr || entry->point.is_null()) return TriState::kUncertain;
+    // Too few observations behind the value → its range estimate is not yet
+    // trustworthy; deferring classification avoids installing an envelope
+    // that would almost surely be violated (forcing a full recompute).
+    if (entry->support < options_->min_group_support) return TriState::kUncertain;
+    TriState t = ClassifyCmpRange(uc.cmp, lhs, entry->padded);
+    if (t != TriState::kUncertain) {
+      // First deterministic decision under this range: install the envelope
+      // so future batches monitor it.
+      if (uc.outer_key) {
+        cs.keyed_envelopes.emplace(key, entry->padded);
+      } else {
+        cs.has_global = true;
+        cs.global_envelope = entry->padded;
+      }
+    }
+    return t;
+  }
+  return ClassifyCmpRange(uc.cmp, lhs, *envelope);
+}
+
+Status OnlineBlockExec::ClassifyAndFold(const Chunk& candidates, OnlineEnv* env) {
+  size_t n = candidates.num_rows();
+  if (n == 0) return Status::OK();
+  const BroadcastEnv* point = &env->point_env();
+
+  if (block_->uncertain_conjuncts.empty()) {
+    return agg_->Update(candidates, point);
+  }
+
+  // Per-conjunct inputs.
+  struct ConjunctCols {
+    Column lhs;   // scalar: lhs values; membership: keys
+    Column keys;  // scalar correlated: outer keys
+  };
+  std::vector<ConjunctCols> inputs(block_->uncertain_conjuncts.size());
+  for (size_t c = 0; c < block_->uncertain_conjuncts.size(); ++c) {
+    const UncertainConjunct& uc = block_->uncertain_conjuncts[c];
+    if (uc.form == UncertainConjunct::Form::kOpaque) continue;
+    GOLA_ASSIGN_OR_RETURN(inputs[c].lhs, Evaluate(*uc.lhs, candidates, point));
+    if (uc.form == UncertainConjunct::Form::kScalarCmp && uc.outer_key) {
+      GOLA_ASSIGN_OR_RETURN(inputs[c].keys, Evaluate(*uc.outer_key, candidates, point));
+    }
+  }
+
+  std::vector<uint8_t> det_true(n, 0);
+  std::vector<uint8_t> keep_uncertain(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    TriState combined = TriState::kTrue;
+    for (size_t c = 0; c < block_->uncertain_conjuncts.size(); ++c) {
+      const UncertainConjunct& uc = block_->uncertain_conjuncts[c];
+      TriState t = TriState::kUncertain;
+      switch (uc.form) {
+        case UncertainConjunct::Form::kScalarCmp: {
+          if (inputs[c].lhs.IsNull(i)) {
+            t = TriState::kFalse;  // NULL comparisons are false in this engine
+            break;
+          }
+          Value key = uc.outer_key ? inputs[c].keys.GetValue(i) : Value();
+          GOLA_ASSIGN_OR_RETURN(
+              t, ClassifyScalarRow(uc, c, inputs[c].lhs.NumericAt(i), key, env));
+          break;
+        }
+        case UncertainConjunct::Form::kMembership: {
+          if (inputs[c].lhs.IsNull(i)) {
+            t = TriState::kFalse;
+            break;
+          }
+          Value key = inputs[c].lhs.GetValue(i);
+          ConjunctState& cs = conj_states_[c];
+          auto it = cs.member_decisions.find(key);
+          bool have = false;
+          bool is_member = false;
+          if (it != cs.member_decisions.end()) {
+            have = true;
+            is_member = it->second.is_member;
+          } else {
+            MembershipSource* src = env->membership(uc.subquery_id);
+            if (src != nullptr) {
+              TriState m = src->ClassifyKey(key);
+              if (m != TriState::kUncertain) {
+                have = true;
+                is_member = m == TriState::kTrue;
+                cs.member_decisions.emplace(key, MemberDecision{is_member});
+              }
+            }
+          }
+          if (have) {
+            t = (is_member != uc.negated) ? TriState::kTrue : TriState::kFalse;
+          } else {
+            t = TriState::kUncertain;
+          }
+          break;
+        }
+        case UncertainConjunct::Form::kOpaque:
+          t = TriState::kUncertain;
+          break;
+      }
+      combined = CombineConjuncts(combined, t);
+      if (combined == TriState::kFalse) break;
+    }
+    if (combined == TriState::kTrue) det_true[i] = 1;
+    else if (combined == TriState::kUncertain) keep_uncertain[i] = 1;
+  }
+
+  Chunk det_chunk = candidates.Filter(det_true);
+  if (det_chunk.num_rows() > 0) {
+    GOLA_RETURN_NOT_OK(agg_->Update(det_chunk, point));
+  }
+  Chunk unc_chunk = candidates.Filter(keep_uncertain);
+  GOLA_RETURN_NOT_OK(uncertain_.Append(unc_chunk));
+  return Status::OK();
+}
+
+Result<bool> OnlineBlockExec::ProcessBatch(const Chunk& batch, double scale,
+                                           OnlineEnv* env) {
+  GOLA_RETURN_NOT_OK(Init());
+  GOLA_ASSIGN_OR_RETURN(bool violated, CheckEnvelopes(env));
+  if (violated) return true;
+
+  GOLA_ASSIGN_OR_RETURN(Chunk prepared, Prepare(batch, &env->point_env()));
+  // Candidates: the cached uncertain set from batch i-1 plus the new rows —
+  // the only tuples the delta update must touch (§3.2).
+  Chunk candidates = std::move(uncertain_);
+  GOLA_RETURN_NOT_OK(candidates.Append(prepared));
+  uncertain_ = Chunk(block_->input_schema, [&] {
+    std::vector<Column> cols;
+    for (const auto& f : block_->input_schema->fields()) cols.emplace_back(f.type);
+    return cols;
+  }());
+  uncertain_.set_serials({});
+
+  GOLA_RETURN_NOT_OK(ClassifyAndFold(candidates, env));
+  rows_seen_ += static_cast<int64_t>(batch.num_rows());
+  GOLA_RETURN_NOT_OK(Emit(scale, env));
+  return false;
+}
+
+Status OnlineBlockExec::Rebuild(const std::vector<const Chunk*>& seen, double scale,
+                                OnlineEnv* env) {
+  GOLA_RETURN_NOT_OK(Init());
+  Reset();
+  // One pass over all seen data with the *current* upstream broadcasts: the
+  // envelopes installed during this pass come from the fresh batch-i ranges.
+  for (const Chunk* chunk : seen) {
+    GOLA_ASSIGN_OR_RETURN(Chunk prepared, Prepare(*chunk, &env->point_env()));
+    GOLA_RETURN_NOT_OK(ClassifyAndFold(prepared, env));
+    rows_seen_ += static_cast<int64_t>(chunk->num_rows());
+  }
+  return Emit(scale, env);
+}
+
+// ------------------------------------------------------------- emission --
+
+Status OnlineBlockExec::Emit(double scale, OnlineEnv* env) {
+  const BroadcastEnv* point = &env->point_env();
+  AggOverlay overlay(agg_.get());
+
+  if (uncertain_.num_rows() > 0 && !uncertain_point_exprs_.empty()) {
+    size_t n = uncertain_.num_rows();
+    std::vector<uint8_t> mask(n, 1);
+    for (const auto& pred : uncertain_point_exprs_) {
+      GOLA_ASSIGN_OR_RETURN(std::vector<uint8_t> sel,
+                            EvaluatePredicate(*pred, uncertain_, point));
+      for (size_t i = 0; i < n; ++i) mask[i] &= sel[i];
+    }
+    Chunk passing = uncertain_.Filter(mask);
+    if (passing.num_rows() > 0) {
+      GOLA_RETURN_NOT_OK(overlay.Update(passing, point));
+    }
+  }
+
+  // Scalar blocks broadcast per-key ranges, so they finalize replicates for
+  // every group up front; root blocks compute error bars lazily for the few
+  // rows that survive HAVING/ORDER BY/LIMIT; membership blocks answer
+  // per-key range queries lazily through the MembershipSource interface.
+  bool with_replicates = block_->kind == BlockKind::kScalar;
+  GOLA_ASSIGN_OR_RETURN(PostAggChunk post, overlay.Finalize(scale, with_replicates));
+  last_overlay_ = std::move(overlay);
+  last_scale_ = scale;
+  last_env_ = env;
+
+  switch (block_->kind) {
+    case BlockKind::kScalar:
+      return EmitScalar(post, scale, env);
+    case BlockKind::kMembership:
+      return EmitMembership(post, env);
+    case BlockKind::kRoot:
+      return EmitRoot(post, scale, env);
+  }
+  return Status::Internal("unreachable block kind");
+}
+
+Status OnlineBlockExec::EmitScalar(const PostAggChunk& post, double scale,
+                                   OnlineEnv* env) {
+  (void)scale;
+  const BroadcastEnv* point = &env->point_env();
+  size_t num_groups = block_->group_by.size();
+  size_t rows = post.point.num_rows();
+
+  // Optional HAVING (point form) masks rows out of the broadcast.
+  std::vector<uint8_t> mask(rows, 1);
+  for (const auto& h : block_->having_certain) {
+    GOLA_ASSIGN_OR_RETURN(std::vector<uint8_t> sel,
+                          EvaluatePredicate(*h, post.point, point));
+    for (size_t i = 0; i < rows; ++i) mask[i] &= sel[i];
+  }
+  for (const auto& h : block_->having_uncertain) {
+    ExprPtr pred = h.ToPointExpr();
+    GOLA_ASSIGN_OR_RETURN(std::vector<uint8_t> sel,
+                          EvaluatePredicate(*pred, post.point, point));
+    for (size_t i = 0; i < rows; ++i) mask[i] &= sel[i];
+  }
+
+  GOLA_ASSIGN_OR_RETURN(Column point_vals, Evaluate(*block_->value_expr, post.point, point));
+  size_t num_reps = post.replicate_cols.size();
+  std::vector<Column> rep_vals;
+  rep_vals.reserve(num_reps);
+  for (size_t j = 0; j < num_reps; ++j) {
+    Chunk rep_chunk = post.ReplicateChunk(j, num_groups);
+    GOLA_ASSIGN_OR_RETURN(Column c, Evaluate(*block_->value_expr, rep_chunk, point));
+    rep_vals.push_back(std::move(c));
+  }
+
+  auto make_entry = [&](size_t row) {
+    ScalarEntry entry;
+    entry.support = post.support[row];
+    entry.point = point_vals.GetValue(row);
+    std::vector<double> reps(num_reps, kNaN);
+    for (size_t j = 0; j < num_reps; ++j) {
+      if (!rep_vals[j].IsNull(row)) reps[j] = rep_vals[j].NumericAt(row);
+    }
+    double est = entry.point.is_null() ? kNaN : entry.point.ToDouble().ValueOr(kNaN);
+    if (std::isnan(est)) est = ReplicateMean(reps);
+    entry.core = VariationRange::FromReplicates(reps, est, 0.0);
+    entry.padded = VariationRange::FromReplicates(reps, est, options_->epsilon_mult);
+    return entry;
+  };
+
+  ScalarBroadcast broadcast;
+  if (block_->corr_key) {
+    broadcast.keyed = true;
+    broadcast.keyed_entries.reserve(rows);
+    for (size_t i = 0; i < rows; ++i) {
+      if (!mask[i]) continue;
+      broadcast.keyed_entries.emplace(post.point.column(0).GetValue(i), make_entry(i));
+    }
+  } else {
+    if (rows != 1) {
+      return Status::ExecutionError("scalar subquery did not produce one row");
+    }
+    if (mask[0]) {
+      broadcast.global = make_entry(0);
+    } else {
+      broadcast.global.point = Value::Null();
+      broadcast.global.core = VariationRange::Point(kNaN);
+      broadcast.global.padded = broadcast.global.core;
+    }
+  }
+  env->SetScalar(block_->id, std::move(broadcast));
+  return Status::OK();
+}
+
+Status OnlineBlockExec::EmitMembership(const PostAggChunk& post, OnlineEnv* env) {
+  const BroadcastEnv* point = &env->point_env();
+  size_t rows = post.point.num_rows();
+
+  std::vector<uint8_t> mask(rows, 1);
+  for (const auto& h : block_->having_certain) {
+    GOLA_ASSIGN_OR_RETURN(std::vector<uint8_t> sel,
+                          EvaluatePredicate(*h, post.point, point));
+    for (size_t i = 0; i < rows; ++i) mask[i] &= sel[i];
+  }
+  for (const auto& h : block_->having_uncertain) {
+    ExprPtr pred = h.ToPointExpr();
+    GOLA_ASSIGN_OR_RETURN(std::vector<uint8_t> sel,
+                          EvaluatePredicate(*pred, post.point, point));
+    for (size_t i = 0; i < rows; ++i) mask[i] &= sel[i];
+  }
+
+  const Column& keys = post.point.column(static_cast<size_t>(block_->membership_key_index));
+  std::unordered_set<Value, ValueHash> members;
+  members.reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    if (mask[i] && !keys.IsNull(i)) members.insert(keys.GetValue(i));
+  }
+
+  // Running classification values and the current threshold range, for
+  // consumers' decision-validity monitoring.
+  last_point_lhs_.clear();
+  last_rhs_valid_ = false;
+  if (cls_conjunct_) {
+    GOLA_ASSIGN_OR_RETURN(Column lhs_vals,
+                          Evaluate(*cls_conjunct_->lhs, post.point, point));
+    last_point_lhs_.reserve(rows);
+    for (size_t i = 0; i < rows; ++i) {
+      if (!keys.IsNull(i) && !lhs_vals.IsNull(i)) {
+        last_point_lhs_[keys.GetValue(i)] = lhs_vals.NumericAt(i);
+      }
+    }
+    if (cls_conjunct_->certain_rhs) {
+      auto rhs = EvaluateScalar(*cls_conjunct_->certain_rhs, point);
+      if (rhs.ok() && !rhs->is_null()) {
+        double v = rhs->ToDouble().ValueOr(kNaN);
+        if (!std::isnan(v)) {
+          last_rhs_range_ = VariationRange::Point(v);
+          last_rhs_valid_ = true;
+        }
+      }
+    } else if (cls_conjunct_->rhs_subquery_id >= 0) {
+      const ScalarBroadcast* sb = env->scalar(cls_conjunct_->rhs_subquery_id);
+      if (sb != nullptr && !sb->keyed && !std::isnan(sb->global.padded.lo)) {
+        last_rhs_range_ = sb->global.padded;
+        last_rhs_valid_ = true;
+      }
+    }
+  }
+
+  last_members_ = members;
+  classify_cache_.clear();
+  env->SetMembershipView(block_->id, std::move(members), this);
+  return Status::OK();
+}
+
+Status OnlineBlockExec::EmitRoot(const PostAggChunk& post_in, double scale,
+                                 OnlineEnv* env) {
+  const BroadcastEnv* point = &env->point_env();
+  size_t num_groups = block_->group_by.size();
+  size_t num_aggs = block_->aggs.size();
+
+  // HAVING (point) + uncertain-group accounting: a cheap per-group check
+  // comparing the point value with the subquery's padded range (the group's
+  // own bootstrap spread is not folded in — this is a monitoring statistic,
+  // not a correctness decision).
+  Chunk post = post_in.point;
+  size_t rows = post.num_rows();
+  std::vector<uint8_t> mask(rows, 1);
+  for (const auto& h : block_->having_certain) {
+    GOLA_ASSIGN_OR_RETURN(std::vector<uint8_t> sel, EvaluatePredicate(*h, post, point));
+    for (size_t i = 0; i < rows; ++i) mask[i] &= sel[i];
+  }
+  int64_t uncertain_groups = 0;
+  for (const auto& h : block_->having_uncertain) {
+    ExprPtr pred = h.ToPointExpr();
+    GOLA_ASSIGN_OR_RETURN(std::vector<uint8_t> sel, EvaluatePredicate(*pred, post, point));
+    for (size_t i = 0; i < rows; ++i) mask[i] &= sel[i];
+    if (h.form == UncertainConjunct::Form::kScalarCmp && !h.outer_key) {
+      const ScalarBroadcast* sb = env->scalar(h.subquery_id);
+      if (sb != nullptr) {
+        GOLA_ASSIGN_OR_RETURN(Column lhs_point, Evaluate(*h.lhs, post, point));
+        for (size_t i = 0; i < rows; ++i) {
+          if (lhs_point.IsNull(i)) continue;
+          if (ClassifyCmpRange(h.cmp, lhs_point.NumericAt(i), sb->global.padded) ==
+              TriState::kUncertain) {
+            ++uncertain_groups;
+          }
+        }
+      }
+    }
+  }
+  post = post.Filter(mask);
+  rows = post.num_rows();
+
+  // Point outputs and the sort/limit selection — decided before any
+  // replicate work so error bars are only computed for surviving rows.
+  std::vector<Column> out_cols;
+  out_cols.reserve(block_->output_exprs.size());
+  for (const auto& e : block_->output_exprs) {
+    GOLA_ASSIGN_OR_RETURN(Column c, Evaluate(*e, post, point));
+    out_cols.push_back(std::move(c));
+  }
+  std::vector<int64_t> order(rows);
+  std::iota(order.begin(), order.end(), 0);
+  if (!block_->order_by.empty()) {
+    std::vector<Column> keys;
+    std::vector<bool> desc;
+    for (const auto& s : block_->order_by) {
+      GOLA_ASSIGN_OR_RETURN(Column c, Evaluate(*s.expr, post, point));
+      keys.push_back(std::move(c));
+      desc.push_back(s.descending);
+    }
+    order = SortIndices(keys, desc);
+  }
+  if (block_->limit >= 0 && static_cast<int64_t>(order.size()) > block_->limit) {
+    order.resize(static_cast<size_t>(block_->limit));
+  }
+  Chunk selected_post = post.Take(order);
+  size_t selected = selected_post.num_rows();
+  for (auto& c : out_cols) c = c.Take(order);
+
+  // Lazy error bars: replicate aggregate values are finalized only for the
+  // selected rows, looked up from the overlay by group key.
+  size_t num_reps = weights_ ? static_cast<size_t>(weights_->num_replicates()) : 0;
+  std::vector<std::vector<Column>> rep_cols;  // [replicate][agg]
+  if (num_reps > 0 && selected > 0 && last_overlay_) {
+    rep_cols.assign(num_reps, {});
+    for (auto& rep : rep_cols) {
+      rep.reserve(num_aggs);
+      for (size_t a = 0; a < num_aggs; ++a) rep.emplace_back(TypeId::kFloat64);
+    }
+    GroupKey key;
+    key.values.resize(num_groups);
+    for (size_t i = 0; i < selected; ++i) {
+      for (size_t g = 0; g < num_groups; ++g) {
+        key.values[g] = selected_post.column(g).GetValue(i);
+      }
+      const GroupStates* states = last_overlay_->Find(key);
+      for (size_t a = 0; a < num_aggs; ++a) {
+        double s = block_->aggs[a].fn->ScalesWithMultiplicity() ? scale : 1.0;
+        std::vector<double> reps =
+            states ? states->aggs[a].FinalizeReplicates(s) : std::vector<double>();
+        for (size_t j = 0; j < num_reps; ++j) {
+          double v = j < reps.size() ? reps[j] : kNaN;
+          if (std::isnan(v)) rep_cols[j][a].AppendNull();
+          else rep_cols[j][a].AppendFloat(v);
+        }
+      }
+    }
+  }
+
+  std::vector<Field> all_fields = block_->output_schema->fields();
+  std::vector<Column> all_cols = std::move(out_cols);
+  double max_rsd = 0;
+  for (size_t o = 0; o < block_->output_exprs.size(); ++o) {
+    const ExprPtr& e = block_->output_exprs[o];
+    if (!e->ContainsAggregate() || rep_cols.empty()) continue;
+    std::vector<Column> rep_out;
+    rep_out.reserve(num_reps);
+    for (size_t j = 0; j < num_reps; ++j) {
+      std::vector<Column> cols;
+      cols.reserve(num_groups + num_aggs);
+      for (size_t g = 0; g < num_groups; ++g) cols.push_back(selected_post.column(g));
+      for (size_t a = 0; a < num_aggs; ++a) cols.push_back(rep_cols[j][a]);
+      // Agg slots are float64 in replicate space; group columns unchanged.
+      std::vector<Field> fields;
+      for (size_t g = 0; g < num_groups; ++g) {
+        fields.push_back(block_->post_agg_schema->field(g));
+      }
+      for (size_t a = 0; a < num_aggs; ++a) {
+        fields.push_back({block_->post_agg_schema->field(num_groups + a).name,
+                          TypeId::kFloat64});
+      }
+      Chunk rep_chunk(std::make_shared<Schema>(fields), std::move(cols));
+      GOLA_ASSIGN_OR_RETURN(Column c, Evaluate(*e, rep_chunk, point));
+      rep_out.push_back(std::move(c));
+    }
+    Column lo(TypeId::kFloat64), hi(TypeId::kFloat64), rsd(TypeId::kFloat64);
+    for (size_t i = 0; i < selected; ++i) {
+      std::vector<double> reps(num_reps, kNaN);
+      for (size_t j = 0; j < num_reps; ++j) {
+        if (!rep_out[j].IsNull(i)) reps[j] = rep_out[j].NumericAt(i);
+      }
+      double est = all_cols[o].IsNull(i) ? kNaN : all_cols[o].NumericAt(i);
+      ConfidenceInterval ci =
+          PercentileCI(reps, std::isnan(est) ? 0 : est, options_->ci_level);
+      double r = std::isnan(est) ? 0 : RelativeStdDev(reps, est);
+      lo.AppendFloat(ci.lo);
+      hi.AppendFloat(ci.hi);
+      rsd.AppendFloat(r);
+      max_rsd = std::max(max_rsd, r);
+    }
+    const std::string& name = block_->output_names[o];
+    all_fields.push_back({name + "_lo", TypeId::kFloat64});
+    all_fields.push_back({name + "_hi", TypeId::kFloat64});
+    all_fields.push_back({name + "_rsd", TypeId::kFloat64});
+    all_cols.push_back(std::move(lo));
+    all_cols.push_back(std::move(hi));
+    all_cols.push_back(std::move(rsd));
+  }
+
+  Chunk combined(std::make_shared<Schema>(all_fields), std::move(all_cols));
+  root_emission_.result = Table(combined.schema());
+  root_emission_.result.AppendChunk(std::move(combined));
+  root_emission_.max_rsd = max_rsd;
+  root_emission_.uncertain_groups = uncertain_groups;
+  return Status::OK();
+}
+
+// ---------------------------------------------------- MembershipSource --
+
+TriState OnlineBlockExec::ClassifyKey(const Value& key) {
+  if (membership_monotone_) {
+    // No HAVING: a key's presence can only be established, never revoked.
+    return last_members_.count(key) ? TriState::kTrue : TriState::kUncertain;
+  }
+  if (!cls_conjunct_ || !last_overlay_) return TriState::kUncertain;
+  auto cached = classify_cache_.find(key);
+  if (cached != classify_cache_.end()) return cached->second;
+
+  TriState result = TriState::kUncertain;
+  GroupKey gkey;
+  gkey.values.push_back(key);
+  const GroupStates* states = last_overlay_->Find(gkey);
+  if (states != nullptr) {
+    // Replicate values of the classification lhs for this key.
+    size_t num_reps = static_cast<size_t>(weights_->num_replicates());
+    std::vector<double> reps(num_reps, kNaN);
+    double est = kNaN;
+    const ClsConjunct& cls = *cls_conjunct_;
+    if (cls.lhs->kind == ExprKind::kAggregateCall && cls.lhs->agg_slot >= 0) {
+      // Fast path: bare aggregate slot.
+      const ReplicatedAgg& agg = states->aggs[static_cast<size_t>(cls.lhs->agg_slot)];
+      double s = block_->aggs[static_cast<size_t>(cls.lhs->agg_slot)]
+                         .fn->ScalesWithMultiplicity()
+                     ? last_scale_
+                     : 1.0;
+      Value v = agg.Finalize(s);
+      if (!v.is_null()) est = v.ToDouble().ValueOr(kNaN);
+      reps = agg.FinalizeReplicates(s);
+    } else {
+      // General path: build one-row point/replicate chunks for this group.
+      size_t num_aggs = block_->aggs.size();
+      std::vector<Column> cols;
+      cols.reserve(1 + num_aggs);
+      Column key_col(block_->post_agg_schema->field(0).type);
+      key_col.Append(key);
+      cols.push_back(std::move(key_col));
+      std::vector<std::vector<double>> agg_reps(num_aggs);
+      for (size_t a = 0; a < num_aggs; ++a) {
+        double s = block_->aggs[a].fn->ScalesWithMultiplicity() ? last_scale_ : 1.0;
+        Column c(block_->post_agg_schema->field(1 + a).type);
+        c.Append(states->aggs[a].Finalize(s));
+        cols.push_back(std::move(c));
+        agg_reps[a] = states->aggs[a].FinalizeReplicates(s);
+      }
+      Chunk point_row(block_->post_agg_schema, std::move(cols));
+      const BroadcastEnv* penv = last_env_ ? &last_env_->point_env() : nullptr;
+      auto lhs_point = Evaluate(*cls.lhs, point_row, penv);
+      if (lhs_point.ok() && !lhs_point->IsNull(0)) est = lhs_point->NumericAt(0);
+      for (size_t j = 0; j < num_reps; ++j) {
+        std::vector<Column> rep_cols;
+        rep_cols.reserve(1 + num_aggs);
+        Column kc(block_->post_agg_schema->field(0).type);
+        kc.Append(key);
+        rep_cols.push_back(std::move(kc));
+        for (size_t a = 0; a < num_aggs; ++a) {
+          Column c(TypeId::kFloat64);
+          if (std::isnan(agg_reps[a][j])) c.AppendNull();
+          else c.AppendFloat(agg_reps[a][j]);
+          rep_cols.push_back(std::move(c));
+        }
+        Chunk rep_row(block_->post_agg_schema, std::move(rep_cols));
+        auto v = Evaluate(*cls.lhs, rep_row, penv);
+        if (v.ok() && !v->IsNull(0)) reps[j] = v->NumericAt(0);
+      }
+    }
+
+    if (!std::isnan(est)) {
+      VariationRange lhs_range =
+          VariationRange::FromReplicates(reps, est, options_->epsilon_mult);
+      VariationRange rhs_range = VariationRange::Point(kNaN);
+      bool have_rhs = false;
+      if (cls.certain_rhs) {
+        const BroadcastEnv* penv = last_env_ ? &last_env_->point_env() : nullptr;
+        auto rhs = EvaluateScalar(*cls.certain_rhs, penv);
+        if (rhs.ok() && !rhs->is_null()) {
+          rhs_range = VariationRange::Point(rhs->ToDouble().ValueOr(kNaN));
+          have_rhs = !std::isnan(rhs_range.lo);
+        }
+      } else if (cls.rhs_subquery_id >= 0 && last_env_ != nullptr) {
+        const ScalarBroadcast* sb = last_env_->scalar(cls.rhs_subquery_id);
+        if (sb != nullptr && !sb->keyed) {
+          rhs_range = sb->global.padded;
+          have_rhs = !std::isnan(rhs_range.lo);
+        }
+      }
+      if (have_rhs) {
+        result = ClassifyRangeRange(cls.cmp, lhs_range, rhs_range);
+      }
+    }
+  }
+  classify_cache_.emplace(key, result);
+  return result;
+}
+
+TriState OnlineBlockExec::CurrentPointDecision(const Value& key) {
+  if (membership_monotone_) {
+    // Presence-only membership is monotone: an established member stays.
+    return last_members_.count(key) ? TriState::kTrue : TriState::kUncertain;
+  }
+  if (!cls_conjunct_ || !last_rhs_valid_) return TriState::kUncertain;
+  auto it = last_point_lhs_.find(key);
+  if (it == last_point_lhs_.end()) return TriState::kUncertain;
+  return ClassifyCmpRange(cls_conjunct_->cmp, it->second, last_rhs_range_);
+}
+
+}  // namespace gola

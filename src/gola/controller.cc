@@ -1,0 +1,123 @@
+#include "gola/controller.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace gola {
+
+OnlineQueryExecutor::OnlineQueryExecutor(const Catalog* catalog, CompiledQuery query,
+                                         const GolaOptions& options)
+    : catalog_(catalog), query_(std::move(query)), options_(options) {}
+
+Result<std::unique_ptr<OnlineQueryExecutor>> OnlineQueryExecutor::Create(
+    const Catalog* catalog, CompiledQuery query, const GolaOptions& options) {
+  std::unique_ptr<OnlineQueryExecutor> exec(
+      new OnlineQueryExecutor(catalog, std::move(query), options));
+  GOLA_RETURN_NOT_OK(exec->Prepare());
+  return exec;
+}
+
+Status OnlineQueryExecutor::Prepare() {
+  if (query_.blocks.empty()) return Status::PlanError("empty query");
+  const std::string streamed = ToLower(query_.root().table);
+  for (const auto& block : query_.blocks) {
+    if (ToLower(block.table) != streamed) {
+      return Status::NotImplemented(
+          "online execution streams a single table; block scans " + block.table);
+    }
+    if (!block.is_aggregate) {
+      return Status::NotImplemented(
+          "online execution requires aggregation (plain SELECT has no "
+          "converging running result)");
+    }
+  }
+  GOLA_ASSIGN_OR_RETURN(TablePtr table, catalog_->GetTable(streamed));
+
+  weights_ = std::make_unique<PoissonWeights>(options_.bootstrap_replicates,
+                                              SplitMix64(options_.seed ^ 0xB00757AAULL));
+  MiniBatchOptions part_opts;
+  part_opts.num_batches = options_.num_batches;
+  part_opts.row_shuffle = options_.row_shuffle;
+  part_opts.seed = options_.seed;
+  partitioner_ = std::make_unique<MiniBatchPartitioner>(*table, part_opts);
+
+  blocks_.reserve(query_.blocks.size());
+  for (const auto& block : query_.blocks) {
+    blocks_.push_back(std::make_unique<OnlineBlockExec>(&block, catalog_, &options_,
+                                                        weights_.get()));
+  }
+  total_timer_.Restart();
+  return Status::OK();
+}
+
+Result<OnlineUpdate> OnlineQueryExecutor::Step() {
+  if (done()) return Status::ExecutionError("all mini-batches already processed");
+  Stopwatch batch_timer;
+
+  const int i = next_batch_;  // 0-based
+  const Chunk& batch = partitioner_->batch(i);
+
+  // Multiplicity m = N / |D_i| (§2.2); computed from rows rather than k/i so
+  // the uneven final batch stays unbiased.
+  int64_t rows_through = 0;
+  for (int b = 0; b <= i; ++b) {
+    rows_through += static_cast<int64_t>(partitioner_->batch(b).num_rows());
+  }
+  double scale = static_cast<double>(partitioner_->total_rows()) /
+                 static_cast<double>(rows_through);
+
+  bool recomputed = false;
+  for (auto& block : blocks_) {
+    GOLA_ASSIGN_OR_RETURN(bool violated, block->ProcessBatch(batch, scale, &env_));
+    if (violated) {
+      // Range failure (§3.2): recompute the whole query over D_i with the
+      // current variation ranges, block by block in dependency order.
+      ++recomputes_;
+      recomputed = true;
+      std::vector<const Chunk*> seen = partitioner_->BatchesUpTo(i + 1);
+      for (auto& b : blocks_) {
+        GOLA_RETURN_NOT_OK(b->Rebuild(seen, scale, &env_));
+      }
+      break;
+    }
+  }
+  next_batch_ = i + 1;
+  (void)recomputed;
+
+  OnlineUpdate update;
+  update.batch_index = next_batch_;
+  update.total_batches = partitioner_->num_batches();
+  update.fraction_processed = static_cast<double>(rows_through) /
+                              static_cast<double>(partitioner_->total_rows());
+  update.scale = scale;
+  const RootEmission& emission = blocks_.back()->root_emission();
+  update.result = emission.result;
+  update.max_rsd = emission.max_rsd;
+  update.uncertain_groups = emission.uncertain_groups;
+  for (const auto& block : blocks_) {
+    update.uncertain_tuples += block->uncertain_size();
+  }
+  update.recomputes_so_far = recomputes_;
+  update.batch_seconds = batch_timer.ElapsedSeconds();
+  elapsed_ += update.batch_seconds;
+  update.elapsed_seconds = elapsed_;
+  return update;
+}
+
+Result<OnlineUpdate> OnlineQueryExecutor::Run(
+    const std::function<bool(const OnlineUpdate&)>& callback) {
+  OnlineUpdate last;
+  while (!done()) {
+    GOLA_ASSIGN_OR_RETURN(last, Step());
+    if (callback && !callback(last)) break;  // user stopped the query (OLA control)
+  }
+  return last;
+}
+
+Result<OnlineUpdate> OnlineQueryExecutor::RunToAccuracy(double target_rsd) {
+  return Run([target_rsd](const OnlineUpdate& update) {
+    return update.max_rsd > target_rsd;
+  });
+}
+
+}  // namespace gola

@@ -1,0 +1,89 @@
+// The G-OLA query controller (paper §4): partitions the input into uniform
+// random mini-batches, schedules the per-batch delta queries across the
+// lineage blocks in dependency order, monitors variation-range failures,
+// and schedules query-wide recompute jobs when one is detected.
+#ifndef GOLA_GOLA_CONTROLLER_H_
+#define GOLA_GOLA_CONTROLLER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "gola/block_executor.h"
+#include "plan/binder.h"
+#include "storage/partitioner.h"
+
+namespace gola {
+
+/// The running answer after one mini-batch — what a dashboard would render.
+struct OnlineUpdate {
+  int batch_index = 0;  // 1-based
+  int total_batches = 0;
+  double fraction_processed = 0;
+  /// Multiplicity scale k/i applied to extensive aggregates (§2.2).
+  double scale = 1;
+
+  /// Approximate result rows; aggregate-bearing columns carry companion
+  /// `<col>_lo`, `<col>_hi` (bootstrap CI) and `<col>_rsd` columns.
+  Table result;
+  /// Worst relative standard deviation across aggregate cells.
+  double max_rsd = 0;
+
+  // Progress / cost introspection (drives the §5 experiments).
+  int64_t uncertain_tuples = 0;  // Σ |U_i| over all blocks
+  int64_t uncertain_groups = 0;  // HAVING outcomes still undecided
+  int recomputes_so_far = 0;     // range failures repaired so far
+  double batch_seconds = 0;      // wall time of this delta update
+  double elapsed_seconds = 0;    // wall time since query start
+};
+
+class OnlineQueryExecutor {
+ public:
+  /// Validates and prepares the query: every block must stream the same
+  /// table (dimension joins are fine) and must aggregate.
+  static Result<std::unique_ptr<OnlineQueryExecutor>> Create(const Catalog* catalog,
+                                                             CompiledQuery query,
+                                                             const GolaOptions& options);
+
+  bool done() const { return next_batch_ >= partitioner_->num_batches(); }
+  int batches_processed() const { return next_batch_; }
+  int total_batches() const { return partitioner_->num_batches(); }
+  int recomputes() const { return recomputes_; }
+  const CompiledQuery& query() const { return query_; }
+
+  /// Processes the next mini-batch and returns the refined answer.
+  Result<OnlineUpdate> Step();
+
+  /// Runs every remaining batch; `callback` (optional) sees each update and
+  /// may stop the query early by returning false — the OLA user control.
+  Result<OnlineUpdate> Run(
+      const std::function<bool(const OnlineUpdate&)>& callback = nullptr);
+
+  /// Runs until the answer reaches the target relative standard deviation
+  /// (or the data is exhausted) — the "accuracy criterion" stop of §2.
+  Result<OnlineUpdate> RunToAccuracy(double target_rsd);
+
+ private:
+  OnlineQueryExecutor(const Catalog* catalog, CompiledQuery query,
+                      const GolaOptions& options);
+
+  Status Prepare();
+
+  const Catalog* catalog_;
+  CompiledQuery query_;
+  GolaOptions options_;
+  std::unique_ptr<PoissonWeights> weights_;
+  std::unique_ptr<MiniBatchPartitioner> partitioner_;
+  std::vector<std::unique_ptr<OnlineBlockExec>> blocks_;
+  OnlineEnv env_;
+  int next_batch_ = 0;
+  int recomputes_ = 0;
+  Stopwatch total_timer_;
+  double elapsed_ = 0;
+};
+
+}  // namespace gola
+
+#endif  // GOLA_GOLA_CONTROLLER_H_

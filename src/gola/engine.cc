@@ -1,0 +1,53 @@
+#include "gola/engine.h"
+
+#include "parser/parser.h"
+
+namespace gola {
+
+Engine::Engine(GolaOptions default_options)
+    : default_options_(std::move(default_options)) {}
+
+Status Engine::RegisterTable(const std::string& name, Table table) {
+  catalog_.RegisterTable(name, std::make_shared<Table>(std::move(table)));
+  return Status::OK();
+}
+
+Status Engine::RegisterTable(const std::string& name, TablePtr table) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  catalog_.RegisterTable(name, std::move(table));
+  return Status::OK();
+}
+
+Result<TablePtr> Engine::GetTable(const std::string& name) const {
+  return catalog_.GetTable(name);
+}
+
+Result<CompiledQuery> Engine::Compile(const std::string& sql) const {
+  GOLA_ASSIGN_OR_RETURN(auto stmt, ParseSql(sql));
+  return BindQuery(*stmt, catalog_);
+}
+
+Result<std::string> Engine::Explain(const std::string& sql) const {
+  GOLA_ASSIGN_OR_RETURN(CompiledQuery query, Compile(sql));
+  return query.ToString();
+}
+
+Result<Table> Engine::ExecuteBatch(const std::string& sql,
+                                   const BatchExecOptions& opts) const {
+  GOLA_ASSIGN_OR_RETURN(CompiledQuery query, Compile(sql));
+  BatchExecutor exec(&catalog_);
+  return exec.Execute(query, opts);
+}
+
+Result<std::unique_ptr<OnlineQueryExecutor>> Engine::ExecuteOnline(
+    const std::string& sql) const {
+  return ExecuteOnline(sql, default_options_);
+}
+
+Result<std::unique_ptr<OnlineQueryExecutor>> Engine::ExecuteOnline(
+    const std::string& sql, const GolaOptions& options) const {
+  GOLA_ASSIGN_OR_RETURN(CompiledQuery query, Compile(sql));
+  return OnlineQueryExecutor::Create(&catalog_, std::move(query), options);
+}
+
+}  // namespace gola

@@ -1,0 +1,63 @@
+// Public facade of the library: register tables, run exact batch queries,
+// or run them online with G-OLA's iteratively refined approximate answers.
+//
+// Quickstart:
+//   gola::Engine engine;
+//   GOLA_CHECK_OK(engine.RegisterTable("sessions", sessions_table));
+//   auto online = engine.ExecuteOnline(
+//       "SELECT AVG(play_time) FROM sessions "
+//       "WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)");
+//   while (!(*online)->done()) {
+//     auto update = (*online)->Step();
+//     // update->result has the running answer with CI columns;
+//     // stop whenever update->max_rsd is good enough.
+//   }
+#ifndef GOLA_GOLA_ENGINE_H_
+#define GOLA_GOLA_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "exec/batch_executor.h"
+#include "gola/controller.h"
+#include "plan/binder.h"
+
+namespace gola {
+
+class Engine {
+ public:
+  explicit Engine(GolaOptions default_options = {});
+
+  /// Registers (or replaces) a table under a case-insensitive name.
+  Status RegisterTable(const std::string& name, Table table);
+  Status RegisterTable(const std::string& name, TablePtr table);
+  Result<TablePtr> GetTable(const std::string& name) const;
+  const Catalog& catalog() const { return catalog_; }
+
+  /// Parses and binds `sql` into a lineage-block DAG.
+  Result<CompiledQuery> Compile(const std::string& sql) const;
+
+  /// EXPLAIN: the block DAG as text.
+  Result<std::string> Explain(const std::string& sql) const;
+
+  /// Exact, blocking execution (the traditional engine).
+  Result<Table> ExecuteBatch(const std::string& sql,
+                             const BatchExecOptions& opts = {}) const;
+
+  /// Online execution: returns an executor that refines the answer one
+  /// mini-batch at a time. Options default to the engine-level defaults.
+  Result<std::unique_ptr<OnlineQueryExecutor>> ExecuteOnline(
+      const std::string& sql) const;
+  Result<std::unique_ptr<OnlineQueryExecutor>> ExecuteOnline(
+      const std::string& sql, const GolaOptions& options) const;
+
+  GolaOptions& default_options() { return default_options_; }
+
+ private:
+  Catalog catalog_;
+  GolaOptions default_options_;
+};
+
+}  // namespace gola
+
+#endif  // GOLA_GOLA_ENGINE_H_

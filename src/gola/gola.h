@@ -1,0 +1,14 @@
+// Umbrella header: everything a library user needs.
+#ifndef GOLA_GOLA_GOLA_H_
+#define GOLA_GOLA_GOLA_H_
+
+#include "common/logging.h"         // GOLA_CHECK / GOLA_CHECK_OK
+#include "common/status.h"          // Status / Result<T>
+#include "expr/aggregate.h"         // RegisterUdaf
+#include "expr/functions.h"         // FunctionRegistry (UDFs)
+#include "gola/controller.h"        // OnlineQueryExecutor / OnlineUpdate
+#include "gola/engine.h"            // Engine
+#include "storage/csv.h"            // ReadCsv / WriteCsv
+#include "storage/table.h"          // Table / TableBuilder / Schema
+
+#endif  // GOLA_GOLA_GOLA_H_

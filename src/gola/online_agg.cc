@@ -1,0 +1,203 @@
+#include "gola/online_agg.h"
+
+#include "common/logging.h"
+
+namespace gola {
+
+Chunk PostAggChunk::ReplicateChunk(size_t j, size_t num_group_cols) const {
+  std::vector<Column> cols;
+  cols.reserve(point.num_columns());
+  for (size_t c = 0; c < num_group_cols; ++c) cols.push_back(point.column(c));
+  for (const auto& agg_col : replicate_cols[j]) cols.push_back(agg_col);
+  // Replicate agg columns are float64; reuse the point schema only when the
+  // agg slots are float64 there too (they are: all replicate-capable
+  // aggregates finalize numerically). Build a parallel schema otherwise.
+  SchemaPtr schema = point.schema();
+  bool same = true;
+  for (size_t a = 0; a < replicate_cols[j].size(); ++a) {
+    if (schema->field(num_group_cols + a).type != replicate_cols[j][a].type()) {
+      same = false;
+      break;
+    }
+  }
+  if (!same) {
+    std::vector<Field> fields;
+    for (size_t c = 0; c < num_group_cols; ++c) fields.push_back(schema->field(c));
+    for (size_t a = 0; a < replicate_cols[j].size(); ++a) {
+      fields.push_back({schema->field(num_group_cols + a).name,
+                        replicate_cols[j][a].type()});
+    }
+    schema = std::make_shared<Schema>(fields);
+  }
+  return Chunk(schema, std::move(cols));
+}
+
+Status UpdateGroupMap(const BlockDef& block, const PoissonWeights* weights,
+                      const Chunk& input, const BroadcastEnv* env, GroupMap* map,
+                      const GroupMap* clone_source) {
+  size_t n = input.num_rows();
+  if (n == 0) return Status::OK();
+  if (!input.has_serials()) {
+    return Status::Internal("online aggregation requires row serials");
+  }
+
+  std::vector<Column> key_cols;
+  key_cols.reserve(block.group_by.size());
+  for (const auto& g : block.group_by) {
+    GOLA_ASSIGN_OR_RETURN(Column c, Evaluate(*g, input, env));
+    key_cols.push_back(std::move(c));
+  }
+  std::vector<Column> arg_cols;
+  std::vector<bool> has_arg;
+  for (const auto& agg : block.aggs) {
+    if (agg.call->children.empty()) {
+      arg_cols.emplace_back(TypeId::kFloat64);
+      has_arg.push_back(false);
+    } else {
+      GOLA_ASSIGN_OR_RETURN(Column c, Evaluate(*agg.call->children[0], input, env));
+      arg_cols.push_back(std::move(c));
+      has_arg.push_back(true);
+    }
+  }
+
+  auto new_states = [&]() {
+    GroupEntry entry;
+    entry.aggs.reserve(block.aggs.size());
+    for (const auto& agg : block.aggs) entry.aggs.emplace_back(agg.fn, weights);
+    return entry;
+  };
+
+  const auto& serials = input.serials();
+  GroupKey key;
+  key.values.resize(key_cols.size());
+  std::vector<int32_t> row_weights;  // one replicate-weight vector per row
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t k = 0; k < key_cols.size(); ++k) key.values[k] = key_cols[k].GetValue(i);
+    auto it = map->find(key);
+    if (it == map->end()) {
+      // Copy-on-write: clone from the base map if the group exists there.
+      if (clone_source != nullptr) {
+        auto src = clone_source->find(key);
+        if (src != clone_source->end()) {
+          GroupEntry cloned;
+          cloned.rows = src->second.rows;
+          cloned.aggs.reserve(src->second.aggs.size());
+          for (const auto& s : src->second.aggs) cloned.aggs.push_back(s.Clone());
+          it = map->emplace(key, std::move(cloned)).first;
+        }
+      }
+      if (it == map->end()) it = map->emplace(key, new_states()).first;
+    }
+    GroupEntry& entry = it->second;
+    ++entry.rows;
+    if (weights != nullptr) weights->WeightsFor(serials[i], &row_weights);
+    for (size_t a = 0; a < entry.aggs.size(); ++a) {
+      if (!has_arg[a]) {
+        entry.aggs[a].UpdateValueWeighted(Value::Int(1), row_weights);  // COUNT(*)
+        continue;
+      }
+      if (arg_cols[a].IsNull(i)) continue;
+      if (IsNumeric(arg_cols[a].type()) || arg_cols[a].type() == TypeId::kBool) {
+        entry.aggs[a].UpdateNumericWeighted(arg_cols[a].NumericAt(i), row_weights);
+      } else {
+        entry.aggs[a].UpdateValueWeighted(arg_cols[a].GetValue(i), row_weights);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+OnlineAggregate::OnlineAggregate(const BlockDef* block, const PoissonWeights* weights)
+    : block_(block), weights_(weights) {
+  GOLA_CHECK(block_->is_aggregate);
+}
+
+Status OnlineAggregate::Update(const Chunk& input, const BroadcastEnv* env) {
+  return UpdateGroupMap(*block_, weights_, input, env, &groups_, nullptr);
+}
+
+void OnlineAggregate::Reset() { groups_.clear(); }
+
+const GroupStates* OnlineAggregate::Find(const GroupKey& key) const {
+  auto it = groups_.find(key);
+  return it == groups_.end() ? nullptr : &it->second;
+}
+
+GroupStates OnlineAggregate::NewStates() const {
+  GroupEntry entry;
+  entry.aggs.reserve(block_->aggs.size());
+  for (const auto& agg : block_->aggs) entry.aggs.emplace_back(agg.fn, weights_);
+  return entry;
+}
+
+Status AggOverlay::Update(const Chunk& input, const BroadcastEnv* env) {
+  return UpdateGroupMap(*base_->block_, base_->weights_, input, env, &delta_,
+                        &base_->groups_);
+}
+
+const GroupStates* AggOverlay::Find(const GroupKey& key) const {
+  auto it = delta_.find(key);
+  if (it != delta_.end()) return &it->second;
+  return base_->Find(key);
+}
+
+Result<PostAggChunk> AggOverlay::Finalize(double scale, bool with_replicates) const {
+  const BlockDef& block = *base_->block_;
+  size_t num_keys = block.group_by.size();
+  size_t num_aggs = block.aggs.size();
+  int num_reps = with_replicates && base_->weights_ ? base_->weights_->num_replicates() : 0;
+
+  PostAggChunk out;
+  std::vector<Column> cols;
+  cols.reserve(num_keys + num_aggs);
+  for (size_t c = 0; c < num_keys + num_aggs; ++c) {
+    cols.emplace_back(block.post_agg_schema->field(c).type);
+  }
+  out.replicate_cols.resize(static_cast<size_t>(num_reps));
+  for (auto& rep : out.replicate_cols) {
+    rep.reserve(num_aggs);
+    for (size_t a = 0; a < num_aggs; ++a) rep.emplace_back(TypeId::kFloat64);
+  }
+
+  auto emit = [&](const GroupKey& key, const GroupStates& states) {
+    for (size_t k = 0; k < num_keys; ++k) cols[k].Append(key.values[k]);
+    out.support.push_back(states.rows);
+    for (size_t a = 0; a < num_aggs; ++a) {
+      double s = block.aggs[a].fn->ScalesWithMultiplicity() ? scale : 1.0;
+      cols[num_keys + a].Append(states.aggs[a].Finalize(s));
+      if (num_reps > 0) {
+        std::vector<double> reps = states.aggs[a].FinalizeReplicates(s);
+        for (int j = 0; j < num_reps; ++j) {
+          if (j < static_cast<int>(reps.size())) {
+            out.replicate_cols[static_cast<size_t>(j)][a].AppendFloat(
+                reps[static_cast<size_t>(j)]);
+          } else {
+            out.replicate_cols[static_cast<size_t>(j)][a].AppendNull();
+          }
+        }
+      }
+    }
+  };
+
+  bool any = false;
+  for (const auto& [key, states] : base_->groups_) {
+    auto it = delta_.find(key);
+    emit(key, it != delta_.end() ? it->second : states);
+    any = true;
+  }
+  for (const auto& [key, states] : delta_) {
+    if (base_->groups_.count(key)) continue;  // already emitted via base pass
+    emit(key, states);
+    any = true;
+  }
+  if (!any && num_keys == 0) {
+    // Global aggregation over an empty prefix still yields one row.
+    GroupKey empty;
+    GroupStates states = base_->NewStates();
+    emit(empty, states);
+  }
+  out.point = Chunk(block.post_agg_schema, std::move(cols));
+  return out;
+}
+
+}  // namespace gola

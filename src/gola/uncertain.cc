@@ -1,0 +1,80 @@
+#include "gola/uncertain.h"
+
+namespace gola {
+
+TriState ClassifyCmpRange(CmpOp cmp, double lhs, const VariationRange& r) {
+  switch (cmp) {
+    case CmpOp::kLt:
+      if (lhs < r.lo) return TriState::kTrue;
+      if (lhs >= r.hi) return TriState::kFalse;
+      return TriState::kUncertain;
+    case CmpOp::kLe:
+      if (lhs <= r.lo) return TriState::kTrue;
+      if (lhs > r.hi) return TriState::kFalse;
+      return TriState::kUncertain;
+    case CmpOp::kGt:
+      if (lhs > r.hi) return TriState::kTrue;
+      if (lhs <= r.lo) return TriState::kFalse;
+      return TriState::kUncertain;
+    case CmpOp::kGe:
+      if (lhs >= r.hi) return TriState::kTrue;
+      if (lhs < r.lo) return TriState::kFalse;
+      return TriState::kUncertain;
+    case CmpOp::kEq:
+      if (lhs < r.lo || lhs > r.hi) return TriState::kFalse;
+      if (r.lo == r.hi && lhs == r.lo) return TriState::kTrue;
+      return TriState::kUncertain;
+    case CmpOp::kNe:
+      if (lhs < r.lo || lhs > r.hi) return TriState::kTrue;
+      if (r.lo == r.hi && lhs == r.lo) return TriState::kFalse;
+      return TriState::kUncertain;
+  }
+  return TriState::kUncertain;
+}
+
+TriState ClassifyRangeRange(CmpOp cmp, const VariationRange& lhs,
+                            const VariationRange& rhs) {
+  switch (cmp) {
+    case CmpOp::kLt:
+      if (lhs.hi < rhs.lo) return TriState::kTrue;
+      if (lhs.lo >= rhs.hi) return TriState::kFalse;
+      return TriState::kUncertain;
+    case CmpOp::kLe:
+      if (lhs.hi <= rhs.lo) return TriState::kTrue;
+      if (lhs.lo > rhs.hi) return TriState::kFalse;
+      return TriState::kUncertain;
+    case CmpOp::kGt:
+      if (lhs.lo > rhs.hi) return TriState::kTrue;
+      if (lhs.hi <= rhs.lo) return TriState::kFalse;
+      return TriState::kUncertain;
+    case CmpOp::kGe:
+      if (lhs.lo >= rhs.hi) return TriState::kTrue;
+      if (lhs.hi < rhs.lo) return TriState::kFalse;
+      return TriState::kUncertain;
+    case CmpOp::kEq:
+      if (!lhs.Overlaps(rhs)) return TriState::kFalse;
+      if (lhs.lo == lhs.hi && rhs.lo == rhs.hi && lhs.lo == rhs.lo) return TriState::kTrue;
+      return TriState::kUncertain;
+    case CmpOp::kNe:
+      if (!lhs.Overlaps(rhs)) return TriState::kTrue;
+      if (lhs.lo == lhs.hi && rhs.lo == rhs.hi && lhs.lo == rhs.lo) return TriState::kFalse;
+      return TriState::kUncertain;
+  }
+  return TriState::kUncertain;
+}
+
+TriState ClassifyReplicateVotes(bool main, const std::vector<uint8_t>& votes,
+                                const std::vector<uint8_t>& valid) {
+  bool all_true = main;
+  bool all_false = !main;
+  for (size_t j = 0; j < votes.size(); ++j) {
+    if (!valid.empty() && !valid[j]) return TriState::kUncertain;
+    if (votes[j]) all_false = false;
+    else all_true = false;
+  }
+  if (all_true) return TriState::kTrue;
+  if (all_false) return TriState::kFalse;
+  return TriState::kUncertain;
+}
+
+}  // namespace gola

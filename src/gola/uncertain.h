@@ -1,0 +1,50 @@
+// Deterministic/uncertain classification primitives (paper §3.2).
+//
+// At a predicate `x θ y` where y is an uncertain value with variation range
+// R(y), a tuple is:
+//   deterministic-true   if x θ v holds for every v ∈ R(y),
+//   deterministic-false  if x θ v holds for no v ∈ R(y),
+//   uncertain            otherwise (the ranges "intersect").
+// Deterministic tuples never flip while the running value stays inside the
+// classification envelope; uncertain tuples are cached and re-evaluated
+// each mini-batch.
+#ifndef GOLA_GOLA_UNCERTAIN_H_
+#define GOLA_GOLA_UNCERTAIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bootstrap/ci.h"
+#include "expr/expr.h"
+
+namespace gola {
+
+enum class TriState { kFalse = 0, kTrue = 1, kUncertain = 2 };
+
+/// Classifies `lhs cmp [range]`: kTrue iff the comparison holds for every
+/// value in the range, kFalse iff for none. Boundary ties are conservative
+/// (classified uncertain) except for genuinely point ranges.
+TriState ClassifyCmpRange(CmpOp cmp, double lhs, const VariationRange& range);
+
+/// Classifies `[lhs_range] cmp [rhs_range]` (both sides uncertain, e.g. a
+/// HAVING comparing a group aggregate with a subquery result).
+TriState ClassifyRangeRange(CmpOp cmp, const VariationRange& lhs,
+                            const VariationRange& rhs);
+
+/// Combines per-conjunct classifications of one tuple: any kFalse → kFalse,
+/// all kTrue → kTrue, else kUncertain.
+inline TriState CombineConjuncts(TriState acc, TriState next) {
+  if (acc == TriState::kFalse || next == TriState::kFalse) return TriState::kFalse;
+  if (acc == TriState::kTrue && next == TriState::kTrue) return TriState::kTrue;
+  return TriState::kUncertain;
+}
+
+/// Tri-state of a boolean evaluated across bootstrap replicates: all true →
+/// kTrue, all false → kFalse, mixed/NaN → kUncertain. `main` participates
+/// like a replicate.
+TriState ClassifyReplicateVotes(bool main, const std::vector<uint8_t>& votes,
+                                const std::vector<uint8_t>& valid);
+
+}  // namespace gola
+
+#endif  // GOLA_GOLA_UNCERTAIN_H_

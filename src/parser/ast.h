@@ -1,0 +1,77 @@
+// Abstract syntax tree produced by the SQL parser. Expressions reuse the
+// runtime Expr node kinds where possible; subqueries are the one construct
+// that exists only here (the binder lifts them into separate plan blocks
+// and replaces them with SubqueryRef placeholders).
+#ifndef GOLA_PARSER_AST_H_
+#define GOLA_PARSER_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace gola {
+
+struct SelectStmt;
+
+enum class AstExprKind {
+  kLiteral,
+  kColumnRef,     // name, possibly qualified "t.col"
+  kStar,          // only valid inside COUNT(*)
+  kArithmetic,
+  kComparison,
+  kLogical,
+  kFunctionCall,  // scalar function OR aggregate, disambiguated by name
+  kCase,
+  kIsNull,
+  kSubquery,      // scalar subquery  (SELECT ...)
+  kInSubquery,    // expr [NOT] IN (SELECT ...)
+};
+
+struct AstExpr {
+  AstExprKind kind;
+  Value literal;
+  std::string name;             // column or function name
+  ArithOp arith_op = ArithOp::kAdd;
+  CmpOp cmp_op = CmpOp::kEq;
+  LogicalOp logical_op = LogicalOp::kAnd;
+  bool negated = false;         // NOT IN / IS NOT NULL
+  std::vector<std::unique_ptr<AstExpr>> children;
+  std::unique_ptr<SelectStmt> subquery;
+
+  std::string ToString() const;
+};
+
+using AstExprPtr = std::unique_ptr<AstExpr>;
+
+struct SelectItem {
+  AstExprPtr expr;
+  std::string alias;  // empty → derived from the expression
+};
+
+struct TableRef {
+  std::string name;
+  std::string alias;  // empty → same as name
+};
+
+struct OrderItem {
+  AstExprPtr expr;
+  bool descending = false;
+};
+
+struct SelectStmt {
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;      // comma/JOIN list; join predicates folded into where
+  AstExprPtr where;                // may be null
+  std::vector<AstExprPtr> group_by;
+  AstExprPtr having;               // may be null
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;              // -1 → no limit
+
+  std::string ToString() const;
+};
+
+}  // namespace gola
+
+#endif  // GOLA_PARSER_AST_H_

@@ -1,0 +1,38 @@
+// SQL lexer: splits query text into tokens with source offsets for error
+// reporting. Keywords are not distinguished from identifiers here; the
+// parser matches identifiers case-insensitively.
+#ifndef GOLA_PARSER_LEXER_H_
+#define GOLA_PARSER_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gola {
+
+enum class TokenKind {
+  kIdentifier,
+  kIntLiteral,
+  kFloatLiteral,
+  kStringLiteral,
+  kSymbol,  // punctuation / operator, text holds the exact symbol
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;      // identifier name, literal text, or symbol
+  int64_t int_value = 0;
+  double float_value = 0;
+  size_t offset = 0;     // byte offset in the source
+};
+
+/// Tokenizes `sql`; appends a kEnd token. Supports line comments (--) and
+/// the symbols: ( ) , . ; + - * / % < <= > >= = <> !=
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace gola
+
+#endif  // GOLA_PARSER_LEXER_H_

@@ -1,0 +1,530 @@
+#include "parser/parser.h"
+
+#include "common/string_util.h"
+#include "parser/lexer.h"
+
+namespace gola {
+
+namespace {
+
+/// Reserved words that terminate an expression / cannot be column names in
+/// unqualified positions.
+bool IsReserved(const std::string& word) {
+  static const char* kReserved[] = {
+      "select", "from",  "where", "group", "by",     "having", "order",
+      "limit",  "and",   "or",    "not",   "in",     "between", "is", "like",
+      "null",   "as",    "case",  "when",  "then",   "else",   "end",
+      "join",   "inner", "on",    "asc",   "desc",   "distinct",
+  };
+  std::string lower = ToLower(word);
+  for (const char* r : kReserved) {
+    if (lower == r) return true;
+  }
+  return false;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<SelectStmt>> ParseStatement() {
+    GOLA_ASSIGN_OR_RETURN(auto stmt, ParseSelect());
+    if (MatchSymbol(";")) {
+      // trailing semicolon ok
+    }
+    if (!AtEnd()) {
+      return Error("unexpected trailing input");
+    }
+    return stmt;
+  }
+
+ private:
+  // ------------------------------------------------------------- helpers --
+  const Token& Peek(size_t ahead = 0) const {
+    size_t idx = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[idx];
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  bool CheckKeyword(const char* kw, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.kind == TokenKind::kIdentifier && EqualsIgnoreCase(t.text, kw);
+  }
+  bool MatchKeyword(const char* kw) {
+    if (CheckKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool CheckSymbol(const char* sym, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.kind == TokenKind::kSymbol && t.text == sym;
+  }
+  bool MatchSymbol(const char* sym) {
+    if (CheckSymbol(sym)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!MatchKeyword(kw)) return Error(Format("expected %s", kw));
+    return Status::OK();
+  }
+  Status ExpectSymbol(const char* sym) {
+    if (!MatchSymbol(sym)) return Error(Format("expected '%s'", sym));
+    return Status::OK();
+  }
+  Status Error(const std::string& msg) const {
+    const Token& t = Peek();
+    std::string got = t.kind == TokenKind::kEnd ? "end of input" : "'" + t.text + "'";
+    return Status::ParseError(
+        Format("%s, got %s (offset %zu)", msg.c_str(), got.c_str(), t.offset));
+  }
+
+  // -------------------------------------------------------------- SELECT --
+  Result<std::unique_ptr<SelectStmt>> ParseSelect() {
+    GOLA_RETURN_NOT_OK(ExpectKeyword("select"));
+    auto stmt = std::make_unique<SelectStmt>();
+    // DISTINCT is recognized but unsupported — clear error beats mystery.
+    if (MatchKeyword("distinct")) {
+      return Status::NotImplemented("SELECT DISTINCT is not supported");
+    }
+    // Select list.
+    do {
+      SelectItem item;
+      GOLA_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("as")) {
+        if (Peek().kind != TokenKind::kIdentifier) return Error("expected alias");
+        item.alias = Advance().text;
+      } else if (Peek().kind == TokenKind::kIdentifier && !IsReserved(Peek().text)) {
+        item.alias = Advance().text;
+      }
+      stmt->items.push_back(std::move(item));
+    } while (MatchSymbol(","));
+
+    // FROM
+    if (MatchKeyword("from")) {
+      GOLA_RETURN_NOT_OK(ParseFrom(stmt.get()));
+    }
+    // WHERE
+    if (MatchKeyword("where")) {
+      GOLA_ASSIGN_OR_RETURN(auto where, ParseExpr());
+      if (stmt->where) {
+        stmt->where = MakeLogical(LogicalOp::kAnd, std::move(stmt->where), std::move(where));
+      } else {
+        stmt->where = std::move(where);
+      }
+    }
+    // GROUP BY
+    if (MatchKeyword("group")) {
+      GOLA_RETURN_NOT_OK(ExpectKeyword("by"));
+      do {
+        GOLA_ASSIGN_OR_RETURN(auto g, ParseExpr());
+        stmt->group_by.push_back(std::move(g));
+      } while (MatchSymbol(","));
+    }
+    // HAVING
+    if (MatchKeyword("having")) {
+      GOLA_ASSIGN_OR_RETURN(stmt->having, ParseExpr());
+    }
+    // ORDER BY
+    if (MatchKeyword("order")) {
+      GOLA_RETURN_NOT_OK(ExpectKeyword("by"));
+      do {
+        OrderItem item;
+        GOLA_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (MatchKeyword("desc")) item.descending = true;
+        else MatchKeyword("asc");
+        stmt->order_by.push_back(std::move(item));
+      } while (MatchSymbol(","));
+    }
+    // LIMIT
+    if (MatchKeyword("limit")) {
+      if (Peek().kind != TokenKind::kIntLiteral) return Error("expected integer LIMIT");
+      stmt->limit = Advance().int_value;
+    }
+    return stmt;
+  }
+
+  Status ParseFrom(SelectStmt* stmt) {
+    GOLA_RETURN_NOT_OK(ParseTableRef(stmt));
+    for (;;) {
+      if (MatchSymbol(",")) {
+        GOLA_RETURN_NOT_OK(ParseTableRef(stmt));
+        continue;
+      }
+      bool is_join = false;
+      if (CheckKeyword("inner") && CheckKeyword("join", 1)) {
+        Advance();
+        Advance();
+        is_join = true;
+      } else if (MatchKeyword("join")) {
+        is_join = true;
+      }
+      if (!is_join) break;
+      GOLA_RETURN_NOT_OK(ParseTableRef(stmt));
+      GOLA_RETURN_NOT_OK(ExpectKeyword("on"));
+      GOLA_ASSIGN_OR_RETURN(auto cond, ParseExpr());
+      if (stmt->where) {
+        stmt->where = MakeLogical(LogicalOp::kAnd, std::move(stmt->where), std::move(cond));
+      } else {
+        stmt->where = std::move(cond);
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ParseTableRef(SelectStmt* stmt) {
+    if (Peek().kind != TokenKind::kIdentifier) return Error("expected table name");
+    TableRef ref;
+    ref.name = Advance().text;
+    if (MatchKeyword("as")) {
+      if (Peek().kind != TokenKind::kIdentifier) return Error("expected table alias");
+      ref.alias = Advance().text;
+    } else if (Peek().kind == TokenKind::kIdentifier && !IsReserved(Peek().text)) {
+      ref.alias = Advance().text;
+    }
+    if (ref.alias.empty()) ref.alias = ref.name;
+    stmt->from.push_back(std::move(ref));
+    return Status::OK();
+  }
+
+  // --------------------------------------------------------- expressions --
+  static AstExprPtr MakeLogical(LogicalOp op, AstExprPtr a, AstExprPtr b) {
+    auto e = std::make_unique<AstExpr>();
+    e->kind = AstExprKind::kLogical;
+    e->logical_op = op;
+    e->children.push_back(std::move(a));
+    if (b) e->children.push_back(std::move(b));
+    return e;
+  }
+
+  Result<AstExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<AstExprPtr> ParseOr() {
+    GOLA_ASSIGN_OR_RETURN(auto lhs, ParseAnd());
+    while (MatchKeyword("or")) {
+      GOLA_ASSIGN_OR_RETURN(auto rhs, ParseAnd());
+      lhs = MakeLogical(LogicalOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<AstExprPtr> ParseAnd() {
+    GOLA_ASSIGN_OR_RETURN(auto lhs, ParseNot());
+    while (CheckKeyword("and")) {
+      Advance();
+      GOLA_ASSIGN_OR_RETURN(auto rhs, ParseNot());
+      lhs = MakeLogical(LogicalOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<AstExprPtr> ParseNot() {
+    if (MatchKeyword("not")) {
+      GOLA_ASSIGN_OR_RETURN(auto operand, ParseNot());
+      return MakeLogical(LogicalOp::kNot, std::move(operand), nullptr);
+    }
+    return ParseComparison();
+  }
+
+  Result<AstExprPtr> ParseComparison() {
+    GOLA_ASSIGN_OR_RETURN(auto lhs, ParseAdditive());
+
+    // IS [NOT] NULL
+    if (MatchKeyword("is")) {
+      bool negated = MatchKeyword("not");
+      GOLA_RETURN_NOT_OK(ExpectKeyword("null"));
+      auto e = std::make_unique<AstExpr>();
+      e->kind = AstExprKind::kIsNull;
+      e->negated = negated;
+      e->children.push_back(std::move(lhs));
+      return e;
+    }
+
+    // [NOT] BETWEEN a AND b  →  (lhs >= a AND lhs <= b)
+    bool between_negated = false;
+    if (CheckKeyword("not") && CheckKeyword("between", 1)) {
+      Advance();
+      between_negated = true;
+    }
+    if (MatchKeyword("between")) {
+      GOLA_ASSIGN_OR_RETURN(auto low, ParseAdditive());
+      GOLA_RETURN_NOT_OK(ExpectKeyword("and"));
+      GOLA_ASSIGN_OR_RETURN(auto high, ParseAdditive());
+      auto ge = std::make_unique<AstExpr>();
+      ge->kind = AstExprKind::kComparison;
+      ge->cmp_op = CmpOp::kGe;
+      ge->children.push_back(CloneAst(*lhs));
+      ge->children.push_back(std::move(low));
+      auto le = std::make_unique<AstExpr>();
+      le->kind = AstExprKind::kComparison;
+      le->cmp_op = CmpOp::kLe;
+      le->children.push_back(std::move(lhs));
+      le->children.push_back(std::move(high));
+      auto both = MakeLogical(LogicalOp::kAnd, std::move(ge), std::move(le));
+      if (between_negated) return MakeLogical(LogicalOp::kNot, std::move(both), nullptr);
+      return both;
+    }
+
+    // [NOT] IN (subquery)   or   [NOT] IN (value, value, ...)
+    bool in_negated = false;
+    if (CheckKeyword("not") && CheckKeyword("in", 1)) {
+      Advance();
+      in_negated = true;
+    }
+    if (MatchKeyword("in")) {
+      GOLA_RETURN_NOT_OK(ExpectSymbol("("));
+      if (CheckKeyword("select")) {
+        GOLA_ASSIGN_OR_RETURN(auto sub, ParseSelect());
+        GOLA_RETURN_NOT_OK(ExpectSymbol(")"));
+        auto e = std::make_unique<AstExpr>();
+        e->kind = AstExprKind::kInSubquery;
+        e->negated = in_negated;
+        e->children.push_back(std::move(lhs));
+        e->subquery = std::move(sub);
+        return e;
+      }
+      // Value list: desugar to a disjunction of equalities.
+      AstExprPtr disjunction;
+      do {
+        GOLA_ASSIGN_OR_RETURN(auto value, ParseAdditive());
+        auto eq = std::make_unique<AstExpr>();
+        eq->kind = AstExprKind::kComparison;
+        eq->cmp_op = CmpOp::kEq;
+        eq->children.push_back(CloneAst(*lhs));
+        eq->children.push_back(std::move(value));
+        disjunction = disjunction
+                          ? MakeLogical(LogicalOp::kOr, std::move(disjunction),
+                                        std::move(eq))
+                          : std::move(eq);
+      } while (MatchSymbol(","));
+      GOLA_RETURN_NOT_OK(ExpectSymbol(")"));
+      if (in_negated) {
+        return MakeLogical(LogicalOp::kNot, std::move(disjunction), nullptr);
+      }
+      return disjunction;
+    }
+
+    // [NOT] LIKE 'pattern' — sugar for the like() scalar function.
+    bool like_negated = false;
+    if (CheckKeyword("not") && CheckKeyword("like", 1)) {
+      Advance();
+      like_negated = true;
+    }
+    if (MatchKeyword("like")) {
+      GOLA_ASSIGN_OR_RETURN(auto pattern, ParseAdditive());
+      auto call = std::make_unique<AstExpr>();
+      call->kind = AstExprKind::kFunctionCall;
+      call->name = "like";
+      call->children.push_back(std::move(lhs));
+      call->children.push_back(std::move(pattern));
+      if (like_negated) {
+        return MakeLogical(LogicalOp::kNot, std::move(call), nullptr);
+      }
+      return call;
+    }
+
+    // Binary comparison.
+    CmpOp op;
+    if (MatchSymbol("=")) op = CmpOp::kEq;
+    else if (MatchSymbol("<>")) op = CmpOp::kNe;
+    else if (MatchSymbol("<=")) op = CmpOp::kLe;
+    else if (MatchSymbol(">=")) op = CmpOp::kGe;
+    else if (MatchSymbol("<")) op = CmpOp::kLt;
+    else if (MatchSymbol(">")) op = CmpOp::kGt;
+    else return lhs;
+
+    GOLA_ASSIGN_OR_RETURN(auto rhs, ParseAdditive());
+    auto e = std::make_unique<AstExpr>();
+    e->kind = AstExprKind::kComparison;
+    e->cmp_op = op;
+    e->children.push_back(std::move(lhs));
+    e->children.push_back(std::move(rhs));
+    return e;
+  }
+
+  Result<AstExprPtr> ParseAdditive() {
+    GOLA_ASSIGN_OR_RETURN(auto lhs, ParseMultiplicative());
+    for (;;) {
+      ArithOp op;
+      if (MatchSymbol("+")) op = ArithOp::kAdd;
+      else if (MatchSymbol("-")) op = ArithOp::kSub;
+      else break;
+      GOLA_ASSIGN_OR_RETURN(auto rhs, ParseMultiplicative());
+      auto e = std::make_unique<AstExpr>();
+      e->kind = AstExprKind::kArithmetic;
+      e->arith_op = op;
+      e->children.push_back(std::move(lhs));
+      e->children.push_back(std::move(rhs));
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<AstExprPtr> ParseMultiplicative() {
+    GOLA_ASSIGN_OR_RETURN(auto lhs, ParseUnary());
+    for (;;) {
+      ArithOp op;
+      if (MatchSymbol("*")) op = ArithOp::kMul;
+      else if (MatchSymbol("/")) op = ArithOp::kDiv;
+      else if (MatchSymbol("%")) op = ArithOp::kMod;
+      else break;
+      GOLA_ASSIGN_OR_RETURN(auto rhs, ParseUnary());
+      auto e = std::make_unique<AstExpr>();
+      e->kind = AstExprKind::kArithmetic;
+      e->arith_op = op;
+      e->children.push_back(std::move(lhs));
+      e->children.push_back(std::move(rhs));
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<AstExprPtr> ParseUnary() {
+    if (MatchSymbol("-")) {
+      GOLA_ASSIGN_OR_RETURN(auto operand, ParseUnary());
+      auto e = std::make_unique<AstExpr>();
+      e->kind = AstExprKind::kArithmetic;
+      e->arith_op = ArithOp::kNeg;
+      e->children.push_back(std::move(operand));
+      return e;
+    }
+    if (MatchSymbol("+")) return ParseUnary();
+    return ParsePrimary();
+  }
+
+  Result<AstExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    auto e = std::make_unique<AstExpr>();
+    switch (t.kind) {
+      case TokenKind::kIntLiteral:
+        e->kind = AstExprKind::kLiteral;
+        e->literal = Value::Int(Advance().int_value);
+        return e;
+      case TokenKind::kFloatLiteral:
+        e->kind = AstExprKind::kLiteral;
+        e->literal = Value::Float(Advance().float_value);
+        return e;
+      case TokenKind::kStringLiteral:
+        e->kind = AstExprKind::kLiteral;
+        e->literal = Value::String(Advance().text);
+        return e;
+      case TokenKind::kSymbol:
+        if (t.text == "(") {
+          Advance();
+          if (CheckKeyword("select")) {
+            GOLA_ASSIGN_OR_RETURN(auto sub, ParseSelect());
+            GOLA_RETURN_NOT_OK(ExpectSymbol(")"));
+            e->kind = AstExprKind::kSubquery;
+            e->subquery = std::move(sub);
+            return e;
+          }
+          GOLA_ASSIGN_OR_RETURN(auto inner, ParseExpr());
+          GOLA_RETURN_NOT_OK(ExpectSymbol(")"));
+          return inner;
+        }
+        if (t.text == "*") {
+          Advance();
+          e->kind = AstExprKind::kStar;
+          return e;
+        }
+        return Error("expected expression");
+      case TokenKind::kIdentifier: {
+        if (EqualsIgnoreCase(t.text, "null")) {
+          Advance();
+          e->kind = AstExprKind::kLiteral;
+          e->literal = Value::Null();
+          return e;
+        }
+        if (EqualsIgnoreCase(t.text, "true") || EqualsIgnoreCase(t.text, "false")) {
+          e->kind = AstExprKind::kLiteral;
+          e->literal = Value::Bool(EqualsIgnoreCase(Advance().text, "true"));
+          return e;
+        }
+        if (EqualsIgnoreCase(t.text, "case")) return ParseCase();
+        if (IsReserved(t.text)) {
+          return Error("expected expression");
+        }
+
+        std::string name = Advance().text;
+        // Function call?
+        if (CheckSymbol("(")) {
+          Advance();
+          e->kind = AstExprKind::kFunctionCall;
+          e->name = name;
+          if (!CheckSymbol(")")) {
+            do {
+              GOLA_ASSIGN_OR_RETURN(auto arg, ParseExpr());
+              e->children.push_back(std::move(arg));
+            } while (MatchSymbol(","));
+          }
+          GOLA_RETURN_NOT_OK(ExpectSymbol(")"));
+          return e;
+        }
+        // Qualified column "t.col"?
+        if (MatchSymbol(".")) {
+          if (Peek().kind != TokenKind::kIdentifier) return Error("expected column name");
+          name += "." + Advance().text;
+        }
+        e->kind = AstExprKind::kColumnRef;
+        e->name = name;
+        return e;
+      }
+      case TokenKind::kEnd:
+        return Error("unexpected end of input");
+    }
+    return Error("expected expression");
+  }
+
+  Result<AstExprPtr> ParseCase() {
+    GOLA_RETURN_NOT_OK(ExpectKeyword("case"));
+    auto e = std::make_unique<AstExpr>();
+    e->kind = AstExprKind::kCase;
+    while (MatchKeyword("when")) {
+      GOLA_ASSIGN_OR_RETURN(auto when, ParseExpr());
+      GOLA_RETURN_NOT_OK(ExpectKeyword("then"));
+      GOLA_ASSIGN_OR_RETURN(auto then, ParseExpr());
+      e->children.push_back(std::move(when));
+      e->children.push_back(std::move(then));
+    }
+    if (e->children.empty()) return Error("CASE needs at least one WHEN");
+    if (MatchKeyword("else")) {
+      GOLA_ASSIGN_OR_RETURN(auto otherwise, ParseExpr());
+      e->children.push_back(std::move(otherwise));
+    }
+    GOLA_RETURN_NOT_OK(ExpectKeyword("end"));
+    return e;
+  }
+
+  /// Deep copy of an AST expression (used by BETWEEN desugaring). Subqueries
+  /// inside a BETWEEN bound are not supported.
+  static AstExprPtr CloneAst(const AstExpr& src) {
+    auto e = std::make_unique<AstExpr>();
+    e->kind = src.kind;
+    e->literal = src.literal;
+    e->name = src.name;
+    e->arith_op = src.arith_op;
+    e->cmp_op = src.cmp_op;
+    e->logical_op = src.logical_op;
+    e->negated = src.negated;
+    for (const auto& c : src.children) e->children.push_back(CloneAst(*c));
+    return e;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<SelectStmt>> ParseSql(const std::string& sql) {
+  GOLA_ASSIGN_OR_RETURN(auto tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace gola

@@ -1,0 +1,22 @@
+// Recursive-descent SQL parser covering the dialect the paper's workloads
+// need: SELECT with expressions/aliases, FROM with comma- and INNER JOINs,
+// WHERE (incl. scalar and [NOT] IN subqueries, BETWEEN, CASE), GROUP BY,
+// HAVING, ORDER BY, LIMIT, and the aggregate functions COUNT/SUM/AVG/MIN/
+// MAX/VAR/STDDEV/QUANTILE plus registered UDAFs.
+#ifndef GOLA_PARSER_PARSER_H_
+#define GOLA_PARSER_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "parser/ast.h"
+
+namespace gola {
+
+/// Parses a single SELECT statement (optionally ';'-terminated).
+Result<std::unique_ptr<SelectStmt>> ParseSql(const std::string& sql);
+
+}  // namespace gola
+
+#endif  // GOLA_PARSER_PARSER_H_

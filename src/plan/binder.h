@@ -1,0 +1,40 @@
+// Catalog and binder: resolves a parsed SelectStmt against registered
+// tables, type-checks every expression, lifts nested aggregate subqueries
+// into lineage blocks, detects correlation keys, and classifies predicate
+// conjuncts as certain or uncertain. The output CompiledQuery is fully
+// bound — every column reference carries a chunk position and every node a
+// result type — and is shared by the batch and online engines.
+#ifndef GOLA_PLAN_BINDER_H_
+#define GOLA_PLAN_BINDER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "parser/ast.h"
+#include "plan/logical_plan.h"
+#include "storage/table.h"
+
+namespace gola {
+
+/// Name → table registry shared by the engines.
+class Catalog {
+ public:
+  void RegisterTable(const std::string& name, TablePtr table);
+  Result<TablePtr> GetTable(const std::string& name) const;
+  Result<SchemaPtr> GetSchema(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+  std::vector<std::string> ListTables() const;
+
+ private:
+  std::unordered_map<std::string, TablePtr> tables_;  // lower-cased names
+};
+
+/// Binds a parsed statement into an executable block DAG.
+Result<CompiledQuery> BindQuery(const SelectStmt& stmt, const Catalog& catalog);
+
+}  // namespace gola
+
+#endif  // GOLA_PLAN_BINDER_H_

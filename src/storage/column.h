@@ -1,0 +1,95 @@
+// Column: a typed, nullable vector of scalars — the unit of vectorized
+// execution. Data is stored in contiguous typed vectors (Arrow-style),
+// with an optional null mask allocated lazily on first NULL.
+#ifndef GOLA_STORAGE_COLUMN_H_
+#define GOLA_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/data_type.h"
+#include "storage/value.h"
+
+namespace gola {
+
+class Column {
+ public:
+  /// Empty column of the given type (kNull not allowed; pick a real type).
+  explicit Column(TypeId type = TypeId::kFloat64);
+
+  static Column MakeBool(std::vector<uint8_t> v);
+  static Column MakeInt(std::vector<int64_t> v);
+  static Column MakeFloat(std::vector<double> v);
+  static Column MakeString(std::vector<std::string> v);
+  /// Column of `n` copies of a scalar (broadcast literal).
+  static Result<Column> MakeConstant(const Value& v, TypeId type, size_t n);
+
+  TypeId type() const { return type_; }
+  size_t size() const;
+  bool has_nulls() const { return !nulls_.empty(); }
+
+  void Reserve(size_t n);
+
+  /// Appends a value; NULL and numeric widening handled, type mismatch is a
+  /// programmer error (checked).
+  void Append(const Value& v);
+  void AppendNull();
+  void AppendBool(bool v) { std::get<BoolVec>(data_).push_back(v ? 1 : 0); GrowNulls(); }
+  void AppendInt(int64_t v) { std::get<IntVec>(data_).push_back(v); GrowNulls(); }
+  void AppendFloat(double v) { std::get<FloatVec>(data_).push_back(v); GrowNulls(); }
+  void AppendString(std::string v) {
+    std::get<StringVec>(data_).push_back(std::move(v));
+    GrowNulls();
+  }
+
+  bool IsNull(size_t i) const { return !nulls_.empty() && nulls_[i] != 0; }
+  Value GetValue(size_t i) const;
+
+  // Typed accessors; calling the wrong one is a programmer error.
+  const std::vector<uint8_t>& bools() const { return std::get<BoolVec>(data_); }
+  const std::vector<int64_t>& ints() const { return std::get<IntVec>(data_); }
+  const std::vector<double>& floats() const { return std::get<FloatVec>(data_); }
+  const std::vector<std::string>& strings() const { return std::get<StringVec>(data_); }
+  std::vector<uint8_t>& mutable_bools() { return std::get<BoolVec>(data_); }
+  std::vector<int64_t>& mutable_ints() { return std::get<IntVec>(data_); }
+  std::vector<double>& mutable_floats() { return std::get<FloatVec>(data_); }
+  std::vector<std::string>& mutable_strings() { return std::get<StringVec>(data_); }
+
+  /// Fast numeric read widened to double (0 for NULL slots); only valid for
+  /// bool/int/float columns.
+  double NumericAt(size_t i) const;
+
+  /// All values widened to double; NULL slots become 0 with `valid[i]`=0 if
+  /// `valid` is non-null.
+  Result<std::vector<double>> ToFloat64(std::vector<uint8_t>* valid = nullptr) const;
+
+  /// Rows where sel[i] != 0 (sel.size() == size()).
+  Column Filter(const std::vector<uint8_t>& sel) const;
+  /// Rows at the given indices (gather).
+  Column Take(const std::vector<int64_t>& indices) const;
+  Column Slice(size_t offset, size_t length) const;
+  /// Appends all rows of `other` (same type required).
+  Status AppendColumn(const Column& other);
+
+ private:
+  using BoolVec = std::vector<uint8_t>;
+  using IntVec = std::vector<int64_t>;
+  using FloatVec = std::vector<double>;
+  using StringVec = std::vector<std::string>;
+
+  void GrowNulls() {
+    if (!nulls_.empty()) nulls_.push_back(0);
+  }
+  void EnsureNulls();
+
+  TypeId type_;
+  std::variant<BoolVec, IntVec, FloatVec, StringVec> data_;
+  std::vector<uint8_t> nulls_;  // empty → no nulls; else 1 marks NULL
+};
+
+}  // namespace gola
+
+#endif  // GOLA_STORAGE_COLUMN_H_

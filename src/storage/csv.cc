@@ -1,0 +1,181 @@
+#include "storage/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace gola {
+
+namespace {
+
+bool NeedsQuoting(const std::string& s, char delim) {
+  return s.find(delim) != std::string::npos || s.find('"') != std::string::npos ||
+         s.find('\n') != std::string::npos;
+}
+
+std::string QuoteCell(const std::string& s, char delim) {
+  if (!NeedsQuoting(s, delim)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+/// Splits one CSV record honoring double-quote escaping.
+std::vector<std::string> ParseRecord(const std::string& line, char delim) {
+  std::vector<std::string> cells;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delim) {
+      cells.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  cells.push_back(std::move(cur));
+  return cells;
+}
+
+bool LooksLikeInt(const std::string& s) {
+  if (s.empty()) return false;
+  size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i == s.size()) return false;
+  for (; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+  }
+  return true;
+}
+
+bool LooksLikeFloat(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+}  // namespace
+
+Status WriteCsv(const Table& table, const std::string& path, const CsvOptions& options) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  const auto& schema = *table.schema();
+  if (options.has_header) {
+    for (size_t i = 0; i < schema.num_fields(); ++i) {
+      if (i > 0) out << options.delimiter;
+      out << QuoteCell(schema.field(i).name, options.delimiter);
+    }
+    out << "\n";
+  }
+  for (const auto& chunk : table.chunks()) {
+    for (size_t r = 0; r < chunk.num_rows(); ++r) {
+      for (size_t c = 0; c < chunk.num_columns(); ++c) {
+        if (c > 0) out << options.delimiter;
+        Value v = chunk.column(c).GetValue(r);
+        if (v.is_null()) out << options.null_token;
+        else out << QuoteCell(v.ToString(), options.delimiter);
+      }
+      out << "\n";
+    }
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Table> ReadCsv(const std::string& path, SchemaPtr schema, const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    auto cells = ParseRecord(line, options.delimiter);
+    if (first && options.has_header) {
+      header = std::move(cells);
+      first = false;
+      continue;
+    }
+    first = false;
+    rows.push_back(std::move(cells));
+  }
+
+  size_t width = schema ? schema->num_fields()
+                        : (header.empty() ? (rows.empty() ? 0 : rows[0].size())
+                                          : header.size());
+  if (width == 0) return Status::IoError("empty CSV: " + path);
+
+  if (!schema) {
+    // Infer types column by column: INT64 if all cells are ints, else
+    // FLOAT64 if all numeric, else STRING. NULL tokens are ignored.
+    std::vector<Field> fields;
+    for (size_t c = 0; c < width; ++c) {
+      bool all_int = true;
+      bool all_float = true;
+      for (const auto& row : rows) {
+        if (c >= row.size() || row[c] == options.null_token) continue;
+        if (!LooksLikeInt(row[c])) all_int = false;
+        if (!LooksLikeFloat(row[c])) all_float = false;
+      }
+      TypeId type = all_int ? TypeId::kInt64 : (all_float ? TypeId::kFloat64 : TypeId::kString);
+      std::string name = c < header.size() ? header[c] : Format("col%zu", c);
+      fields.push_back({std::move(name), type});
+    }
+    schema = std::make_shared<Schema>(std::move(fields));
+  }
+
+  TableBuilder builder(schema);
+  std::vector<Value> values(width);
+  for (const auto& row : rows) {
+    if (row.size() != width) {
+      return Status::IoError(Format("CSV row has %zu cells, expected %zu", row.size(), width));
+    }
+    for (size_t c = 0; c < width; ++c) {
+      const std::string& cell = row[c];
+      if (cell == options.null_token && schema->field(c).type != TypeId::kString) {
+        values[c] = Value::Null();
+        continue;
+      }
+      switch (schema->field(c).type) {
+        case TypeId::kBool:
+          values[c] = Value::Bool(EqualsIgnoreCase(cell, "true") || cell == "1");
+          break;
+        case TypeId::kInt64:
+          values[c] = Value::Int(std::strtoll(cell.c_str(), nullptr, 10));
+          break;
+        case TypeId::kFloat64:
+          values[c] = Value::Float(std::strtod(cell.c_str(), nullptr));
+          break;
+        default:
+          values[c] = Value::String(cell);
+          break;
+      }
+    }
+    builder.AppendRow(values);
+  }
+  return builder.Finish();
+}
+
+}  // namespace gola

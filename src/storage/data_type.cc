@@ -1,0 +1,40 @@
+#include "storage/data_type.h"
+
+#include "common/string_util.h"
+
+namespace gola {
+
+const char* TypeIdToString(TypeId id) {
+  switch (id) {
+    case TypeId::kNull: return "NULL";
+    case TypeId::kBool: return "BOOL";
+    case TypeId::kInt64: return "INT64";
+    case TypeId::kFloat64: return "FLOAT64";
+    case TypeId::kString: return "STRING";
+  }
+  return "?";
+}
+
+bool IsNumeric(TypeId id) {
+  return id == TypeId::kInt64 || id == TypeId::kFloat64;
+}
+
+Result<TypeId> CommonNumericType(TypeId lhs, TypeId rhs) {
+  if (!IsNumeric(lhs) || !IsNumeric(rhs)) {
+    return Status::TypeError(Format("arithmetic requires numeric operands, got %s and %s",
+                                    TypeIdToString(lhs), TypeIdToString(rhs)));
+  }
+  if (lhs == TypeId::kFloat64 || rhs == TypeId::kFloat64) return TypeId::kFloat64;
+  return TypeId::kInt64;
+}
+
+Result<TypeId> CommonComparableType(TypeId lhs, TypeId rhs) {
+  if (lhs == rhs) return lhs;
+  if (IsNumeric(lhs) && IsNumeric(rhs)) return TypeId::kFloat64;
+  if (lhs == TypeId::kNull) return rhs;
+  if (rhs == TypeId::kNull) return lhs;
+  return Status::TypeError(Format("cannot compare %s with %s", TypeIdToString(lhs),
+                                  TypeIdToString(rhs)));
+}
+
+}  // namespace gola

@@ -1,0 +1,36 @@
+// Scalar type system of the engine: a deliberately small set of physical
+// types (bool, int64, float64, string) that covers the paper's workloads.
+#ifndef GOLA_STORAGE_DATA_TYPE_H_
+#define GOLA_STORAGE_DATA_TYPE_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace gola {
+
+enum class TypeId {
+  kNull = 0,   // type of the NULL literal before coercion
+  kBool,
+  kInt64,
+  kFloat64,
+  kString,
+};
+
+const char* TypeIdToString(TypeId id);
+
+/// True for kInt64 / kFloat64.
+bool IsNumeric(TypeId id);
+
+/// Result type of an arithmetic operation over lhs/rhs (int op int → int,
+/// anything with a float → float). Division always yields float64 (SQL-ish
+/// but avoids silent integer truncation surprises in analytics queries).
+Result<TypeId> CommonNumericType(TypeId lhs, TypeId rhs);
+
+/// Type two values are coerced to before comparison. Numeric types compare
+/// as float64 when mixed; strings only compare with strings.
+Result<TypeId> CommonComparableType(TypeId lhs, TypeId rhs);
+
+}  // namespace gola
+
+#endif  // GOLA_STORAGE_DATA_TYPE_H_

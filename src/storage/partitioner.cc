@@ -1,0 +1,125 @@
+#include "storage/partitioner.h"
+
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace gola {
+
+namespace {
+
+std::vector<int64_t> FisherYatesPermutation(int64_t n, uint64_t seed) {
+  std::vector<int64_t> perm(static_cast<size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  Rng rng(seed);
+  for (int64_t i = n - 1; i > 0; --i) {
+    int64_t j = static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(i + 1)));
+    std::swap(perm[static_cast<size_t>(i)], perm[static_cast<size_t>(j)]);
+  }
+  return perm;
+}
+
+}  // namespace
+
+Table RandomShuffle(const Table& table, uint64_t seed) {
+  // Two data copies total (combine + gather): page-touching copies dominate
+  // this operation's cost on large tables, so avoid intermediates.
+  Chunk all = table.Combined();
+  std::vector<int64_t> perm =
+      FisherYatesPermutation(static_cast<int64_t>(all.num_rows()), seed);
+  Table out(table.schema());
+  out.AppendChunk(all.Take(perm));
+  return out;
+}
+
+Table ShuffleChunks(const Table& table, uint64_t seed) {
+  std::vector<size_t> order(table.num_chunks());
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  for (size_t i = order.size(); i > 1; --i) {
+    size_t j = rng.NextBelow(i);
+    std::swap(order[i - 1], order[j]);
+  }
+  Table out(table.schema());
+  for (size_t idx : order) out.AppendChunk(table.chunk(idx));
+  return out;
+}
+
+MiniBatchPartitioner::MiniBatchPartitioner(const Table& table,
+                                           const MiniBatchOptions& options) {
+  GOLA_CHECK(options.num_batches > 0);
+  // Gather each batch chunk-wise, never materializing a combined copy of
+  // the whole table: full-table copies are page-fault-bound on large
+  // inputs, while per-batch gathers stay in allocator-recycled memory.
+  const Table* source = &table;
+  Table reordered;
+  if (!options.row_shuffle) {
+    reordered = ShuffleChunks(table, options.seed);
+    source = &reordered;
+  }
+  total_rows_ = source->num_rows();
+
+  std::vector<int64_t> perm;
+  if (options.row_shuffle) {
+    perm = FisherYatesPermutation(total_rows_, options.seed);
+  } else {
+    perm.resize(static_cast<size_t>(total_rows_));
+    std::iota(perm.begin(), perm.end(), 0);
+  }
+
+  // Global row index → (chunk, local offset) translation table.
+  std::vector<int64_t> chunk_starts;
+  chunk_starts.reserve(source->num_chunks() + 1);
+  int64_t acc = 0;
+  for (size_t c = 0; c < source->num_chunks(); ++c) {
+    chunk_starts.push_back(acc);
+    acc += static_cast<int64_t>(source->chunk(c).num_rows());
+  }
+  chunk_starts.push_back(acc);
+
+  int64_t k = options.num_batches;
+  int64_t per_batch = total_rows_ / k;
+  if (per_batch == 0) per_batch = 1;
+
+  int64_t serial = 0;
+  batches_.reserve(static_cast<size_t>(k));
+  // Scratch: per source chunk, the local rows this batch draws from it.
+  std::vector<std::vector<int64_t>> local_rows(source->num_chunks());
+  for (int64_t b = 0; b < k && serial < total_rows_; ++b) {
+    int64_t len = (b == k - 1) ? (total_rows_ - serial)
+                               : std::min(per_batch, total_rows_ - serial);
+    for (auto& rows : local_rows) rows.clear();
+    for (int64_t p = serial; p < serial + len; ++p) {
+      int64_t global = perm[static_cast<size_t>(p)];
+      // Chunks are near-uniform; binary search keeps this O(log c).
+      size_t c = static_cast<size_t>(
+          std::upper_bound(chunk_starts.begin(), chunk_starts.end(), global) -
+          chunk_starts.begin() - 1);
+      local_rows[c].push_back(global - chunk_starts[c]);
+    }
+    // Rows within a batch may appear in any order: serials are assigned by
+    // batch position, and any fixed assignment preserves uniformity.
+    Chunk batch;
+    for (size_t c = 0; c < local_rows.size(); ++c) {
+      if (local_rows[c].empty()) continue;
+      GOLA_CHECK_OK(batch.Append(source->chunk(c).Take(local_rows[c])));
+    }
+    std::vector<int64_t> serials(static_cast<size_t>(len));
+    std::iota(serials.begin(), serials.end(), serial);
+    batch.set_serials(std::move(serials));
+    batches_.push_back(std::move(batch));
+    serial += len;
+  }
+}
+
+std::vector<const Chunk*> MiniBatchPartitioner::BatchesUpTo(int upto) const {
+  std::vector<const Chunk*> out;
+  out.reserve(static_cast<size_t>(upto));
+  for (int i = 0; i < upto && i < num_batches(); ++i) {
+    out.push_back(&batches_[static_cast<size_t>(i)]);
+  }
+  return out;
+}
+
+}  // namespace gola

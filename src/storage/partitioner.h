@@ -1,0 +1,65 @@
+// Random shuffling and mini-batch partitioning (paper §2, §2.1).
+//
+// G-OLA requires that any prefix of the processed stream be a uniform random
+// sample of the full input. RandomShuffle implements the paper's
+// pre-processing tool (a full Fisher-Yates row shuffle); the
+// MiniBatchPartitioner then cuts the shuffled stream into k equal batches
+// and assigns each row its global serial number (stream position), which
+// keys the deterministic bootstrap weights.
+//
+// Partition-wise randomness (picking whole existing chunks in random order,
+// the paper's default) is also provided for data already stored in
+// randomly-ordered partitions.
+#ifndef GOLA_STORAGE_PARTITIONER_H_
+#define GOLA_STORAGE_PARTITIONER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace gola {
+
+/// Fisher-Yates shuffles all rows of the table (stable chunk size preserved).
+Table RandomShuffle(const Table& table, uint64_t seed);
+
+/// Returns a table with the same rows but chunks reordered randomly
+/// (partition-wise randomness, §2: "randomly picking data partitions").
+Table ShuffleChunks(const Table& table, uint64_t seed);
+
+struct MiniBatchOptions {
+  int num_batches = 10;
+  /// When true, rows are globally shuffled before cutting batches; when
+  /// false only chunk order is randomized (assumes attributes are not
+  /// correlated with partitions, as discussed in §2).
+  bool row_shuffle = true;
+  uint64_t seed = 42;
+};
+
+/// Splits a table into `num_batches` uniform random mini-batches.
+///
+/// Every produced chunk carries row serials 0..N-1 in stream order; batch i
+/// holds serials [i*n, (i+1)*n). The last batch absorbs the remainder so
+/// batch sizes differ by at most num_batches-1 rows.
+class MiniBatchPartitioner {
+ public:
+  MiniBatchPartitioner(const Table& table, const MiniBatchOptions& options);
+
+  int num_batches() const { return static_cast<int>(batches_.size()); }
+  int64_t total_rows() const { return total_rows_; }
+
+  /// The i-th mini-batch (serials attached).
+  const Chunk& batch(int i) const { return batches_[static_cast<size_t>(i)]; }
+
+  /// All batches in [0, upto) — used by recompute paths and baselines.
+  std::vector<const Chunk*> BatchesUpTo(int upto) const;
+
+ private:
+  std::vector<Chunk> batches_;
+  int64_t total_rows_ = 0;
+};
+
+}  // namespace gola
+
+#endif  // GOLA_STORAGE_PARTITIONER_H_

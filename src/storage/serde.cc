@@ -1,0 +1,251 @@
+#include "storage/serde.h"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace gola {
+
+namespace {
+
+constexpr char kMagic[8] = {'G', 'O', 'L', 'A', 'T', '1', '\0', '\0'};
+
+/// Streaming FNV-1a over the serialized payload.
+class Fnv1a {
+ public:
+  void Update(const void* data, size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 1099511628211ULL;
+    }
+  }
+  uint64_t value() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 14695981039346656037ULL;
+};
+
+class Writer {
+ public:
+  explicit Writer(std::ofstream* out) : out_(out) {}
+
+  void Raw(const void* data, size_t n) {
+    out_->write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+    checksum_.Update(data, n);
+  }
+  void U8(uint8_t v) { Raw(&v, 1); }
+  void U32(uint32_t v) { Raw(&v, 4); }
+  void U64(uint64_t v) { Raw(&v, 8); }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+  uint64_t checksum() const { return checksum_.value(); }
+
+ private:
+  std::ofstream* out_;
+  Fnv1a checksum_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::ifstream* in) : in_(in) {}
+
+  Status Raw(void* data, size_t n) {
+    in_->read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+    if (static_cast<size_t>(in_->gcount()) != n) {
+      return Status::IoError("golat file truncated");
+    }
+    checksum_.Update(data, n);
+    return Status::OK();
+  }
+  Result<uint8_t> U8() {
+    uint8_t v;
+    GOLA_RETURN_NOT_OK(Raw(&v, 1));
+    return v;
+  }
+  Result<uint32_t> U32() {
+    uint32_t v;
+    GOLA_RETURN_NOT_OK(Raw(&v, 4));
+    return v;
+  }
+  Result<uint64_t> U64() {
+    uint64_t v;
+    GOLA_RETURN_NOT_OK(Raw(&v, 8));
+    return v;
+  }
+  Result<std::string> Str(uint32_t max_len = 1u << 20) {
+    GOLA_ASSIGN_OR_RETURN(uint32_t n, U32());
+    if (n > max_len) return Status::IoError("golat string length implausible");
+    std::string s(n, '\0');
+    GOLA_RETURN_NOT_OK(Raw(s.data(), n));
+    return s;
+  }
+  uint64_t checksum() const { return checksum_.value(); }
+
+ private:
+  std::ifstream* in_;
+  Fnv1a checksum_;
+};
+
+Status WriteColumn(Writer* w, const Column& col) {
+  size_t n = col.size();
+  w->U8(col.has_nulls() ? 1 : 0);
+  if (col.has_nulls()) {
+    std::vector<uint8_t> mask(n);
+    for (size_t i = 0; i < n; ++i) mask[i] = col.IsNull(i) ? 1 : 0;
+    w->Raw(mask.data(), n);
+  }
+  switch (col.type()) {
+    case TypeId::kBool:
+      w->Raw(col.bools().data(), n);
+      break;
+    case TypeId::kInt64:
+      w->Raw(col.ints().data(), n * sizeof(int64_t));
+      break;
+    case TypeId::kFloat64:
+      w->Raw(col.floats().data(), n * sizeof(double));
+      break;
+    case TypeId::kString:
+      for (const auto& s : col.strings()) w->Str(s);
+      break;
+    case TypeId::kNull:
+      return Status::Internal("untyped column cannot be serialized");
+  }
+  return Status::OK();
+}
+
+Result<Column> ReadColumn(Reader* r, TypeId type, uint64_t n) {
+  GOLA_ASSIGN_OR_RETURN(uint8_t has_nulls, r->U8());
+  std::vector<uint8_t> mask;
+  if (has_nulls) {
+    mask.resize(n);
+    GOLA_RETURN_NOT_OK(r->Raw(mask.data(), n));
+  }
+  Column col(type);
+  switch (type) {
+    case TypeId::kBool: {
+      std::vector<uint8_t> data(n);
+      GOLA_RETURN_NOT_OK(r->Raw(data.data(), n));
+      col = Column::MakeBool(std::move(data));
+      break;
+    }
+    case TypeId::kInt64: {
+      std::vector<int64_t> data(n);
+      GOLA_RETURN_NOT_OK(r->Raw(data.data(), n * sizeof(int64_t)));
+      col = Column::MakeInt(std::move(data));
+      break;
+    }
+    case TypeId::kFloat64: {
+      std::vector<double> data(n);
+      GOLA_RETURN_NOT_OK(r->Raw(data.data(), n * sizeof(double)));
+      col = Column::MakeFloat(std::move(data));
+      break;
+    }
+    case TypeId::kString: {
+      std::vector<std::string> data;
+      data.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        GOLA_ASSIGN_OR_RETURN(std::string s, r->Str());
+        data.push_back(std::move(s));
+      }
+      col = Column::MakeString(std::move(data));
+      break;
+    }
+    case TypeId::kNull:
+      return Status::IoError("golat file declares an untyped column");
+  }
+  if (has_nulls) {
+    // Rebuild through the append API to keep the invariant "mask length ==
+    // data length" inside Column.
+    Column with_nulls(type);
+    with_nulls.Reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      if (mask[i]) with_nulls.AppendNull();
+      else with_nulls.Append(col.GetValue(i));
+    }
+    return with_nulls;
+  }
+  return col;
+}
+
+}  // namespace
+
+Status WriteTableBinary(const Table& table, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out.write(kMagic, sizeof(kMagic));
+
+  Writer w(&out);
+  const Schema& schema = *table.schema();
+  w.U32(static_cast<uint32_t>(schema.num_fields()));
+  for (const auto& f : schema.fields()) {
+    w.Str(f.name);
+    w.U8(static_cast<uint8_t>(f.type));
+  }
+  w.U32(static_cast<uint32_t>(table.num_chunks()));
+  for (const auto& chunk : table.chunks()) {
+    w.U64(chunk.num_rows());
+    for (size_t c = 0; c < chunk.num_columns(); ++c) {
+      GOLA_RETURN_NOT_OK(WriteColumn(&w, chunk.column(c)));
+    }
+  }
+  uint64_t checksum = w.checksum();
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Table> ReadTableBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (in.gcount() != sizeof(magic) || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IoError("not a golat file: " + path);
+  }
+
+  Reader r(&in);
+  GOLA_ASSIGN_OR_RETURN(uint32_t num_fields, r.U32());
+  if (num_fields > 4096) return Status::IoError("golat field count implausible");
+  std::vector<Field> fields;
+  fields.reserve(num_fields);
+  for (uint32_t f = 0; f < num_fields; ++f) {
+    GOLA_ASSIGN_OR_RETURN(std::string name, r.Str(4096));
+    GOLA_ASSIGN_OR_RETURN(uint8_t type, r.U8());
+    if (type > static_cast<uint8_t>(TypeId::kString)) {
+      return Status::IoError("golat field type out of range");
+    }
+    fields.push_back({std::move(name), static_cast<TypeId>(type)});
+  }
+  auto schema = std::make_shared<Schema>(std::move(fields));
+
+  GOLA_ASSIGN_OR_RETURN(uint32_t num_chunks, r.U32());
+  Table table(schema);
+  for (uint32_t c = 0; c < num_chunks; ++c) {
+    GOLA_ASSIGN_OR_RETURN(uint64_t rows, r.U64());
+    std::vector<Column> cols;
+    cols.reserve(schema->num_fields());
+    for (size_t f = 0; f < schema->num_fields(); ++f) {
+      GOLA_ASSIGN_OR_RETURN(Column col, ReadColumn(&r, schema->field(f).type, rows));
+      cols.push_back(std::move(col));
+    }
+    table.AppendChunk(Chunk(schema, std::move(cols)));
+  }
+
+  uint64_t computed = r.checksum();
+  uint64_t stored;
+  in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  if (in.gcount() != sizeof(stored)) return Status::IoError("golat checksum missing");
+  if (stored != computed) {
+    return Status::IoError(Format("golat checksum mismatch (stored %llx, computed %llx)",
+                                  static_cast<unsigned long long>(stored),
+                                  static_cast<unsigned long long>(computed)));
+  }
+  return table;
+}
+
+}  // namespace gola

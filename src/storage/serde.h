@@ -1,0 +1,34 @@
+// Binary table persistence ("golat" format): a simple columnar on-disk
+// layout so generated workloads can be materialized once and reloaded by
+// benches, examples and the console. Not a storage engine — a snapshot
+// format with integrity checks.
+//
+// Layout (all little-endian):
+//   magic "GOLAT1\0\0" (8 bytes)
+//   u32 field count, then per field: u32 name length, name bytes, u8 type
+//   u32 chunk count, then per chunk: u64 row count, per column:
+//     u8 has_nulls, [nulls bytes], payload:
+//       bool    → row_count bytes
+//       int64   → row_count * 8 bytes
+//       float64 → row_count * 8 bytes
+//       string  → per row: u32 length + bytes
+//   u64 FNV-1a checksum of everything after the magic
+#ifndef GOLA_STORAGE_SERDE_H_
+#define GOLA_STORAGE_SERDE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace gola {
+
+/// Writes the table to `path` in the golat binary format.
+Status WriteTableBinary(const Table& table, const std::string& path);
+
+/// Reads a golat file back; verifies magic and checksum.
+Result<Table> ReadTableBinary(const std::string& path);
+
+}  // namespace gola
+
+#endif  // GOLA_STORAGE_SERDE_H_

@@ -1,0 +1,75 @@
+// Table: a schema plus a sequence of chunks; the in-memory relation.
+#ifndef GOLA_STORAGE_TABLE_H_
+#define GOLA_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/chunk.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace gola {
+
+class Table {
+ public:
+  Table() = default;
+  explicit Table(SchemaPtr schema) : schema_(std::move(schema)) {}
+  Table(SchemaPtr schema, std::vector<Chunk> chunks);
+
+  const SchemaPtr& schema() const { return schema_; }
+  size_t num_chunks() const { return chunks_.size(); }
+  const Chunk& chunk(size_t i) const { return chunks_[i]; }
+  const std::vector<Chunk>& chunks() const { return chunks_; }
+  int64_t num_rows() const;
+
+  void AppendChunk(Chunk chunk);
+
+  /// All chunks concatenated into one (copies).
+  Chunk Combined() const;
+
+  /// Whole table re-chunked into pieces of at most `rows_per_chunk` rows.
+  Table Rechunk(int64_t rows_per_chunk) const;
+
+  /// Value at (row, col) across chunk boundaries — for tests & display.
+  Value At(int64_t row, int col) const;
+
+  /// Pretty-prints up to `limit` rows with a header.
+  std::string ToString(int64_t limit = 20) const;
+
+ private:
+  SchemaPtr schema_;
+  std::vector<Chunk> chunks_;
+};
+
+using TablePtr = std::shared_ptr<const Table>;
+
+/// Convenience row-wise builder used by generators and tests.
+class TableBuilder {
+ public:
+  explicit TableBuilder(SchemaPtr schema, int64_t chunk_size = 64 * 1024);
+
+  /// Appends one row; values.size() must equal the schema width.
+  void AppendRow(const std::vector<Value>& values);
+
+  /// Direct typed appenders for generator hot loops: call once per column in
+  /// schema order, then CommitRow().
+  Column& column(size_t i) { return columns_[i]; }
+  void CommitRow();
+
+  Table Finish();
+
+ private:
+  void FlushChunk();
+
+  SchemaPtr schema_;
+  int64_t chunk_size_;
+  std::vector<Column> columns_;
+  std::vector<Chunk> chunks_;
+};
+
+}  // namespace gola
+
+#endif  // GOLA_STORAGE_TABLE_H_

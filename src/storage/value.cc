@@ -1,0 +1,83 @@
+#include "storage/value.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace gola {
+
+TypeId Value::type() const {
+  switch (payload_.index()) {
+    case 0: return TypeId::kNull;
+    case 1: return TypeId::kBool;
+    case 2: return TypeId::kInt64;
+    case 3: return TypeId::kFloat64;
+    case 4: return TypeId::kString;
+  }
+  return TypeId::kNull;
+}
+
+Result<double> Value::ToDouble() const {
+  switch (type()) {
+    case TypeId::kBool: return AsBool() ? 1.0 : 0.0;
+    case TypeId::kInt64: return static_cast<double>(AsInt());
+    case TypeId::kFloat64: return AsFloat();
+    default:
+      return Status::TypeError(Format("cannot convert %s to double",
+                                      TypeIdToString(type())));
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case TypeId::kNull: return "NULL";
+    case TypeId::kBool: return AsBool() ? "true" : "false";
+    case TypeId::kInt64: return std::to_string(AsInt());
+    case TypeId::kFloat64: return Format("%.6g", AsFloat());
+    case TypeId::kString: return AsString();
+  }
+  return "?";
+}
+
+bool Value::operator==(const Value& other) const {
+  TypeId a = type();
+  TypeId b = other.type();
+  if (a == TypeId::kNull || b == TypeId::kNull) return a == b;
+  if (IsNumeric(a) && IsNumeric(b)) {
+    if (a == TypeId::kInt64 && b == TypeId::kInt64) return AsInt() == other.AsInt();
+    return ToDouble().value() == other.ToDouble().value();
+  }
+  return payload_ == other.payload_;
+}
+
+bool Value::operator<(const Value& other) const {
+  TypeId a = type();
+  TypeId b = other.type();
+  if (a == TypeId::kNull || b == TypeId::kNull) return a == TypeId::kNull && b != TypeId::kNull;
+  if (IsNumeric(a) && IsNumeric(b)) {
+    if (a == TypeId::kInt64 && b == TypeId::kInt64) return AsInt() < other.AsInt();
+    return ToDouble().value() < other.ToDouble().value();
+  }
+  if (a == TypeId::kString && b == TypeId::kString) return AsString() < other.AsString();
+  if (a == TypeId::kBool && b == TypeId::kBool) return !AsBool() && other.AsBool();
+  // Heterogeneous non-numeric: order by type id for a stable total order.
+  return static_cast<int>(a) < static_cast<int>(b);
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case TypeId::kNull: return 0x9e3779b97f4a7c15ULL;
+    case TypeId::kBool: return AsBool() ? 2 : 1;
+    case TypeId::kInt64: {
+      // Hash ints through double when representable so 1 == 1.0 hash-agree.
+      double d = static_cast<double>(AsInt());
+      if (static_cast<int64_t>(d) == AsInt()) return std::hash<double>{}(d);
+      return std::hash<int64_t>{}(AsInt());
+    }
+    case TypeId::kFloat64: return std::hash<double>{}(AsFloat());
+    case TypeId::kString: return std::hash<std::string>{}(AsString());
+  }
+  return 0;
+}
+
+}  // namespace gola

@@ -1,0 +1,64 @@
+// Value: a single dynamically typed scalar (used at API boundaries, in
+// literals, group keys and result rows — the hot execution paths are
+// columnar and do not box per-row Values).
+#ifndef GOLA_STORAGE_VALUE_H_
+#define GOLA_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+#include "storage/data_type.h"
+
+namespace gola {
+
+class Value {
+ public:
+  /// NULL value.
+  Value() : payload_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Payload(v)); }
+  static Value Int(int64_t v) { return Value(Payload(v)); }
+  static Value Float(double v) { return Value(Payload(v)); }
+  static Value String(std::string v) { return Value(Payload(std::move(v))); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(payload_); }
+  TypeId type() const;
+
+  bool AsBool() const { return std::get<bool>(payload_); }
+  int64_t AsInt() const { return std::get<int64_t>(payload_); }
+  double AsFloat() const { return std::get<double>(payload_); }
+  const std::string& AsString() const { return std::get<std::string>(payload_); }
+
+  /// Numeric value widened to double (bool → 0/1). Type-errors on strings.
+  Result<double> ToDouble() const;
+
+  /// SQL-ish rendering; NULL prints as "NULL", floats with %.6g.
+  std::string ToString() const;
+
+  /// Strict equality: same type (after int/float widening) and same value.
+  /// NULL == NULL here (used for group keys), unlike SQL ternary logic,
+  /// which is handled by the evaluator.
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Total ordering for sorting: NULL first, then by widened value.
+  bool operator<(const Value& other) const;
+
+  size_t Hash() const;
+
+ private:
+  using Payload = std::variant<std::monostate, bool, int64_t, double, std::string>;
+  explicit Value(Payload p) : payload_(std::move(p)) {}
+  Payload payload_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace gola
+
+#endif  // GOLA_STORAGE_VALUE_H_

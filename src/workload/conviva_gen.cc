@@ -1,0 +1,73 @@
+#include "workload/conviva_gen.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace gola {
+
+namespace {
+
+const char* kGeos[] = {"US", "CA", "MX", "BR", "AR", "GB", "FR", "DE",
+                       "ES", "IT", "NL", "SE", "PL", "TR", "IN", "CN",
+                       "JP", "KR", "AU", "NZ", "ZA", "NG", "EG", "RU"};
+
+}  // namespace
+
+Table GenerateConviva(const ConvivaGenOptions& options) {
+  auto schema = std::make_shared<Schema>(std::vector<Field>{
+      {"session_id", TypeId::kInt64},
+      {"content_id", TypeId::kInt64},
+      {"ad_id", TypeId::kInt64},
+      {"geo", TypeId::kString},
+      {"buffer_time", TypeId::kFloat64},
+      {"play_time", TypeId::kFloat64},
+      {"join_failure_rate", TypeId::kFloat64},
+      {"bitrate_kbps", TypeId::kFloat64},
+      {"start_hour", TypeId::kInt64},
+  });
+
+  Rng rng(options.seed);
+  int num_geos = std::min<int>(options.num_geos, 24);
+
+  // Per-geo network quality multiplier: some regions buffer more, which is
+  // what C2 (failure rate by geo among abnormal sessions) surfaces.
+  std::vector<double> geo_quality(static_cast<size_t>(num_geos));
+  for (auto& q : geo_quality) q = rng.UniformDouble(0.6, 1.8);
+
+  // Per-ad load penalty: heavier ads cause extra buffering, the signal C3
+  // (per-ad abnormal sessions) detects.
+  std::vector<double> ad_penalty(static_cast<size_t>(options.num_ads));
+  for (auto& p : ad_penalty) p = rng.UniformDouble(0.8, 1.5);
+
+  TableBuilder builder(schema, options.chunk_size);
+  for (int64_t i = 0; i < options.num_rows; ++i) {
+    int geo = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(num_geos)));
+    int64_t ad = rng.UniformInt(1, options.num_ads);
+    int64_t content = rng.Zipf(options.num_contents, 1.3);
+
+    // Log-normal buffering scaled by geo quality and ad weight.
+    double buffer = rng.LogNormal(2.6, 0.8) * geo_quality[static_cast<size_t>(geo)] *
+                    ad_penalty[static_cast<size_t>(ad - 1)];
+    // Users abandon slow sessions: play time decays with buffering.
+    double play = std::max(
+        0.0, rng.Exponential(900.0) * std::exp(-buffer / 120.0) + rng.Normal(0, 20));
+    double jfr = std::clamp(
+        0.02 + buffer / 600.0 + rng.Normal(0, 0.02), 0.0, 1.0);
+
+    builder.column(0).AppendInt(i + 1);
+    builder.column(1).AppendInt(content);
+    builder.column(2).AppendInt(ad);
+    builder.column(3).AppendString(kGeos[geo]);
+    builder.column(4).AppendFloat(buffer);
+    builder.column(5).AppendFloat(play);
+    builder.column(6).AppendFloat(jfr);
+    builder.column(7).AppendFloat(rng.UniformDouble(300, 6000));
+    builder.column(8).AppendInt(rng.UniformInt(0, 23));
+    builder.CommitRow();
+  }
+  return builder.Finish();
+}
+
+}  // namespace gola

@@ -1,0 +1,34 @@
+// Synthetic video-session log in the shape of the paper's Conviva workload
+// (§5, §6.1): a de-normalized fact table of session entries with buffering/
+// playback metrics, ad and content identifiers and geo dimensions.
+// Distributions are heavy-tailed (log-normal buffering, Zipf content
+// popularity) and playback time is negatively correlated with buffering, so
+// the "abnormal session" queries (SBI, C1–C3) behave like the paper's.
+#ifndef GOLA_WORKLOAD_CONVIVA_GEN_H_
+#define GOLA_WORKLOAD_CONVIVA_GEN_H_
+
+#include <cstdint>
+
+#include "storage/table.h"
+
+namespace gola {
+
+struct ConvivaGenOptions {
+  int64_t num_rows = 1'000'000;
+  uint64_t seed = 43;
+  int64_t num_contents = 5000;
+  int64_t num_ads = 200;
+  int num_geos = 24;
+  int64_t chunk_size = 64 * 1024;
+};
+
+/// Schema:
+///   session_id:INT64, content_id:INT64, ad_id:INT64, geo:STRING,
+///   buffer_time:FLOAT64 (s), play_time:FLOAT64 (s),
+///   join_failure_rate:FLOAT64 in [0,1], bitrate_kbps:FLOAT64,
+///   start_hour:INT64 in [0,24)
+Table GenerateConviva(const ConvivaGenOptions& options);
+
+}  // namespace gola
+
+#endif  // GOLA_WORKLOAD_CONVIVA_GEN_H_

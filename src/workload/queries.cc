@@ -1,0 +1,81 @@
+#include "workload/queries.h"
+
+namespace gola {
+
+std::string SbiQuery() {
+  return "SELECT AVG(play_time) AS avg_play FROM conviva "
+         "WHERE buffer_time > (SELECT AVG(buffer_time) FROM conviva)";
+}
+
+std::string C1Query() {
+  return "SELECT bucket(play_time, 60) AS play_bucket, COUNT(*) AS sessions "
+         "FROM conviva "
+         "WHERE buffer_time > (SELECT AVG(buffer_time) FROM conviva) "
+         "GROUP BY bucket(play_time, 60) "
+         "ORDER BY play_bucket LIMIT 20";
+}
+
+std::string C2Query() {
+  return "SELECT geo, AVG(join_failure_rate) AS jfr, COUNT(*) AS sessions "
+         "FROM conviva "
+         "WHERE buffer_time > (SELECT AVG(buffer_time) FROM conviva) "
+         "GROUP BY geo ORDER BY jfr DESC";
+}
+
+std::string C3Query() {
+  return "SELECT ad_id, COUNT(*) AS abnormal_sessions, AVG(play_time) AS avg_play "
+         "FROM conviva s "
+         "WHERE buffer_time > 1.5 * (SELECT AVG(buffer_time) FROM conviva t "
+         "                           WHERE t.ad_id = s.ad_id) "
+         "GROUP BY ad_id ORDER BY abnormal_sessions DESC, ad_id LIMIT 20";
+}
+
+std::string Q11Query() {
+  return "SELECT partkey, SUM(supplycost * availqty) AS value FROM tpch "
+         "GROUP BY partkey "
+         "HAVING SUM(supplycost * availqty) > "
+         "  (SELECT SUM(supplycost * availqty) * 0.0008 FROM tpch) "
+         "ORDER BY value DESC LIMIT 100";
+}
+
+std::string Q17Query() {
+  return "SELECT SUM(extendedprice) / 7.0 AS avg_yearly FROM tpch l "
+         "WHERE container = 'MED BOX' "
+         "AND quantity < (SELECT 0.5 * AVG(quantity) FROM tpch t "
+         "                WHERE t.partkey = l.partkey)";
+}
+
+std::string Q18Query() {
+  // Large-volume customers: membership subquery with a relative threshold
+  // (2x the mean per-customer volume over 1000 customers — selectivity
+  // stays put across data scales). Groups by custkey rather than orderkey
+  // per the paper's footnote 12: per-order groups are far too sparse for
+  // sample estimates.
+  return "SELECT custkey, SUM(quantity) AS total_qty FROM tpch "
+         "WHERE custkey IN (SELECT custkey FROM tpch GROUP BY custkey "
+         "  HAVING SUM(quantity) > (SELECT 2 * SUM(quantity) / 1000 FROM tpch)) "
+         "GROUP BY custkey ORDER BY total_qty DESC, custkey LIMIT 100";
+}
+
+std::string Q20Query() {
+  return "SELECT suppkey, COUNT(*) AS candidate_lines FROM tpch l "
+         "WHERE shipdate BETWEEN 400 AND 1200 "
+         "AND availqty > (SELECT 0.5 * SUM(quantity) FROM tpch t "
+         "                WHERE t.partkey = l.partkey) "
+         "GROUP BY suppkey ORDER BY candidate_lines DESC, suppkey LIMIT 50";
+}
+
+std::vector<NamedQuery> AllQueries() {
+  return {
+      {"SBI", "conviva", SbiQuery(), "Example 1: slow-buffering impact"},
+      {"C1", "conviva", C1Query(), "play-time histogram of abnormal sessions"},
+      {"C2", "conviva", C2Query(), "join failure rate per geo, abnormal sessions"},
+      {"C3", "conviva", C3Query(), "per-ad abnormal sessions (correlated)"},
+      {"Q11", "tpch", Q11Query(), "important stock (nested aggregate in HAVING)"},
+      {"Q17", "tpch", Q17Query(), "small-quantity revenue (correlated inner AVG)"},
+      {"Q18", "tpch", Q18Query(), "large-volume orders (membership subquery)"},
+      {"Q20", "tpch", Q20Query(), "availqty vs correlated shipped quantity"},
+  };
+}
+
+}  // namespace gola

@@ -1,0 +1,49 @@
+// The query library of the reproduction: the paper's SBI example (Example
+// 1), the Conviva-trace queries C1–C3 and the TPC-H-derived Q11/Q17/Q18/Q20
+// used in §5. Per footnote 12 of the paper, over-selective constants are
+// relaxed so that small samples are not degenerate; the nesting structure
+// is preserved exactly.
+#ifndef GOLA_WORKLOAD_QUERIES_H_
+#define GOLA_WORKLOAD_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+namespace gola {
+
+struct NamedQuery {
+  std::string name;
+  std::string table;  // "conviva" or "tpch"
+  std::string sql;
+  std::string description;
+};
+
+/// SBI (Example 1): average playback among sessions with above-average
+/// buffering.
+std::string SbiQuery();
+
+/// C1: histogram of play_time (60 s buckets) for abnormal sessions.
+std::string C1Query();
+/// C2: average join failure rate per geo for abnormal sessions.
+std::string C2Query();
+/// C3: per-ad session count and average playback for sessions whose
+/// buffering exceeds the ad's own average (correlated inner aggregate).
+std::string C3Query();
+
+/// Q11-like: part values above a fraction of the total inventory value.
+std::string Q11Query();
+/// Q17-like: small-quantity revenue against a correlated per-part average.
+std::string Q17Query();
+/// Q18-like: large-volume orders via an IN membership subquery.
+std::string Q18Query();
+/// Q20-like: lineitems whose availqty exceeds half the correlated per-part
+/// shipped quantity in a date window.
+std::string Q20Query();
+
+/// All eight queries with their source table, in the order used by the
+/// Figure 3(b) reproduction (C1, C2, C3, Q11, Q17, Q18, Q20 + SBI).
+std::vector<NamedQuery> AllQueries();
+
+}  // namespace gola
+
+#endif  // GOLA_WORKLOAD_QUERIES_H_

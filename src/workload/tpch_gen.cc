@@ -1,0 +1,88 @@
+#include "workload/tpch_gen.h"
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace gola {
+
+namespace {
+
+const char* kContainers[] = {"SM CASE", "SM BOX",  "MED BOX", "MED BAG",
+                             "LG CASE", "LG BOX",  "JUMBO PKG", "WRAP PACK"};
+
+}  // namespace
+
+Table GenerateTpch(const TpchGenOptions& options) {
+  auto schema = std::make_shared<Schema>(std::vector<Field>{
+      {"orderkey", TypeId::kInt64},
+      {"custkey", TypeId::kInt64},
+      {"partkey", TypeId::kInt64},
+      {"suppkey", TypeId::kInt64},
+      {"linenumber", TypeId::kInt64},
+      {"quantity", TypeId::kFloat64},
+      {"extendedprice", TypeId::kFloat64},
+      {"discount", TypeId::kFloat64},
+      {"availqty", TypeId::kFloat64},
+      {"supplycost", TypeId::kFloat64},
+      {"shipdate", TypeId::kInt64},
+      {"brand", TypeId::kString},
+      {"container", TypeId::kString},
+  });
+
+  Rng rng(options.seed);
+
+  // Per-part static attributes (a real denormalization repeats them on
+  // every lineitem of the part).
+  struct Part {
+    double retail_price;
+    std::string brand;
+    std::string container;
+  };
+  std::vector<Part> parts(static_cast<size_t>(options.num_parts));
+  for (auto& p : parts) {
+    p.retail_price = rng.UniformDouble(900, 2100);
+    p.brand = Format("Brand#%d%d", static_cast<int>(rng.UniformInt(1, 5)),
+                     static_cast<int>(rng.UniformInt(1, 5)));
+    p.container = kContainers[rng.NextBelow(8)];
+  }
+
+  TableBuilder builder(schema, options.chunk_size);
+  int64_t orderkey = 1;
+  // Customer activity is heavy-tailed (Zipf): per-customer volumes span
+  // orders of magnitude, so "large-volume customer" thresholds separate
+  // cleanly instead of sitting inside estimation noise for every customer.
+  int64_t custkey = rng.Zipf(options.num_customers, 1.3);
+  int64_t line_in_order = 0;
+  int64_t lines_this_order =
+      rng.UniformInt(1, 2 * options.avg_lines_per_order - 1);
+  for (int64_t i = 0; i < options.num_rows; ++i) {
+    if (line_in_order >= lines_this_order) {
+      ++orderkey;
+      custkey = rng.Zipf(options.num_customers, 1.3);
+      line_in_order = 0;
+      lines_this_order = rng.UniformInt(1, 2 * options.avg_lines_per_order - 1);
+    }
+    int64_t partkey = rng.UniformInt(0, options.num_parts - 1);
+    const Part& part = parts[static_cast<size_t>(partkey)];
+    double quantity = static_cast<double>(rng.UniformInt(1, 50));
+    double discount = rng.UniformDouble(0.0, 0.1);
+
+    builder.column(0).AppendInt(orderkey);
+    builder.column(1).AppendInt(custkey);
+    builder.column(2).AppendInt(partkey + 1);
+    builder.column(3).AppendInt(rng.UniformInt(1, options.num_suppliers));
+    builder.column(4).AppendInt(++line_in_order);
+    builder.column(5).AppendFloat(quantity);
+    builder.column(6).AppendFloat(quantity * part.retail_price * (1.0 - discount));
+    builder.column(7).AppendFloat(discount);
+    builder.column(8).AppendFloat(static_cast<double>(rng.UniformInt(1, 9999)));
+    builder.column(9).AppendFloat(rng.UniformDouble(1.0, 1000.0));
+    builder.column(10).AppendInt(rng.UniformInt(0, 2557));  // ~7 years of days
+    builder.column(11).AppendString(part.brand);
+    builder.column(12).AppendString(part.container);
+    builder.CommitRow();
+  }
+  return builder.Finish();
+}
+
+}  // namespace gola

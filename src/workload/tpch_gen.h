@@ -1,0 +1,40 @@
+// Synthetic denormalized TPC-H-like fact table (paper §5: "we de-normalize
+// the TPC-H data into a single fact table"). Column distributions follow
+// the TPC-H spec in spirit (uniform quantities, part-keyed prices, a small
+// brand/container vocabulary) so the Q11/Q17/Q18/Q20-like queries have the
+// selectivities the paper's relaxed variants expect (footnote 12).
+#ifndef GOLA_WORKLOAD_TPCH_GEN_H_
+#define GOLA_WORKLOAD_TPCH_GEN_H_
+
+#include <cstdint>
+
+#include "storage/table.h"
+
+namespace gola {
+
+struct TpchGenOptions {
+  int64_t num_rows = 1'000'000;
+  uint64_t seed = 42;
+  /// Distinct part keys; Q17/Q20 maintain one inner aggregate per part.
+  int64_t num_parts = 2000;
+  /// Distinct suppliers (Q11/Q20 group dimension).
+  int64_t num_suppliers = 500;
+  /// Average lineitems per order.
+  int avg_lines_per_order = 4;
+  /// Distinct customers (each order belongs to one; Q18-like membership
+  /// groups by customer — dense enough for per-group range estimates,
+  /// matching the paper's footnote-12 relaxation of sparse GROUP BYs).
+  int64_t num_customers = 1000;
+  int64_t chunk_size = 64 * 1024;
+};
+
+/// Schema:
+///   orderkey:INT64, custkey:INT64, partkey:INT64, suppkey:INT64, linenumber:INT64,
+///   quantity:FLOAT64, extendedprice:FLOAT64, discount:FLOAT64,
+///   availqty:FLOAT64, supplycost:FLOAT64, shipdate:INT64 (day number),
+///   brand:STRING, container:STRING
+Table GenerateTpch(const TpchGenOptions& options);
+
+}  // namespace gola
+
+#endif  // GOLA_WORKLOAD_TPCH_GEN_H_

@@ -1,0 +1,155 @@
+// Aggregate-function framework: weighted updates, merges, multiplicity
+// scaling, NULL-result conventions, quantiles and UDAF registration.
+#include "expr/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gola {
+namespace {
+
+const AggregateFunction* Resolve(AggKind kind, double param = 0.0,
+                                 const std::string& udaf = "") {
+  Expr call;
+  call.kind = ExprKind::kAggregateCall;
+  call.agg_kind = kind;
+  call.agg_param = param;
+  call.func_name = udaf;
+  auto fn = ResolveAggregate(call);
+  EXPECT_TRUE(fn.ok()) << fn.status().ToString();
+  return fn.ok() ? *fn : nullptr;
+}
+
+TEST(AggregateTest, CountScalesWithMultiplicity) {
+  const auto* fn = Resolve(AggKind::kCount);
+  ASSERT_NE(fn, nullptr);
+  EXPECT_TRUE(fn->ScalesWithMultiplicity());
+  auto state = fn->CreateState();
+  state->UpdateNumeric(5, 1);
+  state->UpdateNumeric(9, 2);  // weight 2 counts twice
+  EXPECT_DOUBLE_EQ(*state->Finalize(1.0).ToDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(*state->Finalize(10.0).ToDouble(), 30.0);
+}
+
+TEST(AggregateTest, SumWeightedAndNullWhenEmpty) {
+  const auto* fn = Resolve(AggKind::kSum);
+  auto state = fn->CreateState();
+  EXPECT_TRUE(state->Finalize(1.0).is_null());
+  state->UpdateNumeric(2.0, 3);  // 6
+  state->UpdateNumeric(1.5, 1);  // 7.5
+  EXPECT_DOUBLE_EQ(*state->Finalize(2.0).ToDouble(), 15.0);
+}
+
+TEST(AggregateTest, AvgIgnoresScale) {
+  const auto* fn = Resolve(AggKind::kAvg);
+  EXPECT_FALSE(fn->ScalesWithMultiplicity());
+  auto state = fn->CreateState();
+  state->UpdateNumeric(10, 1);
+  state->UpdateNumeric(20, 3);  // weighted mean = 70/4
+  EXPECT_DOUBLE_EQ(*state->Finalize(99.0).ToDouble(), 17.5);
+}
+
+TEST(AggregateTest, MinMaxOnValuesAndStrings) {
+  const auto* min_fn = Resolve(AggKind::kMin);
+  const auto* max_fn = Resolve(AggKind::kMax);
+  auto mn = min_fn->CreateState();
+  auto mx = max_fn->CreateState();
+  for (const char* s : {"pear", "apple", "zebra"}) {
+    mn->UpdateValue(Value::String(s), 1);
+    mx->UpdateValue(Value::String(s), 1);
+  }
+  EXPECT_EQ(mn->Finalize(1.0).AsString(), "apple");
+  EXPECT_EQ(mx->Finalize(1.0).AsString(), "zebra");
+}
+
+TEST(AggregateTest, VarAndStddev) {
+  const auto* var_fn = Resolve(AggKind::kVar);
+  const auto* sd_fn = Resolve(AggKind::kStddev);
+  auto var = var_fn->CreateState();
+  auto sd = sd_fn->CreateState();
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    var->UpdateNumeric(v, 1);
+    sd->UpdateNumeric(v, 1);
+  }
+  // Sample variance of this classic set is 32/7.
+  EXPECT_NEAR(*var->Finalize(1.0).ToDouble(), 32.0 / 7.0, 1e-9);
+  EXPECT_NEAR(*sd->Finalize(1.0).ToDouble(), std::sqrt(32.0 / 7.0), 1e-9);
+}
+
+TEST(AggregateTest, MergeEqualsSingleStream) {
+  const auto* fn = Resolve(AggKind::kAvg);
+  auto whole = fn->CreateState();
+  auto left = fn->CreateState();
+  auto right = fn->CreateState();
+  for (int i = 0; i < 100; ++i) {
+    double v = i * 1.25;
+    whole->UpdateNumeric(v, 1);
+    (i % 2 == 0 ? left : right)->UpdateNumeric(v, 1);
+  }
+  left->Merge(*right);
+  EXPECT_DOUBLE_EQ(*left->Finalize(1.0).ToDouble(), *whole->Finalize(1.0).ToDouble());
+}
+
+TEST(AggregateTest, CloneIsIndependent) {
+  const auto* fn = Resolve(AggKind::kSum);
+  auto a = fn->CreateState();
+  a->UpdateNumeric(5, 1);
+  auto b = a->Clone();
+  b->UpdateNumeric(7, 1);
+  EXPECT_DOUBLE_EQ(*a->Finalize(1.0).ToDouble(), 5.0);
+  EXPECT_DOUBLE_EQ(*b->Finalize(1.0).ToDouble(), 12.0);
+}
+
+TEST(AggregateTest, QuantileMedianExactWhenSmall) {
+  const auto* fn = Resolve(AggKind::kQuantile, 0.5);
+  auto state = fn->CreateState();
+  for (int i = 1; i <= 101; ++i) state->UpdateNumeric(i, 1);
+  EXPECT_NEAR(*state->Finalize(1.0).ToDouble(), 51.0, 1e-9);
+}
+
+TEST(AggregateTest, QuantileReservoirApproximation) {
+  const auto* fn = Resolve(AggKind::kQuantile, 0.9);
+  auto state = fn->CreateState();
+  for (int i = 0; i < 100000; ++i) state->UpdateNumeric(i % 1000, 1);
+  // p90 of uniform 0..999 ≈ 899; reservoir sampling adds noise.
+  EXPECT_NEAR(*state->Finalize(1.0).ToDouble(), 899.0, 30.0);
+}
+
+TEST(AggregateTest, UdafRegistrationAndResolution) {
+  SimpleUdafSpec spec;
+  spec.name = "sum_of_squares";
+  spec.scales_with_multiplicity = true;
+  spec.step = [](std::vector<double>& acc, double v, double w) { acc[0] += v * v * w; };
+  spec.merge = [](std::vector<double>& acc, const std::vector<double>& o) {
+    acc[0] += o[0];
+  };
+  spec.finalize = [](const std::vector<double>& acc, double scale) {
+    return acc[0] * scale;
+  };
+  ASSERT_TRUE(RegisterUdaf(spec).ok());
+
+  const auto* fn = Resolve(AggKind::kUdaf, 0.0, "sum_of_squares");
+  ASSERT_NE(fn, nullptr);
+  auto state = fn->CreateState();
+  state->UpdateNumeric(3, 1);
+  state->UpdateNumeric(4, 1);
+  EXPECT_DOUBLE_EQ(*state->Finalize(2.0).ToDouble(), 50.0);
+}
+
+TEST(AggregateTest, UnknownUdafErrors) {
+  Expr call;
+  call.kind = ExprKind::kAggregateCall;
+  call.agg_kind = AggKind::kUdaf;
+  call.func_name = "no_such_udaf";
+  EXPECT_FALSE(ResolveAggregate(call).ok());
+}
+
+TEST(AggregateTest, InvalidUdafSpecRejected) {
+  SimpleUdafSpec spec;
+  spec.name = "broken";
+  EXPECT_FALSE(RegisterUdaf(spec).ok());
+}
+
+}  // namespace
+}  // namespace gola

@@ -1,0 +1,134 @@
+// End-to-end tests of the batch engine: parse → bind → execute, including
+// nested aggregate subqueries (the SBI query of the paper's Example 1).
+#include "exec/batch_executor.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "plan/binder.h"
+
+namespace gola {
+namespace {
+
+SchemaPtr SessionsSchema() {
+  return std::make_shared<Schema>(std::vector<Field>{
+      {"session_id", TypeId::kInt64},
+      {"buffer_time", TypeId::kFloat64},
+      {"play_time", TypeId::kFloat64},
+  });
+}
+
+TablePtr MakeSessions() {
+  // buffer_time: 10, 20, 30, 40; avg = 25. play_time 100..400.
+  TableBuilder builder(SessionsSchema());
+  for (int i = 1; i <= 4; ++i) {
+    builder.AppendRow({Value::Int(i), Value::Float(i * 10.0), Value::Float(i * 100.0)});
+  }
+  return std::make_shared<Table>(builder.Finish());
+}
+
+class BatchExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override { catalog_.RegisterTable("sessions", MakeSessions()); }
+
+  Result<Table> Run(const std::string& sql, double scale = 1.0) {
+    auto stmt = ParseSql(sql);
+    if (!stmt.ok()) return stmt.status();
+    auto query = BindQuery(**stmt, catalog_);
+    if (!query.ok()) return query.status();
+    BatchExecutor exec(&catalog_);
+    BatchExecOptions opts;
+    opts.scale = scale;
+    return exec.Execute(*query, opts);
+  }
+
+  double Scalar(const Table& t) {
+    EXPECT_EQ(t.num_rows(), 1);
+    return t.At(0, 0).ToDouble().ValueOr(-1e18);
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(BatchExecTest, SimpleAggregate) {
+  auto r = Run("SELECT AVG(buffer_time) FROM sessions");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_DOUBLE_EQ(Scalar(*r), 25.0);
+}
+
+TEST_F(BatchExecTest, CountAndSumScale) {
+  auto r = Run("SELECT COUNT(*), SUM(play_time) FROM sessions", /*scale=*/2.5);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_DOUBLE_EQ(r->At(0, 0).ToDouble().ValueOr(0), 4 * 2.5);
+  EXPECT_DOUBLE_EQ(r->At(0, 1).ToDouble().ValueOr(0), 1000.0 * 2.5);
+}
+
+TEST_F(BatchExecTest, WhereFilter) {
+  auto r = Run("SELECT COUNT(*) FROM sessions WHERE buffer_time > 15");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_DOUBLE_EQ(Scalar(*r), 3.0);
+}
+
+TEST_F(BatchExecTest, SbiNestedAggregate) {
+  // Example 1 of the paper: sessions with above-average buffering.
+  auto r = Run(
+      "SELECT AVG(play_time) FROM sessions "
+      "WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // buffer_time > 25 → rows 3 and 4 → avg(300, 400) = 350.
+  EXPECT_DOUBLE_EQ(Scalar(*r), 350.0);
+}
+
+TEST_F(BatchExecTest, GroupByHaving) {
+  auto r = Run(
+      "SELECT session_id % 2 AS parity, SUM(play_time) AS total FROM sessions "
+      "GROUP BY session_id % 2 HAVING SUM(play_time) > 450 ORDER BY total DESC");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // parity 0: 200+400=600; parity 1: 100+300=400 (filtered out).
+  ASSERT_EQ(r->num_rows(), 1);
+  EXPECT_EQ(r->At(0, 0).AsInt(), 0);
+  EXPECT_DOUBLE_EQ(r->At(0, 1).ToDouble().ValueOr(0), 600.0);
+}
+
+TEST_F(BatchExecTest, CorrelatedSubquery) {
+  // Sessions whose play_time exceeds the average play time of sessions with
+  // the same parity.
+  auto r = Run(
+      "SELECT COUNT(*) FROM sessions s "
+      "WHERE play_time > (SELECT AVG(play_time) FROM sessions t "
+      "                   WHERE t.session_id % 2 = s.session_id % 2)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // parity 1 avg = 200 → row 3 (300) passes; parity 0 avg = 300 → row 4 passes.
+  EXPECT_DOUBLE_EQ(Scalar(*r), 2.0);
+}
+
+TEST_F(BatchExecTest, InSubquery) {
+  auto r = Run(
+      "SELECT COUNT(*) FROM sessions WHERE session_id IN "
+      "(SELECT session_id FROM sessions GROUP BY session_id "
+      " HAVING SUM(play_time) > 250)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_DOUBLE_EQ(Scalar(*r), 2.0);
+}
+
+TEST_F(BatchExecTest, OrderByLimit) {
+  auto r = Run("SELECT session_id, play_time FROM sessions ORDER BY play_time DESC LIMIT 2");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->num_rows(), 2);
+  EXPECT_EQ(r->At(0, 0).AsInt(), 4);
+  EXPECT_EQ(r->At(1, 0).AsInt(), 3);
+}
+
+TEST_F(BatchExecTest, UnknownColumnErrors) {
+  auto r = Run("SELECT AVG(nonexistent) FROM sessions");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kKeyError);
+}
+
+TEST_F(BatchExecTest, UnknownTableErrors) {
+  auto r = Run("SELECT COUNT(*) FROM nope");
+  ASSERT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace gola

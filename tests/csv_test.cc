@@ -1,0 +1,83 @@
+// CSV reader/writer: round trips, quoting, NULL tokens and type inference.
+#include "storage/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace gola {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/gola_csv_test.csv";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(CsvTest, RoundTripWithSchema) {
+  auto schema = std::make_shared<Schema>(std::vector<Field>{
+      {"id", TypeId::kInt64}, {"score", TypeId::kFloat64}, {"name", TypeId::kString}});
+  TableBuilder builder(schema);
+  builder.AppendRow({Value::Int(1), Value::Float(1.5), Value::String("alpha")});
+  builder.AppendRow({Value::Int(2), Value::Null(), Value::String("beta, with comma")});
+  builder.AppendRow({Value::Int(3), Value::Float(-0.25), Value::String("quote \" here")});
+  Table original = builder.Finish();
+
+  ASSERT_TRUE(WriteCsv(original, path_).ok());
+  auto loaded = ReadCsv(path_, schema);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_rows(), 3);
+  EXPECT_EQ(loaded->At(0, 0), Value::Int(1));
+  EXPECT_TRUE(loaded->At(1, 1).is_null());
+  EXPECT_EQ(loaded->At(1, 2).AsString(), "beta, with comma");
+  EXPECT_EQ(loaded->At(2, 2).AsString(), "quote \" here");
+}
+
+TEST_F(CsvTest, TypeInference) {
+  {
+    std::ofstream out(path_);
+    out << "a,b,c\n1,1.5,x\n2,2,y\n3,-7.25,z\n";
+  }
+  auto loaded = ReadCsv(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->schema()->field(0).type, TypeId::kInt64);
+  EXPECT_EQ(loaded->schema()->field(1).type, TypeId::kFloat64);
+  EXPECT_EQ(loaded->schema()->field(2).type, TypeId::kString);
+  EXPECT_EQ(loaded->At(2, 1), Value::Float(-7.25));
+}
+
+TEST_F(CsvTest, HeaderlessWithOptions) {
+  {
+    std::ofstream out(path_);
+    out << "10;20\n30;40\n";
+  }
+  CsvOptions opts;
+  opts.has_header = false;
+  opts.delimiter = ';';
+  auto loaded = ReadCsv(path_, nullptr, opts);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_rows(), 2);
+  EXPECT_EQ(loaded->At(1, 1), Value::Int(40));
+}
+
+TEST_F(CsvTest, RaggedRowRejected) {
+  {
+    std::ofstream out(path_);
+    out << "a,b\n1,2\n3\n";
+  }
+  EXPECT_FALSE(ReadCsv(path_).ok());
+}
+
+TEST_F(CsvTest, MissingFileErrors) {
+  auto r = ReadCsv("/nonexistent/definitely/not/here.csv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace gola

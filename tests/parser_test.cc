@@ -1,0 +1,160 @@
+// SQL lexer and parser: token shapes, statement structure, subqueries,
+// desugarings and error reporting.
+#include "parser/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/lexer.h"
+
+namespace gola {
+namespace {
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = Tokenize("SELECT x1, 'it''s', 3.5e2 FROM t WHERE a <= 7 -- tail");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_GE(tokens->size(), 12u);
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kSymbol);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kStringLiteral);
+  EXPECT_EQ((*tokens)[3].text, "it's");
+  EXPECT_EQ((*tokens)[5].kind, TokenKind::kFloatLiteral);
+  EXPECT_DOUBLE_EQ((*tokens)[5].float_value, 350.0);
+  EXPECT_EQ(tokens->back().kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, NormalizesNotEqual) {
+  auto tokens = Tokenize("a != b");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].text, "<>");
+}
+
+TEST(LexerTest, UnterminatedStringErrors) {
+  EXPECT_FALSE(Tokenize("SELECT 'oops").ok());
+}
+
+TEST(ParserTest, BasicSelectShape) {
+  auto stmt = ParseSql(
+      "SELECT a, SUM(b) AS total FROM t WHERE c > 5 GROUP BY a "
+      "HAVING SUM(b) > 10 ORDER BY total DESC LIMIT 3");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ((*stmt)->items.size(), 2u);
+  EXPECT_EQ((*stmt)->items[1].alias, "total");
+  ASSERT_EQ((*stmt)->from.size(), 1u);
+  EXPECT_EQ((*stmt)->from[0].name, "t");
+  ASSERT_NE((*stmt)->where, nullptr);
+  EXPECT_EQ((*stmt)->group_by.size(), 1u);
+  ASSERT_NE((*stmt)->having, nullptr);
+  ASSERT_EQ((*stmt)->order_by.size(), 1u);
+  EXPECT_TRUE((*stmt)->order_by[0].descending);
+  EXPECT_EQ((*stmt)->limit, 3);
+}
+
+TEST(ParserTest, ImplicitAliasWithoutAs) {
+  auto stmt = ParseSql("SELECT a + 1 b FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->items[0].alias, "b");
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto stmt = ParseSql("SELECT a + b * c FROM t");
+  ASSERT_TRUE(stmt.ok());
+  // a + (b * c)
+  EXPECT_EQ((*stmt)->items[0].expr->ToString(), "(a + (b * c))");
+}
+
+TEST(ParserTest, AndOrPrecedence) {
+  auto stmt = ParseSql("SELECT 1 FROM t WHERE a = 1 OR b = 2 AND c = 3");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->where->ToString(), "((a = 1) OR ((b = 2) AND (c = 3)))");
+}
+
+TEST(ParserTest, BetweenDesugarsToConjunction) {
+  auto stmt = ParseSql("SELECT 1 FROM t WHERE x BETWEEN 2 AND 8");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->where->ToString(), "((x >= 2) AND (x <= 8))");
+}
+
+TEST(ParserTest, NotBetween) {
+  auto stmt = ParseSql("SELECT 1 FROM t WHERE x NOT BETWEEN 2 AND 8");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->where->ToString(), "(NOT ((x >= 2) AND (x <= 8)))");
+}
+
+TEST(ParserTest, ScalarSubquery) {
+  auto stmt = ParseSql("SELECT 1 FROM t WHERE x > (SELECT AVG(x) FROM t)");
+  ASSERT_TRUE(stmt.ok());
+  const AstExpr& cmp = *(*stmt)->where;
+  ASSERT_EQ(cmp.kind, AstExprKind::kComparison);
+  EXPECT_EQ(cmp.children[1]->kind, AstExprKind::kSubquery);
+  EXPECT_EQ(cmp.children[1]->subquery->items.size(), 1u);
+}
+
+TEST(ParserTest, InSubqueryAndNegation) {
+  auto stmt = ParseSql(
+      "SELECT 1 FROM t WHERE k NOT IN (SELECT k FROM t GROUP BY k HAVING COUNT(*) > 2)");
+  ASSERT_TRUE(stmt.ok());
+  const AstExpr& in = *(*stmt)->where;
+  ASSERT_EQ(in.kind, AstExprKind::kInSubquery);
+  EXPECT_TRUE(in.negated);
+}
+
+TEST(ParserTest, JoinOnFoldsIntoWhere) {
+  auto stmt = ParseSql("SELECT 1 FROM a JOIN b ON a.k = b.k WHERE a.x > 0");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ((*stmt)->from.size(), 2u);
+  // ON condition AND the explicit WHERE.
+  EXPECT_EQ((*stmt)->where->ToString(), "((a.k = b.k) AND (a.x > 0))");
+}
+
+TEST(ParserTest, CaseExpression) {
+  auto stmt = ParseSql("SELECT CASE WHEN a > 0 THEN 'pos' ELSE 'neg' END FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->items[0].expr->kind, AstExprKind::kCase);
+}
+
+TEST(ParserTest, QualifiedColumnsAndTableAlias) {
+  auto stmt = ParseSql("SELECT s.x FROM sessions s");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->from[0].alias, "s");
+  EXPECT_EQ((*stmt)->items[0].expr->name, "s.x");
+}
+
+TEST(ParserTest, CountStar) {
+  auto stmt = ParseSql("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(stmt.ok());
+  const AstExpr& call = *(*stmt)->items[0].expr;
+  ASSERT_EQ(call.kind, AstExprKind::kFunctionCall);
+  EXPECT_EQ(call.children[0]->kind, AstExprKind::kStar);
+}
+
+TEST(ParserTest, ErrorsCarryPosition) {
+  auto r = ParseSql("SELECT FROM t");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("offset"), std::string::npos);
+}
+
+TEST(ParserTest, TrailingGarbageRejected) {
+  EXPECT_FALSE(ParseSql("SELECT 1 FROM t extra junk here").ok());
+}
+
+TEST(ParserTest, DistinctIsExplicitlyUnsupported) {
+  auto r = ParseSql("SELECT DISTINCT a FROM t");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotImplemented);
+}
+
+TEST(ParserTest, RoundTripThroughToString) {
+  const char* sql =
+      "SELECT geo, AVG(x) AS m FROM t WHERE b > (SELECT AVG(b) FROM t) "
+      "GROUP BY geo ORDER BY m DESC LIMIT 5";
+  auto first = ParseSql(sql);
+  ASSERT_TRUE(first.ok());
+  auto second = ParseSql((*first)->ToString());
+  ASSERT_TRUE(second.ok()) << (*first)->ToString();
+  EXPECT_EQ((*first)->ToString(), (*second)->ToString());
+}
+
+}  // namespace
+}  // namespace gola

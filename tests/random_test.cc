@@ -1,0 +1,121 @@
+// PRNG and distribution sanity: determinism, moments, and the equivalence
+// of the table-driven Poisson sampler with its analytic distribution.
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+namespace gola {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  Rng c(124);
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusively) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(11);
+  double sum = 0, sumsq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal(10, 3);
+    sum += v;
+    sumsq += v * v;
+  }
+  double mean = sum / n;
+  double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(20);
+  EXPECT_NEAR(sum / n, 20.0, 0.5);
+}
+
+TEST(RngTest, PoissonMoments) {
+  Rng rng(15);
+  for (double lambda : {0.5, 3.0, 50.0}) {
+    double sum = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Poisson(lambda));
+    EXPECT_NEAR(sum / n, lambda, lambda * 0.05 + 0.02) << "lambda " << lambda;
+  }
+}
+
+TEST(RngTest, ZipfSkew) {
+  Rng rng(17);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[rng.Zipf(1000, 1.5)]++;
+  // Rank 1 must dominate rank 10 heavily under s = 1.5.
+  EXPECT_GT(counts[1], counts[10] * 5);
+}
+
+TEST(StatelessPoissonTest, PureFunctionOfKey) {
+  for (uint64_t key : {0ULL, 1ULL, 42ULL, 0xDEADBEEFULL}) {
+    EXPECT_EQ(StatelessPoisson1(key), StatelessPoisson1(key));
+  }
+}
+
+TEST(StatelessPoissonTest, MeanAndVarianceAreOne) {
+  double sum = 0, sumsq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double v = StatelessPoisson1(static_cast<uint64_t>(i) * 0x9E3779B97F4A7C15ULL);
+    sum += v;
+    sumsq += v * v;
+  }
+  double mean = sum / n;
+  EXPECT_NEAR(mean, 1.0, 0.02);
+  EXPECT_NEAR(sumsq / n - mean * mean, 1.0, 0.03);
+}
+
+TEST(StatelessPoissonTest, TableSamplerMatchesAnalyticPmf) {
+  // Empirical pmf of the 16-bit table sampler vs Poisson(1) probabilities.
+  std::map<int32_t, int> counts;
+  const int n = 262144;
+  for (int i = 0; i < n; ++i) {
+    int32_t quad[4];
+    StatelessPoisson1x4(static_cast<uint64_t>(i), quad);
+    for (int r = 0; r < 4; ++r) counts[quad[r]]++;
+  }
+  double total = 4.0 * n;
+  double e1 = std::exp(-1.0);
+  double expected[] = {e1, e1, e1 / 2, e1 / 6, e1 / 24};
+  for (int k = 0; k <= 4; ++k) {
+    EXPECT_NEAR(counts[k] / total, expected[k], 0.004) << "k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace gola

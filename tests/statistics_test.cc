@@ -1,0 +1,116 @@
+// Statistical validity of the error estimates: over many independent
+// datasets, the 95% bootstrap CI reported mid-stream must cover the
+// dataset's true answer roughly 95% of the time, and the running estimate
+// must be unbiased.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "gola/gola.h"
+
+namespace gola {
+namespace {
+
+Table MakeData(int64_t n, uint64_t seed, double* true_mean_out) {
+  Rng rng(seed);
+  auto schema = std::make_shared<Schema>(
+      std::vector<Field>{{"x", TypeId::kFloat64}});
+  TableBuilder builder(schema, 512);
+  double sum = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    double v = rng.LogNormal(3.0, 1.0);  // skewed, CLT is slow here
+    sum += v;
+    builder.AppendRow({Value::Float(v)});
+  }
+  *true_mean_out = sum / static_cast<double>(n);
+  return builder.Finish();
+}
+
+TEST(StatisticsTest, CiCoversTruthAtRoughlyNominalRate) {
+  const int kTrials = 60;
+  int covered = 0;
+  double bias_acc = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    double true_mean = 0;
+    Engine engine;
+    GOLA_CHECK_OK(engine.RegisterTable(
+        "d", MakeData(4000, 1000 + static_cast<uint64_t>(trial), &true_mean)));
+    GolaOptions opts;
+    opts.num_batches = 10;
+    opts.bootstrap_replicates = 100;
+    opts.seed = 77 + static_cast<uint64_t>(trial);
+    auto online = engine.ExecuteOnline("SELECT AVG(x) AS m FROM d", opts);
+    ASSERT_TRUE(online.ok());
+    // Evaluate coverage at the 20%-of-data point (batch 2).
+    auto u1 = (*online)->Step();
+    ASSERT_TRUE(u1.ok());
+    auto u2 = (*online)->Step();
+    ASSERT_TRUE(u2.ok());
+    double lo = u2->result.At(0, 1).ToDouble().ValueOr(0);
+    double hi = u2->result.At(0, 2).ToDouble().ValueOr(0);
+    if (true_mean >= lo && true_mean <= hi) ++covered;
+    bias_acc += (u2->result.At(0, 0).ToDouble().ValueOr(0) - true_mean) / true_mean;
+  }
+  double coverage = static_cast<double>(covered) / kTrials;
+  // Nominal 95%; allow a generous band for 60 trials (binomial sd ≈ 2.8%).
+  EXPECT_GE(coverage, 0.82) << "coverage " << coverage;
+  // Unbiasedness: the average relative error must be near zero.
+  EXPECT_NEAR(bias_acc / kTrials, 0.0, 0.02);
+}
+
+TEST(StatisticsTest, RsdTracksTrueErrorScale) {
+  // RSD reported by the bootstrap should approximate the actual relative
+  // deviation magnitude across independent streams of the same data.
+  double true_mean = 0;
+  Engine engine;
+  GOLA_CHECK_OK(engine.RegisterTable("d", MakeData(8000, 5, &true_mean)));
+  double rsd_reported = 0;
+  std::vector<double> errors;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    GolaOptions opts;
+    opts.num_batches = 10;
+    opts.bootstrap_replicates = 100;
+    opts.seed = 900 + seed;
+    auto online = engine.ExecuteOnline("SELECT AVG(x) AS m FROM d", opts);
+    ASSERT_TRUE(online.ok());
+    auto u = (*online)->Step();
+    ASSERT_TRUE(u.ok());
+    double est = u->result.At(0, 0).ToDouble().ValueOr(0);
+    errors.push_back((est - true_mean) / true_mean);
+    rsd_reported += u->result.At(0, 3).ToDouble().ValueOr(0);
+  }
+  rsd_reported /= 20;
+  double err_sd = 0;
+  for (double e : errors) err_sd += e * e;
+  err_sd = std::sqrt(err_sd / errors.size());
+  // Same order of magnitude (finite-population effects make the empirical
+  // spread slightly smaller than the bootstrap's i.i.d. estimate).
+  EXPECT_GT(rsd_reported, err_sd * 0.4);
+  EXPECT_LT(rsd_reported, err_sd * 3.0);
+}
+
+TEST(StatisticsTest, EstimatesConvergeAtSqrtRate) {
+  double true_mean = 0;
+  Engine engine;
+  GOLA_CHECK_OK(engine.RegisterTable("d", MakeData(20000, 9, &true_mean)));
+  GolaOptions opts;
+  opts.num_batches = 16;
+  opts.bootstrap_replicates = 80;
+  auto online = engine.ExecuteOnline("SELECT AVG(x) AS m FROM d", opts);
+  ASSERT_TRUE(online.ok());
+  double rsd_at_1 = 0, rsd_at_16 = 0;
+  int i = 0;
+  while (!(*online)->done()) {
+    auto u = (*online)->Step();
+    ASSERT_TRUE(u.ok());
+    ++i;
+    if (i == 1) rsd_at_1 = u->max_rsd;
+    if (i == 16) rsd_at_16 = u->max_rsd;
+  }
+  // 16x the data → ~4x tighter (allow slack for bootstrap noise).
+  EXPECT_LT(rsd_at_16, rsd_at_1 / 2.0);
+}
+
+}  // namespace
+}  // namespace gola

@@ -1,0 +1,95 @@
+// Status / Result<T> semantics and the propagation macros.
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace gola {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(st.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad knob");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad knob");
+  EXPECT_EQ(st.ToString(), "Invalid argument: bad knob");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status st = Status::ParseError("oops");
+  Status copy = st;
+  EXPECT_EQ(copy.code(), StatusCode::kParseError);
+  EXPECT_EQ(copy.message(), "oops");
+  // Originals unaffected by copies going out of scope.
+  { Status tmp = copy; (void)tmp; }
+  EXPECT_EQ(st.message(), "oops");
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status st = Status::IoError("disk full").WithContext("writing csv");
+  EXPECT_EQ(st.message(), "writing csv: disk full");
+  EXPECT_TRUE(Status::OK().WithContext("nope").ok());
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOr(7), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::KeyError("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kKeyError);
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyPayload) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Result<int> DoubleIfPositive(int x) {
+  GOLA_RETURN_NOT_OK(FailIfNegative(x));
+  return x * 2;
+}
+
+Result<int> ChainTwice(int x) {
+  GOLA_ASSIGN_OR_RETURN(int once, DoubleIfPositive(x));
+  GOLA_ASSIGN_OR_RETURN(int twice, DoubleIfPositive(once));
+  return twice;
+}
+
+TEST(ResultTest, MacrosPropagate) {
+  auto ok = ChainTwice(3);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 12);
+  auto err = ChainTwice(-1);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace gola

@@ -1,0 +1,114 @@
+// Deterministic/uncertain classification primitives (paper §3.2): the
+// tri-state comparison tables against ranges, range-vs-range comparison and
+// conjunction combination, exercised exhaustively over all operators.
+#include "gola/uncertain.h"
+
+#include <gtest/gtest.h>
+
+namespace gola {
+namespace {
+
+TEST(ClassifyCmpRangeTest, LessThan) {
+  VariationRange r{10, 20};
+  EXPECT_EQ(ClassifyCmpRange(CmpOp::kLt, 5, r), TriState::kTrue);
+  EXPECT_EQ(ClassifyCmpRange(CmpOp::kLt, 25, r), TriState::kFalse);
+  EXPECT_EQ(ClassifyCmpRange(CmpOp::kLt, 15, r), TriState::kUncertain);
+  // Boundaries: lhs == lo is uncertain for <(lhs could equal the final value).
+  EXPECT_EQ(ClassifyCmpRange(CmpOp::kLt, 10, r), TriState::kUncertain);
+  EXPECT_EQ(ClassifyCmpRange(CmpOp::kLt, 20, r), TriState::kFalse);
+}
+
+TEST(ClassifyCmpRangeTest, GreaterThan) {
+  VariationRange r{10, 20};
+  EXPECT_EQ(ClassifyCmpRange(CmpOp::kGt, 25, r), TriState::kTrue);
+  EXPECT_EQ(ClassifyCmpRange(CmpOp::kGt, 5, r), TriState::kFalse);
+  EXPECT_EQ(ClassifyCmpRange(CmpOp::kGt, 10, r), TriState::kFalse);
+  EXPECT_EQ(ClassifyCmpRange(CmpOp::kGt, 20, r), TriState::kUncertain);
+}
+
+TEST(ClassifyCmpRangeTest, LeGe) {
+  VariationRange r{10, 20};
+  EXPECT_EQ(ClassifyCmpRange(CmpOp::kLe, 10, r), TriState::kTrue);
+  EXPECT_EQ(ClassifyCmpRange(CmpOp::kLe, 20, r), TriState::kUncertain);
+  EXPECT_EQ(ClassifyCmpRange(CmpOp::kLe, 21, r), TriState::kFalse);
+  EXPECT_EQ(ClassifyCmpRange(CmpOp::kGe, 20, r), TriState::kTrue);
+  EXPECT_EQ(ClassifyCmpRange(CmpOp::kGe, 9, r), TriState::kFalse);
+}
+
+TEST(ClassifyCmpRangeTest, EqNe) {
+  VariationRange r{10, 20};
+  EXPECT_EQ(ClassifyCmpRange(CmpOp::kEq, 5, r), TriState::kFalse);
+  EXPECT_EQ(ClassifyCmpRange(CmpOp::kEq, 15, r), TriState::kUncertain);
+  EXPECT_EQ(ClassifyCmpRange(CmpOp::kNe, 5, r), TriState::kTrue);
+  EXPECT_EQ(ClassifyCmpRange(CmpOp::kNe, 15, r), TriState::kUncertain);
+  VariationRange point{7, 7};
+  EXPECT_EQ(ClassifyCmpRange(CmpOp::kEq, 7, point), TriState::kTrue);
+  EXPECT_EQ(ClassifyCmpRange(CmpOp::kNe, 7, point), TriState::kFalse);
+}
+
+TEST(ClassifyCmpRangeTest, DeterministicDecisionsAgreeWithAnyPointInRange) {
+  // Property: kTrue/kFalse must agree with the concrete comparison against
+  // every value in the range (sampled).
+  VariationRange r{-3.0, 4.5};
+  for (CmpOp op : {CmpOp::kLt, CmpOp::kLe, CmpOp::kGt, CmpOp::kGe, CmpOp::kEq,
+                   CmpOp::kNe}) {
+    for (double lhs = -6; lhs <= 8; lhs += 0.25) {
+      TriState t = ClassifyCmpRange(op, lhs, r);
+      if (t == TriState::kUncertain) continue;
+      for (double v = r.lo; v <= r.hi; v += 0.15) {
+        bool concrete = false;
+        switch (op) {
+          case CmpOp::kLt: concrete = lhs < v; break;
+          case CmpOp::kLe: concrete = lhs <= v; break;
+          case CmpOp::kGt: concrete = lhs > v; break;
+          case CmpOp::kGe: concrete = lhs >= v; break;
+          case CmpOp::kEq: concrete = lhs == v; break;
+          case CmpOp::kNe: concrete = lhs != v; break;
+        }
+        EXPECT_EQ(concrete, t == TriState::kTrue)
+            << "op " << CmpOpSymbol(op) << " lhs " << lhs << " v " << v;
+      }
+    }
+  }
+}
+
+TEST(ClassifyRangeRangeTest, SeparatedRangesDecide) {
+  VariationRange lo{0, 5};
+  VariationRange hi{10, 15};
+  EXPECT_EQ(ClassifyRangeRange(CmpOp::kLt, lo, hi), TriState::kTrue);
+  EXPECT_EQ(ClassifyRangeRange(CmpOp::kGt, lo, hi), TriState::kFalse);
+  EXPECT_EQ(ClassifyRangeRange(CmpOp::kEq, lo, hi), TriState::kFalse);
+  EXPECT_EQ(ClassifyRangeRange(CmpOp::kNe, lo, hi), TriState::kTrue);
+}
+
+TEST(ClassifyRangeRangeTest, OverlappingRangesUncertain) {
+  VariationRange a{0, 10};
+  VariationRange b{5, 15};
+  for (CmpOp op : {CmpOp::kLt, CmpOp::kLe, CmpOp::kGt, CmpOp::kGe, CmpOp::kEq}) {
+    EXPECT_EQ(ClassifyRangeRange(op, a, b), TriState::kUncertain);
+  }
+}
+
+TEST(CombineConjunctsTest, TruthTable) {
+  using T = TriState;
+  EXPECT_EQ(CombineConjuncts(T::kTrue, T::kTrue), T::kTrue);
+  EXPECT_EQ(CombineConjuncts(T::kTrue, T::kFalse), T::kFalse);
+  EXPECT_EQ(CombineConjuncts(T::kUncertain, T::kFalse), T::kFalse);
+  EXPECT_EQ(CombineConjuncts(T::kTrue, T::kUncertain), T::kUncertain);
+  EXPECT_EQ(CombineConjuncts(T::kUncertain, T::kUncertain), T::kUncertain);
+}
+
+TEST(ReplicateVotesTest, Classification) {
+  std::vector<uint8_t> all_true(10, 1);
+  std::vector<uint8_t> all_false(10, 0);
+  std::vector<uint8_t> mixed = {1, 1, 0, 1, 1, 1, 1, 1, 1, 1};
+  std::vector<uint8_t> valid;
+  EXPECT_EQ(ClassifyReplicateVotes(true, all_true, valid), TriState::kTrue);
+  EXPECT_EQ(ClassifyReplicateVotes(false, all_false, valid), TriState::kFalse);
+  EXPECT_EQ(ClassifyReplicateVotes(true, mixed, valid), TriState::kUncertain);
+  // Main vote disagreeing with unanimous replicates → uncertain.
+  EXPECT_EQ(ClassifyReplicateVotes(false, all_true, valid), TriState::kUncertain);
+}
+
+}  // namespace
+}  // namespace gola

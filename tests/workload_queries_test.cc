@@ -1,0 +1,94 @@
+// Runs every query of the paper's evaluation (§5) — SBI, C1–C3, Q11, Q17,
+// Q18, Q20 — through both engines on generated workloads and checks the
+// exactness-at-convergence invariant for each. Parameterized over the query
+// library so adding a query to workload/queries.cc automatically tests it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gola/gola.h"
+#include "workload/conviva_gen.h"
+#include "workload/queries.h"
+#include "workload/tpch_gen.h"
+
+namespace gola {
+namespace {
+
+class WorkloadQueriesTest : public ::testing::TestWithParam<NamedQuery> {
+ protected:
+  static Engine* engine() {
+    static Engine* instance = [] {
+      auto* e = new Engine();
+      ConvivaGenOptions conviva;
+      conviva.num_rows = 6000;
+      conviva.num_ads = 12;
+      conviva.num_contents = 200;
+      GOLA_CHECK_OK(e->RegisterTable("conviva", GenerateConviva(conviva)));
+      TpchGenOptions tpch;
+      tpch.num_rows = 6000;
+      tpch.num_parts = 60;
+      tpch.num_suppliers = 15;
+      GOLA_CHECK_OK(e->RegisterTable("tpch", GenerateTpch(tpch)));
+      return e;
+    }();
+    return instance;
+  }
+};
+
+TEST_P(WorkloadQueriesTest, BatchExecutes) {
+  const NamedQuery& q = GetParam();
+  auto result = engine()->ExecuteBatch(q.sql);
+  ASSERT_TRUE(result.ok()) << q.name << ": " << result.status().ToString();
+  EXPECT_GT(result->num_rows(), 0) << q.name << " produced no rows";
+}
+
+TEST_P(WorkloadQueriesTest, OnlineConvergesToBatchAnswer) {
+  const NamedQuery& q = GetParam();
+  GolaOptions opts;
+  opts.num_batches = 8;
+  opts.bootstrap_replicates = 40;
+  opts.seed = 99;
+  auto online = engine()->ExecuteOnline(q.sql, opts);
+  ASSERT_TRUE(online.ok()) << q.name << ": " << online.status().ToString();
+  auto last = (*online)->Run();
+  ASSERT_TRUE(last.ok()) << q.name << ": " << last.status().ToString();
+
+  auto exact = engine()->ExecuteBatch(q.sql);
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+
+  ASSERT_EQ(last->result.num_rows(), exact->num_rows()) << q.name;
+  for (int64_t r = 0; r < exact->num_rows(); ++r) {
+    for (size_t c = 0; c < exact->schema()->num_fields(); ++c) {
+      Value a = last->result.At(r, static_cast<int>(c));
+      Value b = exact->At(r, static_cast<int>(c));
+      if (b.type() == TypeId::kString) {
+        EXPECT_TRUE(a == b) << q.name << " row " << r << " col " << c;
+        continue;
+      }
+      double da = a.ToDouble().ValueOr(1e100);
+      double db = b.ToDouble().ValueOr(-1e100);
+      EXPECT_NEAR(da, db, 1e-6 * (1 + std::fabs(db)))
+          << q.name << " row " << r << " col " << c;
+    }
+  }
+}
+
+TEST_P(WorkloadQueriesTest, ExplainShowsLineageBlocks) {
+  const NamedQuery& q = GetParam();
+  auto plan = engine()->Explain(q.sql);
+  ASSERT_TRUE(plan.ok()) << q.name << ": " << plan.status().ToString();
+  EXPECT_NE(plan->find("block root"), std::string::npos);
+  // Every nested-aggregate query lifts at least one subquery block.
+  bool has_subquery_block = plan->find("[scalar]") != std::string::npos ||
+                            plan->find("[membership]") != std::string::npos;
+  EXPECT_TRUE(has_subquery_block) << q.name << ":\n" << *plan;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPaperQueries, WorkloadQueriesTest,
+                         ::testing::ValuesIn(AllQueries()),
+                         [](const ::testing::TestParamInfo<NamedQuery>& info) {
+                           return info.param.name;
+                         });
+
+}  // namespace
+}  // namespace gola
