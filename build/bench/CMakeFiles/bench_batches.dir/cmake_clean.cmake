@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_batches.dir/bench_batches.cc.o"
+  "CMakeFiles/bench_batches.dir/bench_batches.cc.o.d"
+  "bench_batches"
+  "bench_batches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_batches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_replicates.dir/bench_replicates.cc.o"
+  "CMakeFiles/bench_replicates.dir/bench_replicates.cc.o.d"
+  "bench_replicates"
+  "bench_replicates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_replicates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

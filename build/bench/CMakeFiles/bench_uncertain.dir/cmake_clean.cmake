@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_uncertain.dir/bench_uncertain.cc.o"
+  "CMakeFiles/bench_uncertain.dir/bench_uncertain.cc.o.d"
+  "bench_uncertain"
+  "bench_uncertain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_uncertain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_optimization.dir/ad_optimization.cpp.o"
+  "CMakeFiles/ad_optimization.dir/ad_optimization.cpp.o.d"
+  "ad_optimization"
+  "ad_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

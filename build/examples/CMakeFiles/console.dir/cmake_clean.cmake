@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/console.dir/console.cpp.o"
+  "CMakeFiles/console.dir/console.cpp.o.d"
+  "console"
+  "console.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/console.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

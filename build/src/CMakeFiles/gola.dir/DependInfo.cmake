@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/cdm.cc" "src/CMakeFiles/gola.dir/baseline/cdm.cc.o" "gcc" "src/CMakeFiles/gola.dir/baseline/cdm.cc.o.d"
+  "/root/repo/src/baseline/naive_ola.cc" "src/CMakeFiles/gola.dir/baseline/naive_ola.cc.o" "gcc" "src/CMakeFiles/gola.dir/baseline/naive_ola.cc.o.d"
+  "/root/repo/src/bootstrap/ci.cc" "src/CMakeFiles/gola.dir/bootstrap/ci.cc.o" "gcc" "src/CMakeFiles/gola.dir/bootstrap/ci.cc.o.d"
+  "/root/repo/src/bootstrap/poisson.cc" "src/CMakeFiles/gola.dir/bootstrap/poisson.cc.o" "gcc" "src/CMakeFiles/gola.dir/bootstrap/poisson.cc.o.d"
+  "/root/repo/src/bootstrap/replicated_agg.cc" "src/CMakeFiles/gola.dir/bootstrap/replicated_agg.cc.o" "gcc" "src/CMakeFiles/gola.dir/bootstrap/replicated_agg.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/gola.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/gola.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/gola.dir/common/status.cc.o" "gcc" "src/CMakeFiles/gola.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/gola.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/gola.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/gola.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/gola.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/exec/batch_executor.cc" "src/CMakeFiles/gola.dir/exec/batch_executor.cc.o" "gcc" "src/CMakeFiles/gola.dir/exec/batch_executor.cc.o.d"
+  "/root/repo/src/exec/hash_aggregate.cc" "src/CMakeFiles/gola.dir/exec/hash_aggregate.cc.o" "gcc" "src/CMakeFiles/gola.dir/exec/hash_aggregate.cc.o.d"
+  "/root/repo/src/exec/hash_join.cc" "src/CMakeFiles/gola.dir/exec/hash_join.cc.o" "gcc" "src/CMakeFiles/gola.dir/exec/hash_join.cc.o.d"
+  "/root/repo/src/exec/sort.cc" "src/CMakeFiles/gola.dir/exec/sort.cc.o" "gcc" "src/CMakeFiles/gola.dir/exec/sort.cc.o.d"
+  "/root/repo/src/expr/aggregate.cc" "src/CMakeFiles/gola.dir/expr/aggregate.cc.o" "gcc" "src/CMakeFiles/gola.dir/expr/aggregate.cc.o.d"
+  "/root/repo/src/expr/evaluator.cc" "src/CMakeFiles/gola.dir/expr/evaluator.cc.o" "gcc" "src/CMakeFiles/gola.dir/expr/evaluator.cc.o.d"
+  "/root/repo/src/expr/expr.cc" "src/CMakeFiles/gola.dir/expr/expr.cc.o" "gcc" "src/CMakeFiles/gola.dir/expr/expr.cc.o.d"
+  "/root/repo/src/expr/functions.cc" "src/CMakeFiles/gola.dir/expr/functions.cc.o" "gcc" "src/CMakeFiles/gola.dir/expr/functions.cc.o.d"
+  "/root/repo/src/gola/block_executor.cc" "src/CMakeFiles/gola.dir/gola/block_executor.cc.o" "gcc" "src/CMakeFiles/gola.dir/gola/block_executor.cc.o.d"
+  "/root/repo/src/gola/controller.cc" "src/CMakeFiles/gola.dir/gola/controller.cc.o" "gcc" "src/CMakeFiles/gola.dir/gola/controller.cc.o.d"
+  "/root/repo/src/gola/engine.cc" "src/CMakeFiles/gola.dir/gola/engine.cc.o" "gcc" "src/CMakeFiles/gola.dir/gola/engine.cc.o.d"
+  "/root/repo/src/gola/online_agg.cc" "src/CMakeFiles/gola.dir/gola/online_agg.cc.o" "gcc" "src/CMakeFiles/gola.dir/gola/online_agg.cc.o.d"
+  "/root/repo/src/gola/uncertain.cc" "src/CMakeFiles/gola.dir/gola/uncertain.cc.o" "gcc" "src/CMakeFiles/gola.dir/gola/uncertain.cc.o.d"
+  "/root/repo/src/parser/ast.cc" "src/CMakeFiles/gola.dir/parser/ast.cc.o" "gcc" "src/CMakeFiles/gola.dir/parser/ast.cc.o.d"
+  "/root/repo/src/parser/lexer.cc" "src/CMakeFiles/gola.dir/parser/lexer.cc.o" "gcc" "src/CMakeFiles/gola.dir/parser/lexer.cc.o.d"
+  "/root/repo/src/parser/parser.cc" "src/CMakeFiles/gola.dir/parser/parser.cc.o" "gcc" "src/CMakeFiles/gola.dir/parser/parser.cc.o.d"
+  "/root/repo/src/plan/binder.cc" "src/CMakeFiles/gola.dir/plan/binder.cc.o" "gcc" "src/CMakeFiles/gola.dir/plan/binder.cc.o.d"
+  "/root/repo/src/plan/logical_plan.cc" "src/CMakeFiles/gola.dir/plan/logical_plan.cc.o" "gcc" "src/CMakeFiles/gola.dir/plan/logical_plan.cc.o.d"
+  "/root/repo/src/storage/chunk.cc" "src/CMakeFiles/gola.dir/storage/chunk.cc.o" "gcc" "src/CMakeFiles/gola.dir/storage/chunk.cc.o.d"
+  "/root/repo/src/storage/column.cc" "src/CMakeFiles/gola.dir/storage/column.cc.o" "gcc" "src/CMakeFiles/gola.dir/storage/column.cc.o.d"
+  "/root/repo/src/storage/csv.cc" "src/CMakeFiles/gola.dir/storage/csv.cc.o" "gcc" "src/CMakeFiles/gola.dir/storage/csv.cc.o.d"
+  "/root/repo/src/storage/data_type.cc" "src/CMakeFiles/gola.dir/storage/data_type.cc.o" "gcc" "src/CMakeFiles/gola.dir/storage/data_type.cc.o.d"
+  "/root/repo/src/storage/partitioner.cc" "src/CMakeFiles/gola.dir/storage/partitioner.cc.o" "gcc" "src/CMakeFiles/gola.dir/storage/partitioner.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/CMakeFiles/gola.dir/storage/schema.cc.o" "gcc" "src/CMakeFiles/gola.dir/storage/schema.cc.o.d"
+  "/root/repo/src/storage/serde.cc" "src/CMakeFiles/gola.dir/storage/serde.cc.o" "gcc" "src/CMakeFiles/gola.dir/storage/serde.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/gola.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/gola.dir/storage/table.cc.o.d"
+  "/root/repo/src/storage/value.cc" "src/CMakeFiles/gola.dir/storage/value.cc.o" "gcc" "src/CMakeFiles/gola.dir/storage/value.cc.o.d"
+  "/root/repo/src/workload/conviva_gen.cc" "src/CMakeFiles/gola.dir/workload/conviva_gen.cc.o" "gcc" "src/CMakeFiles/gola.dir/workload/conviva_gen.cc.o.d"
+  "/root/repo/src/workload/queries.cc" "src/CMakeFiles/gola.dir/workload/queries.cc.o" "gcc" "src/CMakeFiles/gola.dir/workload/queries.cc.o.d"
+  "/root/repo/src/workload/tpch_gen.cc" "src/CMakeFiles/gola.dir/workload/tpch_gen.cc.o" "gcc" "src/CMakeFiles/gola.dir/workload/tpch_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

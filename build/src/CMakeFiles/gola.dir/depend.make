@@ -1,0 +1,2 @@
+# Empty dependencies file for gola.
+# This may be replaced when dependencies are built.

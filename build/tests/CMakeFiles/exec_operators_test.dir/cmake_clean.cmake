@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_operators_test.dir/exec_operators_test.cc.o"
+  "CMakeFiles/exec_operators_test.dir/exec_operators_test.cc.o.d"
+  "exec_operators_test"
+  "exec_operators_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_operators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_query_test.dir/fuzz_query_test.cc.o"
+  "CMakeFiles/fuzz_query_test.dir/fuzz_query_test.cc.o.d"
+  "fuzz_query_test"
+  "fuzz_query_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

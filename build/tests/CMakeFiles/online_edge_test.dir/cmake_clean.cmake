@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_edge_test.dir/online_edge_test.cc.o"
+  "CMakeFiles/online_edge_test.dir/online_edge_test.cc.o.d"
+  "online_edge_test"
+  "online_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
