@@ -4,6 +4,9 @@
 // partitioning, and query compilation.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
 #include "bench_util.h"
 #include "exec/hash_aggregate.h"
 #include "exec/hash_join.h"
@@ -144,6 +147,29 @@ void BM_CompileQ17(benchmark::State& state) {
 }
 BENCHMARK(BM_CompileQ17);
 
+void BM_OnlineDrainSbi(benchmark::State& state) {
+  // Full online drain of SBI on the Conviva workload through the delta
+  // pipeline; Arg = pool threads (0 → serial). The 0-vs-4 ratio is the
+  // morsel-parallel speedup; results are bit-identical across args.
+  static Engine* engine = new Engine(bench::MakeEngine(1 << 17));
+  std::unique_ptr<ThreadPool> pool;
+  if (state.range(0) > 0) pool = std::make_unique<ThreadPool>(state.range(0));
+  GolaOptions opts;
+  opts.num_batches = 20;
+  opts.bootstrap_replicates = 60;
+  opts.pool = pool.get();
+  std::string sql = SbiQuery();
+  for (auto _ : state) {
+    auto online = engine->ExecuteOnline(sql, opts);
+    GOLA_CHECK_OK(online.status());
+    auto last = (*online)->Run();
+    GOLA_CHECK_OK(last.status());
+    benchmark::DoNotOptimize(last->max_rsd);
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 17));
+}
+BENCHMARK(BM_OnlineDrainSbi)->Arg(0)->Arg(4)->Unit(benchmark::kMillisecond);
+
 void BM_BootstrapCI(benchmark::State& state) {
   Rng rng(5);
   std::vector<double> replicates(100);
@@ -158,4 +184,24 @@ BENCHMARK(BM_BootstrapCI);
 }  // namespace
 }  // namespace gola
 
-BENCHMARK_MAIN();
+// Always emit a machine-readable summary (BENCH_micro.json in the working
+// directory) unless the caller already passed --benchmark_out.
+int main(int argc, char** argv) {
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  std::vector<char*> args(argv, argv + argc);
+  static char out_flag[] = "--benchmark_out=BENCH_micro.json";
+  static char fmt_flag[] = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag);
+    args.push_back(fmt_flag);
+  }
+  int patched_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&patched_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(patched_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

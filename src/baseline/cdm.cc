@@ -46,7 +46,8 @@ Status CdmExecutor::Prepare() {
     // dependency are maintained incrementally.
     state.incremental = block.depends_on.empty();
     GOLA_ASSIGN_OR_RETURN(DimJoinSet dims, DimJoinSet::Build(block, *catalog_));
-    state.dims = std::move(dims);
+    state.join.emplace(&block, std::move(dims));
+    state.filter.emplace(FilterStage::AllPointForms(block));
     if (state.incremental) {
       state.agg = std::make_unique<HashAggregate>(&block);
     }
@@ -60,50 +61,50 @@ Result<CdmUpdate> CdmExecutor::Step() {
   Stopwatch timer;
   const int i = next_batch_;
 
-  int64_t rows_through = 0;
-  for (int b = 0; b <= i; ++b) {
-    rows_through += static_cast<int64_t>(partitioner_->batch(b).num_rows());
-  }
+  rows_through_ += static_cast<int64_t>(partitioner_->batch(i).num_rows());
   double scale = static_cast<double>(partitioner_->total_rows()) /
-                 static_cast<double>(rows_through);
+                 static_cast<double>(rows_through_);
 
   CdmUpdate update;
   update.batch_index = i + 1;
 
+  ExecContext ctx;
+  ctx.pool = options_.pool;
+  ctx.scale = scale;
+  ctx.seed = options_.seed;
+  ctx.env = &env_;
+
   for (auto& state : states_) {
     const BlockDef& block = *state.block;
     Table result_sink;
+
+    DeltaPipeline pipeline;
+    if (!state.join->empty()) pipeline.Add(&*state.join);
+    if (!state.filter->empty()) pipeline.Add(&*state.filter);
+
+    HashAggregate* agg = state.agg.get();
+    std::unique_ptr<HashAggregate> rescan_agg;
+    std::vector<const Chunk*> inputs;
     if (state.incremental) {
       // Delta update: fold only ΔD_i into the retained states.
-      const Chunk& batch = partitioner_->batch(i);
-      Chunk current = batch;
-      if (!state.dims->empty()) {
-        GOLA_ASSIGN_OR_RETURN(current, state.dims->Apply(block, current));
-      }
-      GOLA_ASSIGN_OR_RETURN(current, ApplyBlockFilters(block, current, &env_));
-      GOLA_RETURN_NOT_OK(state.agg->Update(current, &env_));
-      update.rows_scanned += static_cast<int64_t>(batch.num_rows());
-      GOLA_ASSIGN_OR_RETURN(Chunk post, state.agg->Finalize(scale));
-      GOLA_ASSIGN_OR_RETURN(post, ApplyHavingFilters(block, post, &env_));
-      GOLA_RETURN_NOT_OK(BroadcastOrEmit(block, post, &env_, &result_sink));
+      inputs.push_back(&partitioner_->batch(i));
     } else {
       // The inner aggregate changed → the engine "has to read through D_i
       // again in order to compute the correct answer" (§3.1).
-      HashAggregate agg(&block);
-      for (int b = 0; b <= i; ++b) {
-        const Chunk& chunk = partitioner_->batch(b);
-        Chunk current = chunk;
-        if (!state.dims->empty()) {
-          GOLA_ASSIGN_OR_RETURN(current, state.dims->Apply(block, current));
-        }
-        GOLA_ASSIGN_OR_RETURN(current, ApplyBlockFilters(block, current, &env_));
-        GOLA_RETURN_NOT_OK(agg.Update(current, &env_));
-        update.rows_scanned += static_cast<int64_t>(chunk.num_rows());
-      }
-      GOLA_ASSIGN_OR_RETURN(Chunk post, agg.Finalize(scale));
-      GOLA_ASSIGN_OR_RETURN(post, ApplyHavingFilters(block, post, &env_));
-      GOLA_RETURN_NOT_OK(BroadcastOrEmit(block, post, &env_, &result_sink));
+      rescan_agg = std::make_unique<HashAggregate>(&block);
+      agg = rescan_agg.get();
+      inputs = partitioner_->BatchesUpTo(i + 1);
     }
+    for (const Chunk* c : inputs) {
+      update.rows_scanned += static_cast<int64_t>(c->num_rows());
+    }
+    HashAggregateStage agg_stage(&block, agg);
+    pipeline.SetSink(&agg_stage);
+    GOLA_RETURN_NOT_OK(pipeline.Run(ctx, inputs));
+
+    GOLA_ASSIGN_OR_RETURN(Chunk post, agg->Finalize(scale));
+    GOLA_ASSIGN_OR_RETURN(post, ApplyHavingFilters(block, post, &env_));
+    GOLA_RETURN_NOT_OK(BroadcastOrEmit(block, post, &env_, &result_sink));
     if (block.kind == BlockKind::kRoot) update.result = std::move(result_sink);
   }
 

@@ -8,6 +8,10 @@
 // which in online processing is every mini-batch. Its per-batch cost
 // therefore grows linearly with the batch index (O(k²)·n total, §3.1),
 // which is precisely what G-OLA's uncertain sets avoid.
+//
+// Physical execution goes through the shared delta-pipeline layer
+// (exec/pipeline.h): each block runs DimJoin → Filter → HashAggregate
+// morsel-parallel when a pool is supplied.
 #ifndef GOLA_BASELINE_CDM_H_
 #define GOLA_BASELINE_CDM_H_
 
@@ -15,6 +19,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "exec/batch_executor.h"
 #include "exec/hash_aggregate.h"
 #include "plan/binder.h"
@@ -26,6 +31,8 @@ struct CdmOptions {
   int num_batches = 10;
   uint64_t seed = 42;
   bool row_shuffle = true;
+  /// Worker pool for the morsel-parallel block pipelines (null → serial).
+  ThreadPool* pool = nullptr;
 };
 
 struct CdmUpdate {
@@ -59,12 +66,14 @@ class CdmExecutor {
   struct BlockState {
     const BlockDef* block = nullptr;
     bool incremental = false;  // no nested-aggregate dependence
-    std::optional<DimJoinSet> dims;
+    std::optional<DimJoinStage> join;
+    std::optional<FilterStage> filter;
     std::unique_ptr<HashAggregate> agg;  // incremental blocks only
   };
   std::vector<BlockState> states_;
   BroadcastEnv env_;
   int next_batch_ = 0;
+  int64_t rows_through_ = 0;  // Σ rows of batches 0..next_batch_-1
 };
 
 }  // namespace gola

@@ -28,14 +28,15 @@ Result<NaiveOlaUpdate> NaiveOlaExecutor::Step() {
   const int i = next_batch_;
 
   std::vector<const Chunk*> prefix = partitioner_->BatchesUpTo(i + 1);
-  int64_t rows_through = 0;
-  for (const Chunk* c : prefix) rows_through += static_cast<int64_t>(c->num_rows());
+  rows_through_ += static_cast<int64_t>(partitioner_->batch(i).num_rows());
+  const int64_t rows_through = rows_through_;
   double scale = static_cast<double>(partitioner_->total_rows()) /
                  static_cast<double>(rows_through);
 
   BatchExecutor exec(catalog_);
   BatchExecOptions opts;
   opts.scale = scale;
+  opts.pool = options_.pool;
   NaiveOlaUpdate update;
   update.batch_index = i + 1;
   GOLA_ASSIGN_OR_RETURN(update.result,

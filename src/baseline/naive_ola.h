@@ -7,6 +7,7 @@
 
 #include <memory>
 
+#include "common/thread_pool.h"
 #include "exec/batch_executor.h"
 #include "plan/binder.h"
 #include "storage/partitioner.h"
@@ -17,6 +18,8 @@ struct NaiveOlaOptions {
   int num_batches = 10;
   uint64_t seed = 42;
   bool row_shuffle = true;
+  /// Worker pool for the morsel-parallel block pipelines (null → serial).
+  ThreadPool* pool = nullptr;
 };
 
 struct NaiveOlaUpdate {
@@ -44,6 +47,7 @@ class NaiveOlaExecutor {
   NaiveOlaOptions options_;
   std::unique_ptr<MiniBatchPartitioner> partitioner_;
   int next_batch_ = 0;
+  int64_t rows_through_ = 0;  // Σ rows of batches 0..next_batch_-1
 };
 
 }  // namespace gola

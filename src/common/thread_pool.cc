@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <exception>
 
 namespace gola {
 
@@ -60,16 +61,27 @@ struct ParallelForState {
   const size_t n;
   const std::function<void(size_t)>& fn;  // caller outlives all tasks
   std::atomic<size_t> next{0};
+  std::atomic<bool> cancelled{false};
   std::mutex mu;
   std::condition_variable cv;
   size_t tasks_remaining = 0;
+  std::exception_ptr first_error;  // guarded by mu
 
   void RunBody() {
     tls_in_pool = true;
     for (;;) {
+      if (cancelled.load(std::memory_order_relaxed)) break;
       size_t i = next.fetch_add(1);
       if (i >= n) break;
-      fn(i);
+      try {
+        fn(i);
+      } catch (...) {
+        // First exception wins; the rest of the iteration space is
+        // abandoned and the caller rethrows after the barrier.
+        std::lock_guard<std::mutex> lock(mu);
+        if (!first_error) first_error = std::current_exception();
+        cancelled.store(true, std::memory_order_relaxed);
+      }
     }
     tls_in_pool = false;
   }
@@ -101,8 +113,11 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   // The calling thread participates too, then waits for every helper task
   // to exit before the shared state (and `fn`) can go away.
   state->RunBody();
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&] { return state->tasks_remaining == 0; });
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&] { return state->tasks_remaining == 0; });
+  }
+  if (state->first_error) std::rethrow_exception(state->first_error);
 }
 
 ThreadPool& ThreadPool::Default() {

@@ -27,7 +27,9 @@ class ThreadPool {
   size_t num_threads() const { return workers_.size(); }
 
   /// Runs fn(i) for i in [0, n) across the pool and blocks until all
-  /// iterations complete. Reentrant calls are executed inline.
+  /// iterations complete. Reentrant calls are executed inline. If any
+  /// iteration throws, remaining iterations are abandoned and the first
+  /// captured exception is rethrown on the calling thread.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   /// Process-wide default pool (lazily constructed, never destroyed —

@@ -1,90 +1,11 @@
 #include "exec/batch_executor.h"
 
-#include <mutex>
-
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "exec/hash_aggregate.h"
-#include "exec/hash_join.h"
 #include "exec/sort.h"
 
 namespace gola {
-
-// ----------------------------------------------------------- DimJoinSet --
-
-Result<DimJoinSet> DimJoinSet::Build(const BlockDef& block, const Catalog& catalog) {
-  DimJoinSet set;
-  // Layout after stage j = streamed columns + dims[0..j] columns; the final
-  // stage equals block.input_schema.
-  std::vector<Field> fields;
-  GOLA_ASSIGN_OR_RETURN(SchemaPtr streamed, catalog.GetSchema(block.table));
-  fields = streamed->fields();
-  for (const auto& join : block.dim_joins) {
-    GOLA_ASSIGN_OR_RETURN(TablePtr dim, catalog.GetTable(join.table));
-    GOLA_ASSIGN_OR_RETURN(DimHashTable table, DimHashTable::Build(*dim, *join.build_key));
-    set.tables_.push_back(std::move(table));
-    for (const auto& f : dim->schema()->fields()) fields.push_back(f);
-    set.stage_schemas_.push_back(std::make_shared<Schema>(fields));
-  }
-  return set;
-}
-
-Result<Chunk> DimJoinSet::Apply(const BlockDef& block, const Chunk& chunk) const {
-  Chunk current = chunk;
-  for (size_t j = 0; j < tables_.size(); ++j) {
-    GOLA_ASSIGN_OR_RETURN(
-        current, tables_[j].Probe(current, *block.dim_joins[j].probe_key,
-                                  stage_schemas_[j]));
-  }
-  return current;
-}
-
-// ----------------------------------------------------------- filtering --
-
-Result<Chunk> ApplyBlockFilters(const BlockDef& block, const Chunk& input,
-                                const BroadcastEnv* env) {
-  size_t n = input.num_rows();
-  if (n == 0) return input;
-  std::vector<uint8_t> mask(n, 1);
-  bool all = true;
-  auto apply = [&](const Expr& pred) -> Status {
-    GOLA_ASSIGN_OR_RETURN(std::vector<uint8_t> sel, EvaluatePredicate(pred, input, env));
-    for (size_t i = 0; i < n; ++i) {
-      mask[i] &= sel[i];
-      if (!mask[i]) all = false;
-    }
-    return Status::OK();
-  };
-  for (const auto& c : block.certain_conjuncts) {
-    GOLA_RETURN_NOT_OK(apply(*c));
-  }
-  for (const auto& c : block.uncertain_conjuncts) {
-    ExprPtr pred = c.ToPointExpr();
-    GOLA_RETURN_NOT_OK(apply(*pred));
-  }
-  if (all) return input;
-  return input.Filter(mask);
-}
-
-Result<Chunk> ApplyHavingFilters(const BlockDef& block, const Chunk& post,
-                                 const BroadcastEnv* env) {
-  if (block.having_certain.empty() && block.having_uncertain.empty()) return post;
-  size_t n = post.num_rows();
-  std::vector<uint8_t> mask(n, 1);
-  auto apply = [&](const Expr& pred) -> Status {
-    GOLA_ASSIGN_OR_RETURN(std::vector<uint8_t> sel, EvaluatePredicate(pred, post, env));
-    for (size_t i = 0; i < n; ++i) mask[i] &= sel[i];
-    return Status::OK();
-  };
-  for (const auto& c : block.having_certain) {
-    GOLA_RETURN_NOT_OK(apply(*c));
-  }
-  for (const auto& c : block.having_uncertain) {
-    ExprPtr pred = c.ToPointExpr();
-    GOLA_RETURN_NOT_OK(apply(*pred));
-  }
-  return post.Filter(mask);
-}
 
 namespace {
 
@@ -198,71 +119,39 @@ Status BatchExecutor::ExecuteBlock(const BlockDef& block,
                                    const std::vector<const Chunk*>& chunks,
                                    const BatchExecOptions& opts, BroadcastEnv* env,
                                    Table* result) {
+  // One delta-pipeline per block: DimJoin → Filter → (HashAggregate | Collect).
+  // Subquery values are exact here, so the uncertain conjuncts filter in
+  // point form and no classify stage is needed.
   GOLA_ASSIGN_OR_RETURN(DimJoinSet dims, DimJoinSet::Build(block, *catalog_));
+  DimJoinStage join_stage(&block, std::move(dims));
+  FilterStage filter_stage = FilterStage::AllPointForms(block);
 
-  // Per-chunk pipeline: join → filter → (aggregate | collect).
-  size_t num_chunks = chunks.size();
-  std::vector<std::unique_ptr<HashAggregate>> partials(num_chunks);
-  std::vector<Chunk> spj_outputs(num_chunks);
-  std::vector<Status> statuses(num_chunks);
+  ExecContext ctx;
+  ctx.pool = opts.pool;
+  ctx.scale = opts.scale;
+  ctx.env = env;
 
-  auto process_chunk = [&](size_t idx) {
-    auto body = [&]() -> Status {
-      Chunk current = *chunks[idx];
-      if (!dims.empty()) {
-        GOLA_ASSIGN_OR_RETURN(current, dims.Apply(block, current));
-      }
-      GOLA_ASSIGN_OR_RETURN(current, ApplyBlockFilters(block, current, env));
-      if (block.is_aggregate) {
-        partials[idx] = std::make_unique<HashAggregate>(&block);
-        GOLA_RETURN_NOT_OK(partials[idx]->Update(current, env));
-      } else {
-        spj_outputs[idx] = std::move(current);
-      }
-      return Status::OK();
-    };
-    statuses[idx] = body();
-  };
+  DeltaPipeline pipeline;
+  if (!join_stage.empty()) pipeline.Add(&join_stage);
+  if (!filter_stage.empty()) pipeline.Add(&filter_stage);
 
-  if (opts.pool != nullptr && num_chunks > 1) {
-    opts.pool->ParallelFor(num_chunks, process_chunk);
-  } else {
-    for (size_t i = 0; i < num_chunks; ++i) process_chunk(i);
-  }
-  for (const auto& st : statuses) {
-    GOLA_RETURN_NOT_OK(st);
+  if (block.is_aggregate) {
+    HashAggregate merged(&block);
+    HashAggregateStage agg_stage(&block, &merged);
+    pipeline.SetSink(&agg_stage);
+    GOLA_RETURN_NOT_OK(pipeline.Run(ctx, chunks));
+    GOLA_ASSIGN_OR_RETURN(Chunk post, merged.Finalize(opts.scale));
+    GOLA_ASSIGN_OR_RETURN(post, ApplyHavingFilters(block, post, env));
+    return BroadcastOrEmit(block, post, env, result);
   }
 
-  if (!block.is_aggregate) {
-    if (block.kind != BlockKind::kRoot) {
-      return Status::PlanError("non-aggregate subquery blocks are not supported");
-    }
-    Chunk all;
-    if (num_chunks == 0) {
-      all = Chunk(block.input_schema, [&] {
-        std::vector<Column> cols;
-        for (const auto& f : block.input_schema->fields()) cols.emplace_back(f.type);
-        return cols;
-      }());
-    } else {
-      for (auto& c : spj_outputs) {
-        GOLA_RETURN_NOT_OK(all.Append(c));
-      }
-    }
-    GOLA_ASSIGN_OR_RETURN(*result, EmitRootOutput(block, all, env));
-    return Status::OK();
+  if (block.kind != BlockKind::kRoot) {
+    return Status::PlanError("non-aggregate subquery blocks are not supported");
   }
-
-  // Merge partials, finalize with the multiplicity scale, apply HAVING.
-  HashAggregate merged(&block);
-  for (auto& partial : partials) {
-    if (partial) {
-      GOLA_RETURN_NOT_OK(merged.Merge(std::move(*partial)));
-    }
-  }
-  GOLA_ASSIGN_OR_RETURN(Chunk post, merged.Finalize(opts.scale));
-  GOLA_ASSIGN_OR_RETURN(post, ApplyHavingFilters(block, post, env));
-  return BroadcastOrEmit(block, post, env, result);
+  CollectStage collect(block.input_schema);
+  pipeline.SetSink(&collect);
+  GOLA_RETURN_NOT_OK(pipeline.Run(ctx, chunks));
+  return BroadcastOrEmit(block, collect.combined(), env, result);
 }
 
 }  // namespace gola

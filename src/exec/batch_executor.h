@@ -4,6 +4,10 @@
 //  (b) the ground truth for the exactness tests, and
 //  (c) the building block reused by the CDM / naive-OLA baselines, which
 //      re-run it over growing chunk prefixes.
+//
+// Physical execution goes through the shared delta-pipeline layer
+// (exec/pipeline.h): per block, DimJoin → Filter → HashAggregate|Collect,
+// morsel-parallel when a pool is supplied.
 #ifndef GOLA_EXEC_BATCH_EXECUTOR_H_
 #define GOLA_EXEC_BATCH_EXECUTOR_H_
 
@@ -13,7 +17,7 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
-#include "exec/hash_join.h"
+#include "exec/pipeline.h"
 #include "expr/evaluator.h"
 #include "plan/binder.h"
 #include "plan/logical_plan.h"
@@ -25,7 +29,7 @@ struct BatchExecOptions {
   /// Multiplicity scale applied to COUNT/SUM finalization (§2.2 multiset
   /// semantics); 1.0 for plain exact execution.
   double scale = 1.0;
-  /// Worker pool for partition-parallel operators (null → sequential).
+  /// Worker pool for the morsel-parallel pipeline (null → sequential).
   ThreadPool* pool = nullptr;
 };
 
@@ -56,35 +60,12 @@ class BatchExecutor {
   const Catalog* catalog_;
 };
 
-/// Shared helper: evaluates every conjunct (certain first, then uncertain
-/// point forms) and returns the chunk filtered by their conjunction.
-Result<Chunk> ApplyBlockFilters(const BlockDef& block, const Chunk& input,
-                                const BroadcastEnv* env);
-
-/// Shared helper: applies the block's HAVING conjuncts (point forms) to a
-/// post-aggregation chunk.
-Result<Chunk> ApplyHavingFilters(const BlockDef& block, const Chunk& post,
-                                 const BroadcastEnv* env);
-
 /// Shared helper: given the (HAVING-filtered) post-aggregation chunk of an
 /// aggregate block — or the filtered input rows of a plain SPJ root —
 /// broadcasts subquery values into `env` or emits the root output into
 /// `result`, exactly as the batch engine does.
 Status BroadcastOrEmit(const BlockDef& block, const Chunk& rows, BroadcastEnv* env,
                        Table* result);
-
-/// Shared helper: joins `chunk` through the block's dimension joins using
-/// prebuilt hash tables (one per DimJoin, in order).
-class DimJoinSet {
- public:
-  static Result<DimJoinSet> Build(const BlockDef& block, const Catalog& catalog);
-  Result<Chunk> Apply(const BlockDef& block, const Chunk& chunk) const;
-  bool empty() const { return tables_.empty(); }
-
- private:
-  std::vector<DimHashTable> tables_;
-  std::vector<SchemaPtr> stage_schemas_;  // layout after each join stage
-};
 
 }  // namespace gola
 

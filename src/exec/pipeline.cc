@@ -1,0 +1,278 @@
+#include "exec/pipeline.h"
+
+#include "common/logging.h"
+
+namespace gola {
+
+// ----------------------------------------------------------- DimJoinSet --
+
+Result<DimJoinSet> DimJoinSet::Build(const BlockDef& block, const Catalog& catalog) {
+  DimJoinSet set;
+  // Layout after stage j = streamed columns + dims[0..j] columns; the final
+  // stage equals block.input_schema.
+  std::vector<Field> fields;
+  GOLA_ASSIGN_OR_RETURN(SchemaPtr streamed, catalog.GetSchema(block.table));
+  fields = streamed->fields();
+  for (const auto& join : block.dim_joins) {
+    GOLA_ASSIGN_OR_RETURN(TablePtr dim, catalog.GetTable(join.table));
+    GOLA_ASSIGN_OR_RETURN(DimHashTable table, DimHashTable::Build(*dim, *join.build_key));
+    set.tables_.push_back(std::move(table));
+    for (const auto& f : dim->schema()->fields()) fields.push_back(f);
+    set.stage_schemas_.push_back(std::make_shared<Schema>(fields));
+  }
+  return set;
+}
+
+Result<Chunk> DimJoinSet::Apply(const BlockDef& block, const Chunk& chunk) const {
+  Chunk current = chunk;
+  for (size_t j = 0; j < tables_.size(); ++j) {
+    GOLA_ASSIGN_OR_RETURN(
+        current, tables_[j].Probe(current, *block.dim_joins[j].probe_key,
+                                  stage_schemas_[j]));
+  }
+  return current;
+}
+
+// ---------------------------------------------------------- DimJoinStage --
+
+Result<Chunk> DimJoinStage::Apply(Chunk in, const ExecContext& ctx) const {
+  if (dims_.empty()) return in;
+  GOLA_ASSIGN_OR_RETURN(Chunk out, dims_.Apply(*block_, in));
+  if (ctx.metrics) ctx.metrics->rows_joined += static_cast<int64_t>(out.num_rows());
+  return out;
+}
+
+// ----------------------------------------------------------- FilterStage --
+
+FilterStage FilterStage::CertainOnly(const BlockDef& block) {
+  return FilterStage(block.certain_conjuncts);
+}
+
+FilterStage FilterStage::AllPointForms(const BlockDef& block) {
+  std::vector<ExprPtr> preds = block.certain_conjuncts;
+  for (const auto& uc : block.uncertain_conjuncts) preds.push_back(uc.ToPointExpr());
+  return FilterStage(std::move(preds));
+}
+
+Result<Chunk> FilterStage::Apply(Chunk in, const ExecContext& ctx) const {
+  size_t n = in.num_rows();
+  if (n == 0 || preds_.empty()) {
+    if (ctx.metrics) ctx.metrics->rows_filtered += static_cast<int64_t>(n);
+    return in;
+  }
+  std::vector<uint8_t> mask(n, 1);
+  bool all = true;
+  for (const auto& pred : preds_) {
+    GOLA_ASSIGN_OR_RETURN(std::vector<uint8_t> sel, EvaluatePredicate(*pred, in, ctx.env));
+    for (size_t i = 0; i < n; ++i) {
+      mask[i] &= sel[i];
+      if (!mask[i]) all = false;
+    }
+  }
+  Chunk out = all ? std::move(in) : in.Filter(mask);
+  if (ctx.metrics) ctx.metrics->rows_filtered += static_cast<int64_t>(out.num_rows());
+  return out;
+}
+
+// ---------------------------------------------------- HashAggregateStage --
+
+void HashAggregateStage::BeginBatch(size_t num_morsels) {
+  partials_.clear();
+  partials_.resize(num_morsels);
+}
+
+Status HashAggregateStage::Consume(size_t morsel_index, Chunk in,
+                                   const ExecContext& ctx) {
+  if (in.num_rows() == 0) return Status::OK();
+  partials_[morsel_index] = std::make_unique<HashAggregate>(block_);
+  return partials_[morsel_index]->Update(in, ctx.env);
+}
+
+Status HashAggregateStage::Finish() {
+  for (auto& partial : partials_) {
+    if (partial) {
+      GOLA_RETURN_NOT_OK(target_->Merge(std::move(*partial)));
+    }
+  }
+  partials_.clear();
+  return Status::OK();
+}
+
+// ---------------------------------------------------------- CollectStage --
+
+void CollectStage::BeginBatch(size_t num_morsels) {
+  outputs_.assign(num_morsels, Chunk());
+  combined_ = Chunk();
+}
+
+Status CollectStage::Consume(size_t morsel_index, Chunk in, const ExecContext& ctx) {
+  (void)ctx;
+  if (in.num_rows() > 0) outputs_[morsel_index] = std::move(in);
+  return Status::OK();
+}
+
+Status CollectStage::Finish() {
+  combined_ = Chunk(schema_, [&] {
+    std::vector<Column> cols;
+    for (const auto& f : schema_->fields()) cols.emplace_back(f.type);
+    return cols;
+  }());
+  for (auto& out : outputs_) {
+    if (out.num_rows() > 0) {
+      GOLA_RETURN_NOT_OK(combined_.Append(out));
+    }
+  }
+  outputs_.clear();
+  return Status::OK();
+}
+
+// ----------------------------------------------------------- PlanMorsels --
+
+std::vector<MorselPlan> PlanMorsels(const std::vector<MorselSource>& sources,
+                                    size_t min_morsel_rows, size_t max_morsels) {
+  if (min_morsel_rows == 0) min_morsel_rows = 1;
+  if (max_morsels == 0) max_morsels = 1;
+  size_t total = 0;
+  for (const auto& s : sources) total += s.chunk->num_rows();
+
+  // Target morsel size from the *total* row count: at most max_morsels
+  // pieces, none smaller than min_morsel_rows (except a chunk's remainder).
+  size_t target = (total + max_morsels - 1) / max_morsels;
+  if (target < min_morsel_rows) target = min_morsel_rows;
+
+  std::vector<MorselPlan> plan;
+  for (const auto& s : sources) {
+    size_t n = s.chunk->num_rows();
+    if (n == 0) continue;
+    size_t pieces = (n + target - 1) / target;
+    size_t base = n / pieces;
+    size_t rem = n % pieces;
+    size_t offset = 0;
+    for (size_t p = 0; p < pieces; ++p) {
+      size_t rows = base + (p < rem ? 1 : 0);
+      plan.push_back({s.chunk, offset, rows, s.first_stage});
+      offset += rows;
+    }
+  }
+  return plan;
+}
+
+// --------------------------------------------------------- DeltaPipeline --
+
+Status DeltaPipeline::Run(const ExecContext& ctx,
+                          const std::vector<MorselSource>& sources,
+                          Chunk* uncertain_out) {
+  if (classify_ != nullptr && uncertain_out == nullptr) {
+    return Status::Internal("classify stage requires an uncertain sink");
+  }
+  std::vector<MorselPlan> morsels =
+      PlanMorsels(sources, ctx.min_morsel_rows, ctx.max_morsels);
+  size_t m = morsels.size();
+
+  if (sink_) sink_->BeginBatch(m);
+  if (classify_) classify_->BeginBatch(m);
+  std::vector<Chunk> uncertain_slots(classify_ ? m : 0);
+  std::vector<Status> statuses(m, Status::OK());
+  if (ctx.metrics) {
+    ctx.metrics->batches += 1;
+    ctx.metrics->morsels += static_cast<int64_t>(m);
+  }
+
+  auto run_morsel = [&](size_t i) {
+    auto body = [&]() -> Status {
+      const MorselPlan& mo = morsels[i];
+      Chunk chunk = (mo.offset == 0 && mo.rows == mo.chunk->num_rows())
+                        ? *mo.chunk
+                        : mo.chunk->Slice(mo.offset, mo.rows);
+      if (ctx.metrics) ctx.metrics->rows_in += static_cast<int64_t>(mo.rows);
+      for (size_t s = mo.first_stage; s < transforms_.size(); ++s) {
+        GOLA_ASSIGN_OR_RETURN(chunk, transforms_[s]->Apply(std::move(chunk), ctx));
+      }
+      if (classify_) {
+        GOLA_ASSIGN_OR_RETURN(ClassifyStage::Split split,
+                              classify_->Classify(i, std::move(chunk), ctx));
+        if (ctx.metrics) {
+          ctx.metrics->rows_folded += static_cast<int64_t>(split.fold.num_rows());
+          ctx.metrics->rows_uncertain +=
+              static_cast<int64_t>(split.uncertain.num_rows());
+        }
+        if (split.uncertain.num_rows() > 0) {
+          uncertain_slots[i] = std::move(split.uncertain);
+        }
+        chunk = std::move(split.fold);
+      } else if (ctx.metrics) {
+        ctx.metrics->rows_folded += static_cast<int64_t>(chunk.num_rows());
+      }
+      if (sink_) {
+        GOLA_RETURN_NOT_OK(sink_->Consume(i, std::move(chunk), ctx));
+      }
+      return Status::OK();
+    };
+    statuses[i] = body();
+  };
+
+  if (ctx.pool != nullptr && m > 1) {
+    ctx.pool->ParallelFor(m, run_morsel);
+  } else {
+    for (size_t i = 0; i < m; ++i) run_morsel(i);
+  }
+  for (const auto& st : statuses) {
+    GOLA_RETURN_NOT_OK(st);
+  }
+
+  // Barrier: deferred classification decisions, then partial-state merges —
+  // both applied in morsel order on the calling thread.
+  if (classify_) {
+    GOLA_RETURN_NOT_OK(classify_->EndBatch());
+  }
+  if (sink_) {
+    GOLA_RETURN_NOT_OK(sink_->Finish());
+  }
+  if (uncertain_out != nullptr) {
+    for (auto& slot : uncertain_slots) {
+      if (slot.num_rows() > 0) {
+        GOLA_RETURN_NOT_OK(uncertain_out->Append(slot));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status DeltaPipeline::Run(const ExecContext& ctx,
+                          const std::vector<const Chunk*>& chunks) {
+  std::vector<MorselSource> sources;
+  sources.reserve(chunks.size());
+  for (const Chunk* c : chunks) sources.push_back({c, 0});
+  return Run(ctx, sources, nullptr);
+}
+
+// ---------------------------------------------------------------- HAVING --
+
+Result<std::vector<uint8_t>> EvaluateHavingMask(const BlockDef& block,
+                                                const Chunk& post,
+                                                const BroadcastEnv* env) {
+  size_t n = post.num_rows();
+  std::vector<uint8_t> mask(n, 1);
+  auto apply = [&](const Expr& pred) -> Status {
+    GOLA_ASSIGN_OR_RETURN(std::vector<uint8_t> sel, EvaluatePredicate(pred, post, env));
+    for (size_t i = 0; i < n; ++i) mask[i] &= sel[i];
+    return Status::OK();
+  };
+  for (const auto& c : block.having_certain) {
+    GOLA_RETURN_NOT_OK(apply(*c));
+  }
+  for (const auto& c : block.having_uncertain) {
+    ExprPtr pred = c.ToPointExpr();
+    GOLA_RETURN_NOT_OK(apply(*pred));
+  }
+  return mask;
+}
+
+Result<Chunk> ApplyHavingFilters(const BlockDef& block, const Chunk& post,
+                                 const BroadcastEnv* env) {
+  if (block.having_certain.empty() && block.having_uncertain.empty()) return post;
+  GOLA_ASSIGN_OR_RETURN(std::vector<uint8_t> mask, EvaluateHavingMask(block, post, env));
+  return post.Filter(mask);
+}
+
+}  // namespace gola

@@ -14,14 +14,6 @@ namespace {
 
 constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 
-/// Filters a PostAggChunk (point + replicate columns) by a row mask.
-void FilterPostAgg(PostAggChunk* post, const std::vector<uint8_t>& mask) {
-  post->point = post->point.Filter(mask);
-  for (auto& rep : post->replicate_cols) {
-    for (auto& col : rep) col = col.Filter(mask);
-  }
-}
-
 }  // namespace
 
 // ------------------------------------------------------------ OnlineEnv --
@@ -61,27 +53,52 @@ OnlineBlockExec::OnlineBlockExec(const BlockDef* block, const Catalog* catalog,
                                  const PoissonWeights* weights)
     : block_(block), catalog_(catalog), options_(options), weights_(weights) {}
 
-Status OnlineBlockExec::Init() {
-  if (initialized_) return Status::OK();
-  GOLA_ASSIGN_OR_RETURN(DimJoinSet dims, DimJoinSet::Build(*block_, *catalog_));
-  dims_ = std::move(dims);
-  if (!block_->is_aggregate) {
-    return Status::NotImplemented(
-        "online execution requires an aggregation in every block");
-  }
-  agg_ = std::make_unique<OnlineAggregate>(block_, weights_);
-  uncertain_ = Chunk(block_->input_schema, [&] {
+Chunk OnlineBlockExec::EmptyUncertain() const {
+  Chunk chunk(block_->input_schema, [&] {
     std::vector<Column> cols;
     for (const auto& f : block_->input_schema->fields()) cols.emplace_back(f.type);
     return cols;
   }());
-  uncertain_.set_serials({});
+  chunk.set_serials({});
+  return chunk;
+}
+
+ExecContext OnlineBlockExec::MakeContext(double scale, OnlineEnv* env) {
+  ExecContext ctx;
+  ctx.pool = options_->pool;
+  ctx.scale = scale;
+  ctx.seed = options_->seed;
+  ctx.env = &env->point_env();
+  ctx.metrics = &metrics_;
+  return ctx;
+}
+
+Status OnlineBlockExec::Init() {
+  if (initialized_) return Status::OK();
+  if (!block_->is_aggregate) {
+    return Status::NotImplemented(
+        "online execution requires an aggregation in every block");
+  }
+  // Build this block's delta pipeline: DimJoin → Filter(certain) →
+  // OnlineClassify → OnlineFold.
+  GOLA_ASSIGN_OR_RETURN(DimJoinSet dims, DimJoinSet::Build(*block_, *catalog_));
+  join_stage_.emplace(block_, std::move(dims));
+  filter_stage_.emplace(FilterStage::CertainOnly(*block_));
+  agg_ = std::make_unique<OnlineAggregate>(block_, weights_);
+  classify_stage_ = std::make_unique<OnlineClassifyStage>(block_, options_);
+  fold_stage_ = std::make_unique<OnlineFoldStage>(agg_.get());
+  pipeline_ = DeltaPipeline();
+  if (!join_stage_->empty()) pipeline_.Add(&*join_stage_);
+  if (!filter_stage_->empty()) pipeline_.Add(&*filter_stage_);
+  pipeline_.SetClassify(classify_stage_.get());
+  pipeline_.SetSink(fold_stage_.get());
+
+  uncertain_ = EmptyUncertain();
 
   uncertain_point_exprs_.clear();
   for (const auto& uc : block_->uncertain_conjuncts) {
     uncertain_point_exprs_.push_back(uc.ToPointExpr());
   }
-  conj_states_.assign(block_->uncertain_conjuncts.size(), ConjunctState{});
 
   // Membership classification conjunct (kMembership blocks): usable when
   // there is exactly one HAVING conjunct of comparison shape whose rhs is
@@ -131,15 +148,8 @@ Status OnlineBlockExec::Init() {
 
 void OnlineBlockExec::Reset() {
   if (agg_) agg_->Reset();
-  if (initialized_) {
-    uncertain_ = Chunk(block_->input_schema, [&] {
-      std::vector<Column> cols;
-      for (const auto& f : block_->input_schema->fields()) cols.emplace_back(f.type);
-      return cols;
-    }());
-    uncertain_.set_serials({});
-  }
-  for (auto& cs : conj_states_) cs = ConjunctState{};
+  if (initialized_) uncertain_ = EmptyUncertain();
+  if (classify_stage_) classify_stage_->ResetEnvelopes();
   last_overlay_.reset();
   last_point_lhs_.clear();
   last_members_.clear();
@@ -147,216 +157,27 @@ void OnlineBlockExec::Reset() {
   rows_seen_ = 0;
 }
 
-Result<Chunk> OnlineBlockExec::Prepare(const Chunk& batch, const BroadcastEnv* env) {
-  Chunk current = batch;
-  if (dims_ && !dims_->empty()) {
-    GOLA_ASSIGN_OR_RETURN(current, dims_->Apply(*block_, current));
-  }
-  // Certain conjuncts only; uncertain conjuncts go through classification.
-  size_t n = current.num_rows();
-  if (n == 0 || block_->certain_conjuncts.empty()) return current;
-  std::vector<uint8_t> mask(n, 1);
-  for (const auto& c : block_->certain_conjuncts) {
-    GOLA_ASSIGN_OR_RETURN(std::vector<uint8_t> sel, EvaluatePredicate(*c, current, env));
-    for (size_t i = 0; i < n; ++i) mask[i] &= sel[i];
-  }
-  return current.Filter(mask);
-}
-
-Result<bool> OnlineBlockExec::CheckEnvelopes(OnlineEnv* env) {
-  for (size_t c = 0; c < block_->uncertain_conjuncts.size(); ++c) {
-    const UncertainConjunct& uc = block_->uncertain_conjuncts[c];
-    ConjunctState& cs = conj_states_[c];
-    switch (uc.form) {
-      case UncertainConjunct::Form::kScalarCmp: {
-        const ScalarBroadcast* sb = env->scalar(uc.subquery_id);
-        if (sb == nullptr) break;
-        if (cs.has_global) {
-          const ScalarEntry& e = sb->global;
-          // Failure: the running value or a bootstrap output escaped the
-          // envelope (§3.2). The ε padding is slack, not part of the check.
-          if (!cs.global_envelope.Contains(e.core)) return true;
-          if (cs.global_envelope.Contains(e.padded)) cs.global_envelope = e.padded;
-        }
-        for (auto& [key, envelope] : cs.keyed_envelopes) {
-          const ScalarEntry* e = sb->Find(key);
-          if (e == nullptr) return true;  // key vanished from the broadcast
-          if (!envelope.Contains(e->core)) return true;
-          if (envelope.Contains(e->padded)) envelope = e->padded;
-        }
-        break;
-      }
-      case UncertainConjunct::Form::kMembership: {
-        MembershipSource* src = env->membership(uc.subquery_id);
-        if (src == nullptr) break;
-        for (const auto& [key, decision] : cs.member_decisions) {
-          // Decision-validity check: the key's current running value vs the
-          // current threshold range. Values drifting far from the threshold
-          // never trigger; only decisions at risk of flipping do.
-          TriState now = src->CurrentPointDecision(key);
-          if (now != (decision.is_member ? TriState::kTrue : TriState::kFalse)) {
-            return true;
-          }
-        }
-        break;
-      }
-      case UncertainConjunct::Form::kOpaque:
-        break;  // never classified deterministically → nothing to violate
-    }
-  }
-  return false;
-}
-
-Result<TriState> OnlineBlockExec::ClassifyScalarRow(const UncertainConjunct& uc,
-                                                    size_t conj_idx, double lhs,
-                                                    const Value& key, OnlineEnv* env) {
-  const ScalarBroadcast* sb = env->scalar(uc.subquery_id);
-  if (sb == nullptr) return TriState::kUncertain;
-  ConjunctState& cs = conj_states_[conj_idx];
-
-  const VariationRange* envelope = nullptr;
-  if (uc.outer_key) {
-    auto it = cs.keyed_envelopes.find(key);
-    if (it != cs.keyed_envelopes.end()) envelope = &it->second;
-  } else if (cs.has_global) {
-    envelope = &cs.global_envelope;
-  }
-
-  const ScalarEntry* entry = sb->Find(uc.outer_key ? key : Value());
-  if (envelope == nullptr) {
-    if (entry == nullptr || entry->point.is_null()) return TriState::kUncertain;
-    // Too few observations behind the value → its range estimate is not yet
-    // trustworthy; deferring classification avoids installing an envelope
-    // that would almost surely be violated (forcing a full recompute).
-    if (entry->support < options_->min_group_support) return TriState::kUncertain;
-    TriState t = ClassifyCmpRange(uc.cmp, lhs, entry->padded);
-    if (t != TriState::kUncertain) {
-      // First deterministic decision under this range: install the envelope
-      // so future batches monitor it.
-      if (uc.outer_key) {
-        cs.keyed_envelopes.emplace(key, entry->padded);
-      } else {
-        cs.has_global = true;
-        cs.global_envelope = entry->padded;
-      }
-    }
-    return t;
-  }
-  return ClassifyCmpRange(uc.cmp, lhs, *envelope);
-}
-
-Status OnlineBlockExec::ClassifyAndFold(const Chunk& candidates, OnlineEnv* env) {
-  size_t n = candidates.num_rows();
-  if (n == 0) return Status::OK();
-  const BroadcastEnv* point = &env->point_env();
-
-  if (block_->uncertain_conjuncts.empty()) {
-    return agg_->Update(candidates, point);
-  }
-
-  // Per-conjunct inputs.
-  struct ConjunctCols {
-    Column lhs;   // scalar: lhs values; membership: keys
-    Column keys;  // scalar correlated: outer keys
-  };
-  std::vector<ConjunctCols> inputs(block_->uncertain_conjuncts.size());
-  for (size_t c = 0; c < block_->uncertain_conjuncts.size(); ++c) {
-    const UncertainConjunct& uc = block_->uncertain_conjuncts[c];
-    if (uc.form == UncertainConjunct::Form::kOpaque) continue;
-    GOLA_ASSIGN_OR_RETURN(inputs[c].lhs, Evaluate(*uc.lhs, candidates, point));
-    if (uc.form == UncertainConjunct::Form::kScalarCmp && uc.outer_key) {
-      GOLA_ASSIGN_OR_RETURN(inputs[c].keys, Evaluate(*uc.outer_key, candidates, point));
-    }
-  }
-
-  std::vector<uint8_t> det_true(n, 0);
-  std::vector<uint8_t> keep_uncertain(n, 0);
-  for (size_t i = 0; i < n; ++i) {
-    TriState combined = TriState::kTrue;
-    for (size_t c = 0; c < block_->uncertain_conjuncts.size(); ++c) {
-      const UncertainConjunct& uc = block_->uncertain_conjuncts[c];
-      TriState t = TriState::kUncertain;
-      switch (uc.form) {
-        case UncertainConjunct::Form::kScalarCmp: {
-          if (inputs[c].lhs.IsNull(i)) {
-            t = TriState::kFalse;  // NULL comparisons are false in this engine
-            break;
-          }
-          Value key = uc.outer_key ? inputs[c].keys.GetValue(i) : Value();
-          GOLA_ASSIGN_OR_RETURN(
-              t, ClassifyScalarRow(uc, c, inputs[c].lhs.NumericAt(i), key, env));
-          break;
-        }
-        case UncertainConjunct::Form::kMembership: {
-          if (inputs[c].lhs.IsNull(i)) {
-            t = TriState::kFalse;
-            break;
-          }
-          Value key = inputs[c].lhs.GetValue(i);
-          ConjunctState& cs = conj_states_[c];
-          auto it = cs.member_decisions.find(key);
-          bool have = false;
-          bool is_member = false;
-          if (it != cs.member_decisions.end()) {
-            have = true;
-            is_member = it->second.is_member;
-          } else {
-            MembershipSource* src = env->membership(uc.subquery_id);
-            if (src != nullptr) {
-              TriState m = src->ClassifyKey(key);
-              if (m != TriState::kUncertain) {
-                have = true;
-                is_member = m == TriState::kTrue;
-                cs.member_decisions.emplace(key, MemberDecision{is_member});
-              }
-            }
-          }
-          if (have) {
-            t = (is_member != uc.negated) ? TriState::kTrue : TriState::kFalse;
-          } else {
-            t = TriState::kUncertain;
-          }
-          break;
-        }
-        case UncertainConjunct::Form::kOpaque:
-          t = TriState::kUncertain;
-          break;
-      }
-      combined = CombineConjuncts(combined, t);
-      if (combined == TriState::kFalse) break;
-    }
-    if (combined == TriState::kTrue) det_true[i] = 1;
-    else if (combined == TriState::kUncertain) keep_uncertain[i] = 1;
-  }
-
-  Chunk det_chunk = candidates.Filter(det_true);
-  if (det_chunk.num_rows() > 0) {
-    GOLA_RETURN_NOT_OK(agg_->Update(det_chunk, point));
-  }
-  Chunk unc_chunk = candidates.Filter(keep_uncertain);
-  GOLA_RETURN_NOT_OK(uncertain_.Append(unc_chunk));
-  return Status::OK();
-}
-
 Result<bool> OnlineBlockExec::ProcessBatch(const Chunk& batch, double scale,
                                            OnlineEnv* env) {
   GOLA_RETURN_NOT_OK(Init());
-  GOLA_ASSIGN_OR_RETURN(bool violated, CheckEnvelopes(env));
+  GOLA_ASSIGN_OR_RETURN(bool violated, classify_stage_->CheckEnvelopes(env));
   if (violated) return true;
 
-  GOLA_ASSIGN_OR_RETURN(Chunk prepared, Prepare(batch, &env->point_env()));
-  // Candidates: the cached uncertain set from batch i-1 plus the new rows —
-  // the only tuples the delta update must touch (§3.2).
-  Chunk candidates = std::move(uncertain_);
-  GOLA_RETURN_NOT_OK(candidates.Append(prepared));
-  uncertain_ = Chunk(block_->input_schema, [&] {
-    std::vector<Column> cols;
-    for (const auto& f : block_->input_schema->fields()) cols.emplace_back(f.type);
-    return cols;
-  }());
-  uncertain_.set_serials({});
+  // Pipeline inputs: the cached uncertain set from batch i-1 (stored
+  // post-join/post-filter, so it re-enters at the classify stage) plus the
+  // new batch — the only tuples the delta update must touch (§3.2).
+  Chunk uncertain_prev = std::move(uncertain_);
+  uncertain_ = EmptyUncertain();
+  std::vector<MorselSource> sources;
+  if (uncertain_prev.num_rows() > 0) {
+    sources.push_back({&uncertain_prev, pipeline_.num_transforms()});
+  }
+  sources.push_back({&batch, 0});
 
-  GOLA_RETURN_NOT_OK(ClassifyAndFold(candidates, env));
+  classify_stage_->SetEnv(env);
+  ExecContext ctx = MakeContext(scale, env);
+  GOLA_RETURN_NOT_OK(pipeline_.Run(ctx, sources, &uncertain_));
+
   rows_seen_ += static_cast<int64_t>(batch.num_rows());
   GOLA_RETURN_NOT_OK(Emit(scale, env));
   return false;
@@ -366,13 +187,18 @@ Status OnlineBlockExec::Rebuild(const std::vector<const Chunk*>& seen, double sc
                                 OnlineEnv* env) {
   GOLA_RETURN_NOT_OK(Init());
   Reset();
-  // One pass over all seen data with the *current* upstream broadcasts: the
-  // envelopes installed during this pass come from the fresh batch-i ranges.
+  // One morsel-parallel pass over all seen data with the *current* upstream
+  // broadcasts (frozen for the whole pass): the envelopes installed at the
+  // barrier come from the fresh batch-i ranges.
+  std::vector<MorselSource> sources;
+  sources.reserve(seen.size());
   for (const Chunk* chunk : seen) {
-    GOLA_ASSIGN_OR_RETURN(Chunk prepared, Prepare(*chunk, &env->point_env()));
-    GOLA_RETURN_NOT_OK(ClassifyAndFold(prepared, env));
+    sources.push_back({chunk, 0});
     rows_seen_ += static_cast<int64_t>(chunk->num_rows());
   }
+  classify_stage_->SetEnv(env);
+  ExecContext ctx = MakeContext(scale, env);
+  GOLA_RETURN_NOT_OK(pipeline_.Run(ctx, sources, &uncertain_));
   return Emit(scale, env);
 }
 
@@ -425,18 +251,8 @@ Status OnlineBlockExec::EmitScalar(const PostAggChunk& post, double scale,
   size_t rows = post.point.num_rows();
 
   // Optional HAVING (point form) masks rows out of the broadcast.
-  std::vector<uint8_t> mask(rows, 1);
-  for (const auto& h : block_->having_certain) {
-    GOLA_ASSIGN_OR_RETURN(std::vector<uint8_t> sel,
-                          EvaluatePredicate(*h, post.point, point));
-    for (size_t i = 0; i < rows; ++i) mask[i] &= sel[i];
-  }
-  for (const auto& h : block_->having_uncertain) {
-    ExprPtr pred = h.ToPointExpr();
-    GOLA_ASSIGN_OR_RETURN(std::vector<uint8_t> sel,
-                          EvaluatePredicate(*pred, post.point, point));
-    for (size_t i = 0; i < rows; ++i) mask[i] &= sel[i];
-  }
+  GOLA_ASSIGN_OR_RETURN(std::vector<uint8_t> mask,
+                        EvaluateHavingMask(*block_, post.point, point));
 
   GOLA_ASSIGN_OR_RETURN(Column point_vals, Evaluate(*block_->value_expr, post.point, point));
   size_t num_reps = post.replicate_cols.size();
@@ -491,18 +307,8 @@ Status OnlineBlockExec::EmitMembership(const PostAggChunk& post, OnlineEnv* env)
   const BroadcastEnv* point = &env->point_env();
   size_t rows = post.point.num_rows();
 
-  std::vector<uint8_t> mask(rows, 1);
-  for (const auto& h : block_->having_certain) {
-    GOLA_ASSIGN_OR_RETURN(std::vector<uint8_t> sel,
-                          EvaluatePredicate(*h, post.point, point));
-    for (size_t i = 0; i < rows; ++i) mask[i] &= sel[i];
-  }
-  for (const auto& h : block_->having_uncertain) {
-    ExprPtr pred = h.ToPointExpr();
-    GOLA_ASSIGN_OR_RETURN(std::vector<uint8_t> sel,
-                          EvaluatePredicate(*pred, post.point, point));
-    for (size_t i = 0; i < rows; ++i) mask[i] &= sel[i];
-  }
+  GOLA_ASSIGN_OR_RETURN(std::vector<uint8_t> mask,
+                        EvaluateHavingMask(*block_, post.point, point));
 
   const Column& keys = post.point.column(static_cast<size_t>(block_->membership_key_index));
   std::unordered_set<Value, ValueHash> members;
@@ -554,22 +360,16 @@ Status OnlineBlockExec::EmitRoot(const PostAggChunk& post_in, double scale,
   size_t num_groups = block_->group_by.size();
   size_t num_aggs = block_->aggs.size();
 
-  // HAVING (point) + uncertain-group accounting: a cheap per-group check
-  // comparing the point value with the subquery's padded range (the group's
-  // own bootstrap spread is not folded in — this is a monitoring statistic,
-  // not a correctness decision).
+  // HAVING (point form) plus uncertain-group accounting: a cheap per-group
+  // check comparing the point value with the subquery's padded range (the
+  // group's own bootstrap spread is not folded in — this is a monitoring
+  // statistic, not a correctness decision).
   Chunk post = post_in.point;
   size_t rows = post.num_rows();
-  std::vector<uint8_t> mask(rows, 1);
-  for (const auto& h : block_->having_certain) {
-    GOLA_ASSIGN_OR_RETURN(std::vector<uint8_t> sel, EvaluatePredicate(*h, post, point));
-    for (size_t i = 0; i < rows; ++i) mask[i] &= sel[i];
-  }
+  GOLA_ASSIGN_OR_RETURN(std::vector<uint8_t> mask,
+                        EvaluateHavingMask(*block_, post, point));
   int64_t uncertain_groups = 0;
   for (const auto& h : block_->having_uncertain) {
-    ExprPtr pred = h.ToPointExpr();
-    GOLA_ASSIGN_OR_RETURN(std::vector<uint8_t> sel, EvaluatePredicate(*pred, post, point));
-    for (size_t i = 0; i < rows; ++i) mask[i] &= sel[i];
     if (h.form == UncertainConjunct::Form::kScalarCmp && !h.outer_key) {
       const ScalarBroadcast* sb = env->scalar(h.subquery_id);
       if (sb != nullptr) {
@@ -705,6 +505,10 @@ Status OnlineBlockExec::EmitRoot(const PostAggChunk& post_in, double scale,
 // ---------------------------------------------------- MembershipSource --
 
 TriState OnlineBlockExec::ClassifyKey(const Value& key) {
+  // Downstream blocks call this from concurrent morsels; the backing state
+  // is frozen between Emits, so the answer per key is deterministic and a
+  // mutex around the shared cache suffices.
+  std::lock_guard<std::mutex> lock(classify_mu_);
   if (membership_monotone_) {
     // No HAVING: a key's presence can only be established, never revoked.
     return last_members_.count(key) ? TriState::kTrue : TriState::kUncertain;

@@ -2,10 +2,16 @@
 // deterministic-set aggregation, uncertain-set caching with lineage,
 // variation-range classification with envelope failure detection, and
 // per-batch broadcasting of running results to downstream blocks.
+//
+// Physical execution goes through the shared delta-pipeline layer: each
+// batch runs DimJoin → Filter → OnlineClassify → OnlineFold morsel-parallel
+// (gola/online_stages.h documents the determinism contract), with the
+// cached uncertain set re-entering the pipeline at the classify stage.
 #ifndef GOLA_GOLA_BLOCK_EXECUTOR_H_
 #define GOLA_GOLA_BLOCK_EXECUTOR_H_
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -14,98 +20,17 @@
 #include "bootstrap/ci.h"
 #include "bootstrap/poisson.h"
 #include "exec/batch_executor.h"
+#include "exec/pipeline.h"
 #include "expr/evaluator.h"
 #include "gola/online_agg.h"
+#include "gola/online_env.h"
+#include "gola/online_stages.h"
 #include "gola/uncertain.h"
 #include "plan/binder.h"
 #include "plan/logical_plan.h"
 #include "storage/partitioner.h"
 
 namespace gola {
-
-/// Engine-level knobs for online execution.
-struct GolaOptions {
-  int num_batches = 100;
-  int bootstrap_replicates = 100;
-  /// ε multiplier in R(u) = [min(û) − ε, max(û) + ε], ε = mult · stddev(û).
-  /// The paper recommends 1·σ (§3.2); this implementation defaults to 3·σ:
-  /// with incrementally-maintained replicates the range extremes drift as
-  /// random walks, and 3·σ empirically drives the recompute rate to ≲1 per
-  /// 100 batches across the workload suite while keeping the uncertain
-  /// sets small (bench_epsilon regenerates the trade-off curve).
-  double epsilon_mult = 3.0;
-  /// Deterministic classification against a scalar subquery value requires
-  /// the value's group to have at least this many observations: variation
-  /// ranges estimated from a handful of rows are too unstable to hang a
-  /// classification envelope on (each violation forces a full recompute).
-  int64_t min_group_support = 30;
-  double ci_level = 0.95;
-  uint64_t seed = 42;
-  /// Pre-shuffle rows (the paper's shuffle preprocessing tool); false keeps
-  /// only partition-wise randomness.
-  bool row_shuffle = true;
-  ThreadPool* pool = nullptr;
-};
-
-/// Per-batch broadcast of a scalar subquery: point estimate plus the core
-/// replicate range (failure detection) and the ε-padded variation range
-/// (classification).
-struct ScalarEntry {
-  Value point;
-  VariationRange core;
-  VariationRange padded;
-  /// Raw observation count behind the value (gates envelope installation).
-  int64_t support = 0;
-};
-
-struct ScalarBroadcast {
-  bool keyed = false;
-  ScalarEntry global;
-  std::unordered_map<Value, ScalarEntry, ValueHash> keyed_entries;
-
-  const ScalarEntry* Find(const Value& key) const {
-    if (!keyed) return &global;
-    auto it = keyed_entries.find(key);
-    return it == keyed_entries.end() ? nullptr : &it->second;
-  }
-};
-
-/// Lazy per-key interface onto a membership block's running state; answers
-/// are valid until the block's next Emit.
-class MembershipSource {
- public:
-  virtual ~MembershipSource() = default;
-  /// Range-based classification of "key ∈ result set": deterministic only
-  /// when the key's own variation range clears the threshold range.
-  virtual TriState ClassifyKey(const Value& key) = 0;
-  /// Decision-validity monitor: the key's *current running value* compared
-  /// against the *current* threshold range. A consumer that folded tuples
-  /// under decision d must recompute when this no longer returns d — but a
-  /// value drifting around far from the threshold never triggers. Returns
-  /// kUncertain for unknown keys / no usable classification conjunct (the
-  /// caller skips those).
-  virtual TriState CurrentPointDecision(const Value& key) = 0;
-};
-
-/// The per-batch communication fabric between blocks: point estimates for
-/// expression evaluation plus range/tri-state views for classification.
-class OnlineEnv {
- public:
-  BroadcastEnv& point_env() { return point_; }
-  const BroadcastEnv& point_env() const { return point_; }
-
-  void SetScalar(int id, ScalarBroadcast b);
-  void SetMembershipView(int id, std::unordered_set<Value, ValueHash> members,
-                         MembershipSource* source);
-
-  const ScalarBroadcast* scalar(int id) const;
-  MembershipSource* membership(int id) const;
-
- private:
-  BroadcastEnv point_;
-  std::unordered_map<int, ScalarBroadcast> scalars_;
-  std::unordered_map<int, MembershipSource*> membership_;
-};
 
 /// One row of root output statistics (per aggregate-bearing output column).
 struct CellStat {
@@ -137,9 +62,10 @@ class OnlineBlockExec : public MembershipSource {
   /// the caller must run a query-wide Rebuild.
   Result<bool> ProcessBatch(const Chunk& batch, double scale, OnlineEnv* env);
 
-  /// Discards all state and reprocesses `seen` in one pass against the
-  /// *current* upstream broadcasts (the paper's failure recovery: recompute
-  /// with the correct variation ranges). Ends with a fresh Emit.
+  /// Discards all state and reprocesses `seen` in one morsel-parallel pass
+  /// against the *current* upstream broadcasts (the paper's failure
+  /// recovery: recompute with the correct variation ranges). Ends with a
+  /// fresh Emit.
   Status Rebuild(const std::vector<const Chunk*>& seen, double scale, OnlineEnv* env);
 
   void Reset();
@@ -149,6 +75,8 @@ class OnlineBlockExec : public MembershipSource {
   size_t num_groups() const { return agg_ ? agg_->num_groups() : 0; }
   int64_t rows_seen() const { return rows_seen_; }
   const BlockDef& block() const { return *block_; }
+  /// Cumulative per-operator row counters of this block's pipeline.
+  const PipelineMetrics& metrics() const { return metrics_; }
 
   /// Root emissions of the most recent batch (root blocks only).
   const RootEmission& root_emission() const { return root_emission_; }
@@ -160,16 +88,10 @@ class OnlineBlockExec : public MembershipSource {
  private:
   Status Init();
 
-  /// Joins + certain-filters a raw batch chunk.
-  Result<Chunk> Prepare(const Chunk& batch, const BroadcastEnv* env);
+  /// Fresh empty uncertain cache (input layout, serials attached).
+  Chunk EmptyUncertain() const;
 
-  /// Envelope maintenance against the fresh upstream ranges; returns true
-  /// on violation.
-  Result<bool> CheckEnvelopes(OnlineEnv* env);
-
-  /// Classifies `candidates` row-wise; det-true rows are folded into the
-  /// deterministic states, det-false dropped, uncertain cached.
-  Status ClassifyAndFold(const Chunk& candidates, OnlineEnv* env);
+  ExecContext MakeContext(double scale, OnlineEnv* env);
 
   /// Finalizes and broadcasts / produces root output.
   Status Emit(double scale, OnlineEnv* env);
@@ -178,16 +100,19 @@ class OnlineBlockExec : public MembershipSource {
   Status EmitMembership(const PostAggChunk& post, OnlineEnv* env);
   Status EmitRoot(const PostAggChunk& post, double scale, OnlineEnv* env);
 
-  /// Tri-state of one scalar-cmp conjunct for a row.
-  Result<TriState> ClassifyScalarRow(const UncertainConjunct& uc, size_t conj_idx,
-                                     double lhs, const Value& key, OnlineEnv* env);
-
   const BlockDef* block_;
   const Catalog* catalog_;
   const GolaOptions* options_;
   const PoissonWeights* weights_;
 
-  std::optional<DimJoinSet> dims_;
+  // --- the block's delta pipeline ---------------------------------------
+  std::optional<DimJoinStage> join_stage_;
+  std::optional<FilterStage> filter_stage_;  // certain conjuncts only
+  std::unique_ptr<OnlineClassifyStage> classify_stage_;
+  std::unique_ptr<OnlineFoldStage> fold_stage_;
+  DeltaPipeline pipeline_;
+  PipelineMetrics metrics_;
+
   std::unique_ptr<OnlineAggregate> agg_;
   Chunk uncertain_;  // cached lineage: full input-layout columns + serials
   int64_t rows_seen_ = 0;
@@ -195,18 +120,6 @@ class OnlineBlockExec : public MembershipSource {
   // Point-expression forms of the uncertain conjuncts (evaluated over the
   // uncertain set at emission time).
   std::vector<ExprPtr> uncertain_point_exprs_;
-
-  // --- classification envelopes (one slot per where-uncertain conjunct) --
-  struct MemberDecision {
-    bool is_member = false;
-  };
-  struct ConjunctState {
-    bool has_global = false;
-    VariationRange global_envelope;
-    std::unordered_map<Value, VariationRange, ValueHash> keyed_envelopes;
-    std::unordered_map<Value, MemberDecision, ValueHash> member_decisions;
-  };
-  std::vector<ConjunctState> conj_states_;
 
   // --- membership-source state (kMembership blocks) ----------------------
   // The single HAVING conjunct usable for range classification, pre-split
@@ -226,6 +139,11 @@ class OnlineBlockExec : public MembershipSource {
   bool last_rhs_valid_ = false;
   std::unordered_set<Value, ValueHash> last_members_;
   std::unordered_map<Value, TriState, ValueHash> classify_cache_;
+  /// Guards ClassifyKey: downstream blocks classify morsels concurrently,
+  /// and the lazy per-key answers share classify_cache_. Answers are
+  /// deterministic per key (the backing state is frozen between Emits), so
+  /// mutual exclusion alone preserves bit-identical results.
+  std::mutex classify_mu_;
   double last_scale_ = 1.0;
   OnlineEnv* last_env_ = nullptr;
 

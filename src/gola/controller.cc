@@ -59,21 +59,17 @@ Result<OnlineUpdate> OnlineQueryExecutor::Step() {
 
   // Multiplicity m = N / |D_i| (§2.2); computed from rows rather than k/i so
   // the uneven final batch stays unbiased.
-  int64_t rows_through = 0;
-  for (int b = 0; b <= i; ++b) {
-    rows_through += static_cast<int64_t>(partitioner_->batch(b).num_rows());
-  }
+  rows_through_ += static_cast<int64_t>(batch.num_rows());
+  const int64_t rows_through = rows_through_;
   double scale = static_cast<double>(partitioner_->total_rows()) /
                  static_cast<double>(rows_through);
 
-  bool recomputed = false;
   for (auto& block : blocks_) {
     GOLA_ASSIGN_OR_RETURN(bool violated, block->ProcessBatch(batch, scale, &env_));
     if (violated) {
       // Range failure (§3.2): recompute the whole query over D_i with the
       // current variation ranges, block by block in dependency order.
       ++recomputes_;
-      recomputed = true;
       std::vector<const Chunk*> seen = partitioner_->BatchesUpTo(i + 1);
       for (auto& b : blocks_) {
         GOLA_RETURN_NOT_OK(b->Rebuild(seen, scale, &env_));
@@ -82,7 +78,6 @@ Result<OnlineUpdate> OnlineQueryExecutor::Step() {
     }
   }
   next_batch_ = i + 1;
-  (void)recomputed;
 
   OnlineUpdate update;
   update.batch_index = next_batch_;

@@ -79,6 +79,7 @@ class OnlineQueryExecutor {
   std::vector<std::unique_ptr<OnlineBlockExec>> blocks_;
   OnlineEnv env_;
   int next_batch_ = 0;
+  int64_t rows_through_ = 0;  // Σ rows of batches 0..next_batch_-1
   int recomputes_ = 0;
   Stopwatch total_timer_;
   double elapsed_ = 0;

@@ -116,6 +116,25 @@ Status OnlineAggregate::Update(const Chunk& input, const BroadcastEnv* env) {
   return UpdateGroupMap(*block_, weights_, input, env, &groups_, nullptr);
 }
 
+void OnlineAggregate::MergePartial(GroupMap&& partial) {
+  if (groups_.empty()) {
+    groups_ = std::move(partial);
+    return;
+  }
+  while (!partial.empty()) {
+    auto node = partial.extract(partial.begin());
+    auto it = groups_.find(node.key());
+    if (it == groups_.end()) {
+      groups_.insert(std::move(node));
+      continue;
+    }
+    GroupEntry& dst = it->second;
+    GroupEntry& src = node.mapped();
+    dst.rows += src.rows;
+    for (size_t a = 0; a < dst.aggs.size(); ++a) dst.aggs[a].Merge(src.aggs[a]);
+  }
+}
+
 void OnlineAggregate::Reset() { groups_.clear(); }
 
 const GroupStates* OnlineAggregate::Find(const GroupKey& key) const {

@@ -53,6 +53,12 @@ class OnlineAggregate {
   /// states. `env` supplies point broadcast values for group/agg exprs.
   Status Update(const Chunk& input, const BroadcastEnv* env);
 
+  /// Merges a partial GroupMap built over a disjoint morsel into the
+  /// deterministic states. Callers merge partials in morsel order so the
+  /// floating-point accumulation order — and hence every downstream result —
+  /// is independent of which thread ran which morsel.
+  void MergePartial(GroupMap&& partial);
+
   /// Clears all state (used by range-failure recompute).
   void Reset();
 

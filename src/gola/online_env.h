@@ -1,0 +1,108 @@
+// Online-engine options and the per-batch broadcast fabric between lineage
+// blocks: point estimates for expression evaluation plus range / tri-state
+// views for deterministic-vs-uncertain classification (paper §3.2).
+#ifndef GOLA_GOLA_ONLINE_ENV_H_
+#define GOLA_GOLA_ONLINE_ENV_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "bootstrap/ci.h"
+#include "common/thread_pool.h"
+#include "expr/evaluator.h"
+#include "gola/uncertain.h"
+
+namespace gola {
+
+/// Engine-level knobs for online execution.
+struct GolaOptions {
+  int num_batches = 100;
+  int bootstrap_replicates = 100;
+  /// ε multiplier in R(u) = [min(û) − ε, max(û) + ε], ε = mult · stddev(û).
+  /// The paper recommends 1·σ (§3.2); this implementation defaults to 3·σ:
+  /// with incrementally-maintained replicates the range extremes drift as
+  /// random walks, and 3·σ empirically drives the recompute rate to ≲1 per
+  /// 100 batches across the workload suite while keeping the uncertain
+  /// sets small (bench_epsilon regenerates the trade-off curve).
+  double epsilon_mult = 3.0;
+  /// Deterministic classification against a scalar subquery value requires
+  /// the value's group to have at least this many observations: variation
+  /// ranges estimated from a handful of rows are too unstable to hang a
+  /// classification envelope on (each violation forces a full recompute).
+  int64_t min_group_support = 30;
+  double ci_level = 0.95;
+  uint64_t seed = 42;
+  /// Pre-shuffle rows (the paper's shuffle preprocessing tool); false keeps
+  /// only partition-wise randomness.
+  bool row_shuffle = true;
+  /// Worker pool for the morsel-parallel delta pipelines (null → every
+  /// batch runs on the calling thread). Results are bit-identical across
+  /// pool sizes: the morsel plan and partial-merge order never depend on it.
+  ThreadPool* pool = nullptr;
+};
+
+/// Per-batch broadcast of a scalar subquery: point estimate plus the core
+/// replicate range (failure detection) and the ε-padded variation range
+/// (classification).
+struct ScalarEntry {
+  Value point;
+  VariationRange core;
+  VariationRange padded;
+  /// Raw observation count behind the value (gates envelope installation).
+  int64_t support = 0;
+};
+
+struct ScalarBroadcast {
+  bool keyed = false;
+  ScalarEntry global;
+  std::unordered_map<Value, ScalarEntry, ValueHash> keyed_entries;
+
+  const ScalarEntry* Find(const Value& key) const {
+    if (!keyed) return &global;
+    auto it = keyed_entries.find(key);
+    return it == keyed_entries.end() ? nullptr : &it->second;
+  }
+};
+
+/// Lazy per-key interface onto a membership block's running state; answers
+/// are valid until the block's next Emit. Implementations must be
+/// thread-safe: downstream blocks classify morsels concurrently.
+class MembershipSource {
+ public:
+  virtual ~MembershipSource() = default;
+  /// Range-based classification of "key ∈ result set": deterministic only
+  /// when the key's own variation range clears the threshold range.
+  virtual TriState ClassifyKey(const Value& key) = 0;
+  /// Decision-validity monitor: the key's *current running value* compared
+  /// against the *current* threshold range. A consumer that folded tuples
+  /// under decision d must recompute when this no longer returns d — but a
+  /// value drifting around far from the threshold never triggers. Returns
+  /// kUncertain for unknown keys / no usable classification conjunct (the
+  /// caller skips those).
+  virtual TriState CurrentPointDecision(const Value& key) = 0;
+};
+
+/// The per-batch communication fabric between blocks: point estimates for
+/// expression evaluation plus range/tri-state views for classification.
+class OnlineEnv {
+ public:
+  BroadcastEnv& point_env() { return point_; }
+  const BroadcastEnv& point_env() const { return point_; }
+
+  void SetScalar(int id, ScalarBroadcast b);
+  void SetMembershipView(int id, std::unordered_set<Value, ValueHash> members,
+                         MembershipSource* source);
+
+  const ScalarBroadcast* scalar(int id) const;
+  MembershipSource* membership(int id) const;
+
+ private:
+  BroadcastEnv point_;
+  std::unordered_map<int, ScalarBroadcast> scalars_;
+  std::unordered_map<int, MembershipSource*> membership_;
+};
+
+}  // namespace gola
+
+#endif  // GOLA_GOLA_ONLINE_ENV_H_

@@ -1,0 +1,246 @@
+#include "gola/online_stages.h"
+
+#include "common/logging.h"
+
+namespace gola {
+
+// --------------------------------------------------- OnlineClassifyStage --
+
+void OnlineClassifyStage::ResetEnvelopes() {
+  conj_states_.assign(block_->uncertain_conjuncts.size(), ConjunctState{});
+  pending_.clear();
+}
+
+Result<bool> OnlineClassifyStage::CheckEnvelopes(OnlineEnv* env) {
+  for (size_t c = 0; c < block_->uncertain_conjuncts.size(); ++c) {
+    const UncertainConjunct& uc = block_->uncertain_conjuncts[c];
+    ConjunctState& cs = conj_states_[c];
+    switch (uc.form) {
+      case UncertainConjunct::Form::kScalarCmp: {
+        const ScalarBroadcast* sb = env->scalar(uc.subquery_id);
+        if (sb == nullptr) break;
+        if (cs.has_global) {
+          const ScalarEntry& e = sb->global;
+          // Failure: the running value or a bootstrap output escaped the
+          // envelope (§3.2). The ε padding is slack, not part of the check.
+          if (!cs.global_envelope.Contains(e.core)) return true;
+          if (cs.global_envelope.Contains(e.padded)) cs.global_envelope = e.padded;
+        }
+        for (auto& [key, envelope] : cs.keyed_envelopes) {
+          const ScalarEntry* e = sb->Find(key);
+          if (e == nullptr) return true;  // key vanished from the broadcast
+          if (!envelope.Contains(e->core)) return true;
+          if (envelope.Contains(e->padded)) envelope = e->padded;
+        }
+        break;
+      }
+      case UncertainConjunct::Form::kMembership: {
+        MembershipSource* src = env->membership(uc.subquery_id);
+        if (src == nullptr) break;
+        for (const auto& [key, decision] : cs.member_decisions) {
+          // Decision-validity check: the key's current running value vs the
+          // current threshold range. Values drifting far from the threshold
+          // never trigger; only decisions at risk of flipping do.
+          TriState now = src->CurrentPointDecision(key);
+          if (now != (decision.is_member ? TriState::kTrue : TriState::kFalse)) {
+            return true;
+          }
+        }
+        break;
+      }
+      case UncertainConjunct::Form::kOpaque:
+        break;  // never classified deterministically → nothing to violate
+    }
+  }
+  return false;
+}
+
+void OnlineClassifyStage::BeginBatch(size_t num_morsels) {
+  pending_.assign(num_morsels, std::vector<ConjInstalls>());
+}
+
+TriState OnlineClassifyStage::ClassifyScalarRow(const UncertainConjunct& uc,
+                                                const ConjunctState& cs, double lhs,
+                                                const Value& key,
+                                                ConjInstalls* installs) const {
+  const ScalarBroadcast* sb = env_->scalar(uc.subquery_id);
+  if (sb == nullptr) return TriState::kUncertain;
+
+  const VariationRange* envelope = nullptr;
+  if (uc.outer_key) {
+    auto it = cs.keyed_envelopes.find(key);
+    if (it != cs.keyed_envelopes.end()) envelope = &it->second;
+  } else if (cs.has_global) {
+    envelope = &cs.global_envelope;
+  }
+  if (envelope != nullptr) return ClassifyCmpRange(uc.cmp, lhs, *envelope);
+
+  const ScalarEntry* entry = sb->Find(uc.outer_key ? key : Value());
+  if (entry == nullptr || entry->point.is_null()) return TriState::kUncertain;
+  // Too few observations behind the value → its range estimate is not yet
+  // trustworthy; deferring classification avoids installing an envelope
+  // that would almost surely be violated (forcing a full recompute).
+  if (entry->support < options_->min_group_support) return TriState::kUncertain;
+  TriState t = ClassifyCmpRange(uc.cmp, lhs, entry->padded);
+  if (t != TriState::kUncertain) {
+    // First deterministic decision under this range: record the install so
+    // EndBatch hangs the envelope for future batches to monitor. The
+    // envelope equals the broadcast's current padded range no matter which
+    // row (or morsel) records it, so deferring cannot change any
+    // classification within this batch.
+    if (uc.outer_key) {
+      installs->keyed.emplace(key, entry->padded);
+    } else {
+      installs->has_global = true;
+      installs->global = entry->padded;
+    }
+  }
+  return t;
+}
+
+Result<ClassifyStage::Split> OnlineClassifyStage::Classify(size_t morsel_index,
+                                                           Chunk in,
+                                                           const ExecContext& ctx) {
+  Split out;
+  size_t n = in.num_rows();
+  if (n == 0 || block_->uncertain_conjuncts.empty()) {
+    out.fold = std::move(in);
+    return out;
+  }
+  const BroadcastEnv* point = ctx.env;
+  std::vector<ConjInstalls>& installs = pending_[morsel_index];
+  installs.assign(block_->uncertain_conjuncts.size(), ConjInstalls{});
+
+  // Per-conjunct inputs.
+  struct ConjunctCols {
+    Column lhs;   // scalar: lhs values; membership: keys
+    Column keys;  // scalar correlated: outer keys
+  };
+  std::vector<ConjunctCols> inputs(block_->uncertain_conjuncts.size());
+  for (size_t c = 0; c < block_->uncertain_conjuncts.size(); ++c) {
+    const UncertainConjunct& uc = block_->uncertain_conjuncts[c];
+    if (uc.form == UncertainConjunct::Form::kOpaque) continue;
+    GOLA_ASSIGN_OR_RETURN(inputs[c].lhs, Evaluate(*uc.lhs, in, point));
+    if (uc.form == UncertainConjunct::Form::kScalarCmp && uc.outer_key) {
+      GOLA_ASSIGN_OR_RETURN(inputs[c].keys, Evaluate(*uc.outer_key, in, point));
+    }
+  }
+
+  std::vector<uint8_t> det_true(n, 0);
+  std::vector<uint8_t> keep_uncertain(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    TriState combined = TriState::kTrue;
+    for (size_t c = 0; c < block_->uncertain_conjuncts.size(); ++c) {
+      const UncertainConjunct& uc = block_->uncertain_conjuncts[c];
+      TriState t = TriState::kUncertain;
+      switch (uc.form) {
+        case UncertainConjunct::Form::kScalarCmp: {
+          if (inputs[c].lhs.IsNull(i)) {
+            t = TriState::kFalse;  // NULL comparisons are false in this engine
+            break;
+          }
+          Value key = uc.outer_key ? inputs[c].keys.GetValue(i) : Value();
+          t = ClassifyScalarRow(uc, conj_states_[c], inputs[c].lhs.NumericAt(i), key,
+                                &installs[c]);
+          break;
+        }
+        case UncertainConjunct::Form::kMembership: {
+          if (inputs[c].lhs.IsNull(i)) {
+            t = TriState::kFalse;
+            break;
+          }
+          Value key = inputs[c].lhs.GetValue(i);
+          const ConjunctState& cs = conj_states_[c];
+          bool have = false;
+          bool is_member = false;
+          auto it = cs.member_decisions.find(key);
+          if (it != cs.member_decisions.end()) {
+            have = true;
+            is_member = it->second.is_member;
+          } else {
+            // Decided earlier in this morsel? (Upstream answers are frozen
+            // during a batch, so re-asking would return the same value —
+            // this just skips the upstream call.)
+            auto pit = installs[c].members.find(key);
+            if (pit != installs[c].members.end()) {
+              have = true;
+              is_member = pit->second;
+            } else {
+              MembershipSource* src = env_->membership(uc.subquery_id);
+              if (src != nullptr) {
+                TriState m = src->ClassifyKey(key);
+                if (m != TriState::kUncertain) {
+                  have = true;
+                  is_member = m == TriState::kTrue;
+                  installs[c].members.emplace(key, is_member);
+                }
+              }
+            }
+          }
+          if (have) {
+            t = (is_member != uc.negated) ? TriState::kTrue : TriState::kFalse;
+          } else {
+            t = TriState::kUncertain;
+          }
+          break;
+        }
+        case UncertainConjunct::Form::kOpaque:
+          t = TriState::kUncertain;
+          break;
+      }
+      combined = CombineConjuncts(combined, t);
+      if (combined == TriState::kFalse) break;
+    }
+    if (combined == TriState::kTrue) det_true[i] = 1;
+    else if (combined == TriState::kUncertain) keep_uncertain[i] = 1;
+  }
+
+  out.fold = in.Filter(det_true);
+  out.uncertain = in.Filter(keep_uncertain);
+  return out;
+}
+
+Status OnlineClassifyStage::EndBatch() {
+  // Apply deferred installs in morsel order. emplace keeps the first install
+  // for a key — all installs of one batch carry identical ranges/decisions
+  // (the broadcast is frozen), so this only fixes the iteration history.
+  for (auto& morsel : pending_) {
+    for (size_t c = 0; c < morsel.size(); ++c) {
+      ConjInstalls& pi = morsel[c];
+      ConjunctState& cs = conj_states_[c];
+      if (pi.has_global && !cs.has_global) {
+        cs.has_global = true;
+        cs.global_envelope = pi.global;
+      }
+      for (auto& [key, range] : pi.keyed) cs.keyed_envelopes.emplace(key, range);
+      for (auto& [key, member] : pi.members) {
+        cs.member_decisions.emplace(key, MemberDecision{member});
+      }
+    }
+  }
+  pending_.clear();
+  return Status::OK();
+}
+
+// ------------------------------------------------------- OnlineFoldStage --
+
+void OnlineFoldStage::BeginBatch(size_t num_morsels) {
+  partials_.clear();
+  partials_.resize(num_morsels);
+}
+
+Status OnlineFoldStage::Consume(size_t morsel_index, Chunk in, const ExecContext& ctx) {
+  if (in.num_rows() == 0) return Status::OK();
+  return UpdateGroupMap(*agg_->block(), agg_->weights(), in, ctx.env,
+                        &partials_[morsel_index], nullptr);
+}
+
+Status OnlineFoldStage::Finish() {
+  for (auto& partial : partials_) {
+    if (!partial.empty()) agg_->MergePartial(std::move(partial));
+  }
+  partials_.clear();
+  return Status::OK();
+}
+
+}  // namespace gola

@@ -1,0 +1,111 @@
+// The online engine's stages for the shared delta-pipeline layer
+// (exec/pipeline.h): deterministic/uncertain classification and the
+// replicated-aggregate fold.
+//
+// Concurrency/determinism contract: during one batch, upstream broadcasts
+// and this block's classification envelopes are frozen, so every row's
+// tri-state is a pure function of the row — independent of morsel order and
+// of which thread runs it. Newly made decisions (envelope installs, member
+// decisions) are collected per morsel and applied at the barrier in morsel
+// order; since an installed envelope always equals the broadcast's current
+// padded range, deferring installs never changes any classification within
+// the batch. Partial aggregate states merge in morsel order, making the
+// floating-point accumulation order — and the seeded bootstrap state —
+// bit-identical across pool sizes.
+#ifndef GOLA_GOLA_ONLINE_STAGES_H_
+#define GOLA_GOLA_ONLINE_STAGES_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "exec/pipeline.h"
+#include "gola/online_agg.h"
+#include "gola/online_env.h"
+#include "gola/uncertain.h"
+#include "plan/logical_plan.h"
+
+namespace gola {
+
+/// Classifies morsels against the block's uncertain conjuncts (paper §3.2):
+/// deterministic-true rows go to the fold, deterministic-false rows are
+/// dropped, uncertain rows are cached. Also owns the classification
+/// envelopes and runs the per-batch envelope-failure check.
+class OnlineClassifyStage : public ClassifyStage {
+ public:
+  OnlineClassifyStage(const BlockDef* block, const GolaOptions* options)
+      : block_(block), options_(options) {
+    ResetEnvelopes();
+  }
+
+  /// Drops every envelope and member decision (failure recovery).
+  void ResetEnvelopes();
+
+  /// Sets the broadcast fabric used for range lookups; call before each
+  /// batch (the ExecContext only carries the point env).
+  void SetEnv(OnlineEnv* env) { env_ = env; }
+
+  /// Envelope maintenance against the fresh upstream ranges; returns true
+  /// on violation (serial, before the batch's pipeline run).
+  Result<bool> CheckEnvelopes(OnlineEnv* env);
+
+  // --- ClassifyStage ----------------------------------------------------
+  const char* name() const override { return "online_classify"; }
+  void BeginBatch(size_t num_morsels) override;
+  Result<Split> Classify(size_t morsel_index, Chunk in,
+                         const ExecContext& ctx) override;
+  Status EndBatch() override;
+
+ private:
+  struct MemberDecision {
+    bool is_member = false;
+  };
+  /// Installed decisions of one where-uncertain conjunct (frozen during a
+  /// batch; mutated only by EndBatch and CheckEnvelopes).
+  struct ConjunctState {
+    bool has_global = false;
+    VariationRange global_envelope = VariationRange::Point(0);
+    std::unordered_map<Value, VariationRange, ValueHash> keyed_envelopes;
+    std::unordered_map<Value, MemberDecision, ValueHash> member_decisions;
+  };
+  /// Decisions one morsel wants to install (each worker writes only its own
+  /// morsel's slot — no locking).
+  struct ConjInstalls {
+    bool has_global = false;
+    VariationRange global = VariationRange::Point(0);
+    std::unordered_map<Value, VariationRange, ValueHash> keyed;
+    std::unordered_map<Value, bool, ValueHash> members;
+  };
+
+  /// Tri-state of one scalar-cmp conjunct for a row; records a pending
+  /// envelope install on the first deterministic decision.
+  TriState ClassifyScalarRow(const UncertainConjunct& uc, const ConjunctState& cs,
+                             double lhs, const Value& key,
+                             ConjInstalls* installs) const;
+
+  const BlockDef* block_;
+  const GolaOptions* options_;
+  OnlineEnv* env_ = nullptr;
+  std::vector<ConjunctState> conj_states_;       // one per uncertain conjunct
+  std::vector<std::vector<ConjInstalls>> pending_;  // [morsel][conjunct]
+};
+
+/// Sink folding morsels into the block's deterministic-set states: one
+/// partial GroupMap per morsel, merged into the OnlineAggregate in morsel
+/// order at the barrier (bootstrap replicate maintenance included).
+class OnlineFoldStage : public AggregateStage {
+ public:
+  explicit OnlineFoldStage(OnlineAggregate* agg) : agg_(agg) {}
+
+  const char* name() const override { return "online_fold"; }
+  void BeginBatch(size_t num_morsels) override;
+  Status Consume(size_t morsel_index, Chunk in, const ExecContext& ctx) override;
+  Status Finish() override;
+
+ private:
+  OnlineAggregate* agg_;
+  std::vector<GroupMap> partials_;
+};
+
+}  // namespace gola
+
+#endif  // GOLA_GOLA_ONLINE_STAGES_H_

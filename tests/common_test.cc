@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 
 #include "common/string_util.h"
 #include "common/thread_pool.h"
@@ -71,6 +72,41 @@ TEST(ThreadPoolTest, ReentrantCallsRunInline) {
     pool.ParallelFor(4, [&](size_t) { count.fetch_add(1); });
   });
   EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPoolTest, WorkerExceptionRethrownOnCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(64,
+                       [&](size_t i) {
+                         if (i == 13) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The pool must stay usable after a failed ParallelFor.
+  std::atomic<int> count{0};
+  pool.ParallelFor(32, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPoolTest, WorkerExceptionAbandonsRemainingIterations) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.ParallelFor(100000,
+                                [&](size_t) {
+                                  ran.fetch_add(1);
+                                  throw std::runtime_error("first");
+                                }),
+               std::runtime_error);
+  // Cancellation is best-effort but must kick in well before the end.
+  EXPECT_LT(ran.load(), 100000);
+}
+
+TEST(ThreadPoolTest, InlinePathPropagatesException) {
+  ThreadPool pool(2);
+  // n == 1 runs inline on the caller; the exception must still surface.
+  EXPECT_THROW(
+      pool.ParallelFor(1, [](size_t) { throw std::runtime_error("inline"); }),
+      std::runtime_error);
 }
 
 TEST(ThreadPoolTest, ZeroAndOneIterations) {

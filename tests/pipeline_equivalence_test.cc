@@ -1,0 +1,119 @@
+// Delta-pipeline equivalence: for every workload query, the exact batch
+// engine and a fully drained online run must agree, and — the layer's
+// determinism contract — the online answer must be BIT-IDENTICAL across
+// pool sizes {0, 1, 4}: the morsel plan and all merge orders are computed
+// from input sizes alone, never from the pool.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gola/gola.h"
+#include "workload/conviva_gen.h"
+#include "workload/queries.h"
+#include "workload/tpch_gen.h"
+
+namespace gola {
+namespace {
+
+class PipelineEquivalenceTest : public ::testing::TestWithParam<NamedQuery> {
+ protected:
+  static Engine* engine() {
+    static Engine* instance = [] {
+      auto* e = new Engine();
+      ConvivaGenOptions conviva;
+      conviva.num_rows = 6000;
+      conviva.num_ads = 12;
+      conviva.num_contents = 200;
+      GOLA_CHECK_OK(e->RegisterTable("conviva", GenerateConviva(conviva)));
+      TpchGenOptions tpch;
+      tpch.num_rows = 6000;
+      tpch.num_parts = 60;
+      tpch.num_suppliers = 15;
+      GOLA_CHECK_OK(e->RegisterTable("tpch", GenerateTpch(tpch)));
+      return e;
+    }();
+    return instance;
+  }
+
+  static Table DrainOnline(const NamedQuery& q, ThreadPool* pool) {
+    GolaOptions opts;
+    opts.num_batches = 8;
+    opts.bootstrap_replicates = 40;
+    opts.seed = 99;
+    opts.pool = pool;
+    auto online = engine()->ExecuteOnline(q.sql, opts);
+    GOLA_CHECK_OK(online.status());
+    auto last = (*online)->Run();
+    GOLA_CHECK_OK(last.status());
+    return last->result;
+  }
+};
+
+TEST_P(PipelineEquivalenceTest, OnlineBitIdenticalAcrossPoolSizes) {
+  const NamedQuery& q = GetParam();
+  Table serial = DrainOnline(q, nullptr);
+  ThreadPool one(1);
+  ThreadPool four(4);
+  for (ThreadPool* pool : {&one, &four}) {
+    Table parallel = DrainOnline(q, pool);
+    ASSERT_EQ(parallel.num_rows(), serial.num_rows()) << q.name;
+    ASSERT_EQ(parallel.schema()->num_fields(), serial.schema()->num_fields());
+    for (int64_t r = 0; r < serial.num_rows(); ++r) {
+      for (size_t c = 0; c < serial.schema()->num_fields(); ++c) {
+        Value a = serial.At(r, static_cast<int>(c));
+        Value b = parallel.At(r, static_cast<int>(c));
+        if (a.is_null() || b.is_null()) {
+          EXPECT_TRUE(a.is_null() && b.is_null()) << q.name;
+          continue;
+        }
+        if (a.type() == TypeId::kString) {
+          EXPECT_TRUE(a == b) << q.name;
+          continue;
+        }
+        // Bitwise, not approximate: same FP accumulation order regardless
+        // of how many workers ran the morsels.
+        double da = a.ToDouble().ValueOr(1e100);
+        double db = b.ToDouble().ValueOr(-1e100);
+        if (std::isnan(da) && std::isnan(db)) continue;
+        EXPECT_EQ(da, db) << q.name << " threads=" << pool->num_threads()
+                          << " row " << r << " col " << c;
+      }
+    }
+  }
+}
+
+TEST_P(PipelineEquivalenceTest, ParallelOnlineConvergesToBatchAnswer) {
+  const NamedQuery& q = GetParam();
+  ThreadPool pool(4);
+  Table online = DrainOnline(q, &pool);
+
+  BatchExecOptions batch_opts;
+  batch_opts.pool = &pool;
+  auto exact = engine()->ExecuteBatch(q.sql, batch_opts);
+  ASSERT_TRUE(exact.ok()) << q.name << ": " << exact.status().ToString();
+
+  ASSERT_EQ(online.num_rows(), exact->num_rows()) << q.name;
+  for (int64_t r = 0; r < exact->num_rows(); ++r) {
+    for (size_t c = 0; c < exact->schema()->num_fields(); ++c) {
+      Value a = online.At(r, static_cast<int>(c));
+      Value b = exact->At(r, static_cast<int>(c));
+      if (b.type() == TypeId::kString) {
+        EXPECT_TRUE(a == b) << q.name << " row " << r << " col " << c;
+        continue;
+      }
+      double da = a.ToDouble().ValueOr(1e100);
+      double db = b.ToDouble().ValueOr(-1e100);
+      EXPECT_NEAR(da, db, 1e-6 * (1 + std::fabs(db)))
+          << q.name << " row " << r << " col " << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPaperQueries, PipelineEquivalenceTest,
+                         ::testing::ValuesIn(AllQueries()),
+                         [](const ::testing::TestParamInfo<NamedQuery>& info) {
+                           return info.param.name;
+                         });
+
+}  // namespace
+}  // namespace gola

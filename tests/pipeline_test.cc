@@ -1,0 +1,90 @@
+// Unit tests for the delta-pipeline layer's morsel planner: the plan must be
+// a function of the input sizes alone (pool-independence is what makes
+// parallel results bit-identical), cover every row exactly once, and respect
+// the (min_morsel_rows, max_morsels) policy.
+#include <gtest/gtest.h>
+
+#include "exec/pipeline.h"
+#include "storage/table.h"
+
+namespace gola {
+namespace {
+
+Chunk MakeChunk(size_t rows) {
+  auto schema = std::make_shared<Schema>(std::vector<Field>{{"x", TypeId::kInt64}});
+  Column col(TypeId::kInt64);
+  for (size_t i = 0; i < rows; ++i) col.AppendInt(static_cast<int64_t>(i));
+  std::vector<Column> cols;
+  cols.push_back(std::move(col));
+  return Chunk(schema, std::move(cols));
+}
+
+size_t TotalRows(const std::vector<MorselPlan>& plan) {
+  size_t total = 0;
+  for (const auto& m : plan) total += m.rows;
+  return total;
+}
+
+TEST(PlanMorselsTest, CoversEveryRowExactlyOnce) {
+  Chunk a = MakeChunk(5000);
+  Chunk b = MakeChunk(1700);
+  std::vector<MorselSource> sources{{&a, 0}, {&b, 2}};
+  auto plan = PlanMorsels(sources, 512, 32);
+  EXPECT_EQ(TotalRows(plan), 6700u);
+  // Morsels of one source are contiguous, ordered, non-overlapping.
+  size_t expect_offset = 0;
+  const Chunk* current = nullptr;
+  for (const auto& m : plan) {
+    if (m.chunk != current) {
+      current = m.chunk;
+      expect_offset = 0;
+    }
+    EXPECT_EQ(m.offset, expect_offset);
+    expect_offset += m.rows;
+    EXPECT_EQ(m.first_stage, m.chunk == &b ? 2u : 0u);
+  }
+}
+
+TEST(PlanMorselsTest, RespectsMinMorselRows) {
+  Chunk a = MakeChunk(100);
+  std::vector<MorselSource> sources{{&a, 0}};
+  auto plan = PlanMorsels(sources, 512, 32);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].rows, 100u);
+}
+
+TEST(PlanMorselsTest, RespectsMaxMorsels) {
+  Chunk a = MakeChunk(100000);
+  std::vector<MorselSource> sources{{&a, 0}};
+  auto plan = PlanMorsels(sources, 512, 32);
+  EXPECT_LE(plan.size(), 32u);
+  EXPECT_GT(plan.size(), 16u);  // a big input should actually fan out
+  EXPECT_EQ(TotalRows(plan), 100000u);
+}
+
+TEST(PlanMorselsTest, SkipsEmptySources) {
+  Chunk empty = MakeChunk(0);
+  Chunk a = MakeChunk(600);
+  std::vector<MorselSource> sources{{&empty, 0}, {&a, 0}};
+  auto plan = PlanMorsels(sources, 512, 32);
+  for (const auto& m : plan) EXPECT_GT(m.rows, 0u);
+  EXPECT_EQ(TotalRows(plan), 600u);
+}
+
+TEST(PlanMorselsTest, DeterministicForSameSizes) {
+  Chunk a = MakeChunk(12345);
+  Chunk b = MakeChunk(777);
+  std::vector<MorselSource> sources{{&a, 0}, {&b, 1}};
+  auto p1 = PlanMorsels(sources, 512, 32);
+  auto p2 = PlanMorsels(sources, 512, 32);
+  ASSERT_EQ(p1.size(), p2.size());
+  for (size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_EQ(p1[i].chunk, p2[i].chunk);
+    EXPECT_EQ(p1[i].offset, p2[i].offset);
+    EXPECT_EQ(p1[i].rows, p2[i].rows);
+    EXPECT_EQ(p1[i].first_stage, p2[i].first_stage);
+  }
+}
+
+}  // namespace
+}  // namespace gola
