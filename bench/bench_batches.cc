@@ -21,6 +21,7 @@ int Main(int argc, char** argv) {
     GolaOptions opts;
     opts.num_batches = k;
     opts.bootstrap_replicates = 60;
+    opts.trace_path = bench::TracePathFromEnv();
     auto online = engine.ExecuteOnline(sql, opts);
     GOLA_CHECK_OK(online.status());
     double first = -1;
@@ -42,6 +43,7 @@ int Main(int argc, char** argv) {
   }
   std::printf("\nshape: more batches → faster first answer and finer cadence, at "
               "higher total overhead\n");
+  bench::WriteMetricsArtifact("batches");
   return 0;
 }
 

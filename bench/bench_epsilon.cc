@@ -45,6 +45,7 @@ int Main(int argc, char** argv) {
   }
   std::printf("\npaper shape: recomputes fall and |U| grows as eps increases; "
               "eps = 1 sd balances both\n");
+  bench::WriteMetricsArtifact("epsilon");
   return 0;
 }
 

@@ -65,6 +65,7 @@ int Main(int argc, char** argv) {
   }
   std::printf("  full-pass overhead vs batch: %+.0f%%                 [~+60%%]\n",
               100 * (total / batch_seconds - 1.0));
+  bench::WriteMetricsArtifact("fig3a");
   return 0;
 }
 

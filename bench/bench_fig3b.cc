@@ -86,6 +86,7 @@ int Main(int argc, char** argv) {
     std::printf("  %-4s growth %5.1fx\n", queries[qi].name.c_str(),
                 ratios[qi][9] / std::max(1e-9, ratios[qi][1]));
   }
+  bench::WriteMetricsArtifact("fig3b");
   return 0;
 }
 

@@ -158,6 +158,7 @@ void BM_OnlineDrainSbi(benchmark::State& state) {
   opts.num_batches = 20;
   opts.bootstrap_replicates = 60;
   opts.pool = pool.get();
+  opts.trace_path = bench::TracePathFromEnv();
   std::string sql = SbiQuery();
   for (auto _ : state) {
     auto online = engine->ExecuteOnline(sql, opts);
@@ -203,5 +204,6 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(patched_argc, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  gola::bench::WriteMetricsArtifact("micro");
   return 0;
 }

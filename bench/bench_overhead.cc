@@ -47,6 +47,7 @@ int Main(int argc, char** argv) {
   for (const auto& q : AllQueries()) {
     if (q.name == "Q17" || q.name == "SBI") RunOne(engine, q, rows);
   }
+  bench::WriteMetricsArtifact("overhead");
   return 0;
 }
 

@@ -48,6 +48,7 @@ int Main(int argc, char** argv) {
   }
   std::printf("\nshape: time grows ~linearly with B; CI estimates stabilize by "
               "B~=50-100 (more replicates stop paying)\n");
+  bench::WriteMetricsArtifact("replicates");
   return 0;
 }
 

@@ -63,6 +63,7 @@ int Main(int argc, char** argv) {
   }
   std::printf("\npaper shape: max|U| well below a mini-batch; late/early ≈ 1 "
               "(almost constant per-iteration time)\n");
+  bench::WriteMetricsArtifact("uncertain");
   return 0;
 }
 

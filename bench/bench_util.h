@@ -13,6 +13,8 @@
 #endif
 
 #include "gola/gola.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "workload/conviva_gen.h"
 #include "workload/queries.h"
 #include "workload/tpch_gen.h"
@@ -65,6 +67,29 @@ inline void PrintHeader(const std::string& title, int64_t rows, int batches,
   std::printf("=== %s ===\n", title.c_str());
   std::printf("rows per table: %lld | mini-batches: %d | bootstrap replicates: %d\n\n",
               static_cast<long long>(rows), batches, replicates);
+}
+
+/// Chrome-trace output path from GOLA_TRACE_PATH; empty → tracing stays off.
+/// Opt-in by env keeps the CI overhead guard measuring metrics cost alone.
+inline std::string TracePathFromEnv() {
+  const char* env = std::getenv("GOLA_TRACE_PATH");
+  return env ? std::string(env) : std::string();
+}
+
+/// Folds the engine's metrics registry into the bench's artifact set:
+/// BENCH_<name>.metrics.json next to the timing output, so CI uploads a
+/// machine-readable snapshot of counters/gauges/histograms per run.
+inline void WriteMetricsArtifact(const std::string& name) {
+  const std::string path = "BENCH_" + name + ".metrics.json";
+  const std::string json = obs::MetricsRegistry::Global().Snapshot().ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("\nmetrics snapshot: %s\n", path.c_str());
 }
 
 }  // namespace bench

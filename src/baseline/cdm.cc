@@ -3,6 +3,8 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gola {
 
@@ -60,6 +62,7 @@ Result<CdmUpdate> CdmExecutor::Step() {
   if (done()) return Status::ExecutionError("all mini-batches already processed");
   Stopwatch timer;
   const int i = next_batch_;
+  obs::TraceSpan batch_span("cdm_batch", "index", i);
 
   rows_through_ += static_cast<int64_t>(partitioner_->batch(i).num_rows());
   double scale = static_cast<double>(partitioner_->total_rows()) /
@@ -110,6 +113,15 @@ Result<CdmUpdate> CdmExecutor::Step() {
 
   next_batch_ = i + 1;
   update.batch_seconds = timer.ElapsedSeconds();
+  if (obs::MetricsEnabled()) {
+    auto& reg = obs::MetricsRegistry::Global();
+    static obs::Histogram* batch_us =
+        reg.GetHistogram("gola_baseline_batch_us{engine=\"cdm\"}");
+    static obs::Counter* rows_scanned =
+        reg.GetCounter("gola_baseline_rows_scanned_total{engine=\"cdm\"}");
+    batch_us->Record(static_cast<int64_t>(update.batch_seconds * 1e6));
+    rows_scanned->Add(update.rows_scanned);
+  }
   return update;
 }
 

@@ -2,6 +2,8 @@
 
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gola {
 
@@ -26,6 +28,7 @@ Result<NaiveOlaUpdate> NaiveOlaExecutor::Step() {
   if (done()) return Status::ExecutionError("all mini-batches already processed");
   Stopwatch timer;
   const int i = next_batch_;
+  obs::TraceSpan batch_span("naive_batch", "index", i);
 
   std::vector<const Chunk*> prefix = partitioner_->BatchesUpTo(i + 1);
   rows_through_ += static_cast<int64_t>(partitioner_->batch(i).num_rows());
@@ -45,6 +48,15 @@ Result<NaiveOlaUpdate> NaiveOlaExecutor::Step() {
   update.rows_scanned = rows_through * static_cast<int64_t>(query_.blocks.size());
   update.batch_seconds = timer.ElapsedSeconds();
   next_batch_ = i + 1;
+  if (obs::MetricsEnabled()) {
+    auto& reg = obs::MetricsRegistry::Global();
+    static obs::Histogram* batch_us =
+        reg.GetHistogram("gola_baseline_batch_us{engine=\"naive\"}");
+    static obs::Counter* rows_scanned =
+        reg.GetCounter("gola_baseline_rows_scanned_total{engine=\"naive\"}");
+    batch_us->Record(static_cast<int64_t>(update.batch_seconds * 1e6));
+    rows_scanned->Add(update.rows_scanned);
+  }
   return update;
 }
 

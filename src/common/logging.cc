@@ -1,6 +1,10 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/status.h"
 
@@ -8,7 +12,6 @@ namespace gola {
 namespace internal {
 
 namespace {
-std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -17,13 +20,38 @@ const char* LevelName(LogLevel level) {
     case LogLevel::kWarn: return "WARN";
     case LogLevel::kError: return "ERROR";
     case LogLevel::kFatal: return "FATAL";
+    case LogLevel::kOff: return "OFF";
   }
   return "?";
 }
+
+std::atomic<int>& LevelVar() {
+  // Initialized once from the environment so tests/CI can silence or
+  // amplify logging without recompiling.
+  static std::atomic<int> level{static_cast<int>(
+      ParseLogLevel(std::getenv("GOLA_LOG_LEVEL"), LogLevel::kInfo))};
+  return level;
+}
+
 }  // namespace
 
-LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
-void SetLogLevel(LogLevel level) { g_log_level.store(static_cast<int>(level)); }
+LogLevel ParseLogLevel(const char* spec, LogLevel fallback) {
+  if (spec == nullptr || *spec == '\0') return fallback;
+  std::string v;
+  for (const char* p = spec; *p != '\0'; ++p) {
+    v.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (v == "debug" || v == "0") return LogLevel::kDebug;
+  if (v == "info" || v == "1") return LogLevel::kInfo;
+  if (v == "warn" || v == "warning" || v == "2") return LogLevel::kWarn;
+  if (v == "error" || v == "3") return LogLevel::kError;
+  if (v == "fatal" || v == "4") return LogLevel::kFatal;
+  if (v == "off" || v == "none" || v == "silent" || v == "5") return LogLevel::kOff;
+  return fallback;
+}
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(LevelVar().load()); }
+void SetLogLevel(LogLevel level) { LevelVar().store(static_cast<int>(level)); }
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
@@ -32,7 +60,13 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (level_ >= GetLogLevel() || level_ == LogLevel::kFatal) {
-    std::cerr << stream_.str() << std::endl;
+    // One fwrite for the whole record (terminator included): stdio locks
+    // the stream per call, so concurrent morsel workers cannot interleave
+    // partial lines.
+    std::string line = stream_.str();
+    line.push_back('\n');
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
   }
   if (level_ == LogLevel::kFatal) {
     std::abort();

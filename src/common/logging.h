@@ -13,11 +13,27 @@
 namespace gola {
 namespace internal {
 
-enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kFatal = 4 };
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kFatal = 4,
+  /// Threshold-only value: suppresses everything except kFatal (which is
+  /// always emitted before aborting).
+  kOff = 5,
+};
 
-/// Global minimum level actually emitted; default kInfo.
+/// Global minimum level actually emitted. Defaults to kInfo; overridable
+/// without recompiling via the GOLA_LOG_LEVEL env var (parsed once, on
+/// first use) — accepts level names ("debug", "warn", …, "off") or the
+/// numeric values 0-5, case-insensitive.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+/// Parses a GOLA_LOG_LEVEL-style spec; returns `fallback` when `spec` is
+/// null or unrecognized.
+LogLevel ParseLogLevel(const char* spec, LogLevel fallback);
 
 /// Stream-style log sink that emits the accumulated message on destruction
 /// and aborts the process for kFatal.

@@ -1,9 +1,51 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 
+#include "obs/metrics.h"
+
 namespace gola {
+
+namespace {
+
+/// Pre-looked-up handles into the global registry (one lookup per process;
+/// recording is lock-free).
+struct PoolMetrics {
+  obs::Gauge* queue_depth;
+  obs::Counter* tasks_total;
+  obs::Counter* parallel_for_total;
+  obs::Counter* parallel_for_inline_total;
+  obs::Histogram* task_wait_us;
+  obs::Histogram* task_run_us;
+  obs::Histogram* idle_us;
+
+  static const PoolMetrics& Get() {
+    static PoolMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      auto* pm = new PoolMetrics();
+      pm->queue_depth = reg.GetGauge("gola_threadpool_queue_depth");
+      pm->tasks_total = reg.GetCounter("gola_threadpool_tasks_total");
+      pm->parallel_for_total = reg.GetCounter("gola_threadpool_parallel_for_total");
+      pm->parallel_for_inline_total =
+          reg.GetCounter("gola_threadpool_parallel_for_inline_total");
+      pm->task_wait_us = reg.GetHistogram("gola_threadpool_task_wait_us");
+      pm->task_run_us = reg.GetHistogram("gola_threadpool_task_run_us");
+      pm->idle_us = reg.GetHistogram("gola_threadpool_idle_us");
+      return pm;
+    }();
+    return *m;
+  }
+};
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
@@ -26,24 +68,45 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  const bool instrumented = obs::MetricsEnabled();
+  Task entry{std::move(task), instrumented ? NowUs() : 0};
   {
     std::lock_guard<std::mutex> lock(mu_);
-    tasks_.push(std::move(task));
+    tasks_.push(std::move(entry));
+  }
+  if (instrumented) {
+    const PoolMetrics& m = PoolMetrics::Get();
+    m.queue_depth->Add(1);
+    m.tasks_total->Increment();
   }
   cv_.notify_one();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
+      int64_t wait_start = obs::MetricsEnabled() ? NowUs() : 0;
       cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (wait_start != 0) {
+        PoolMetrics::Get().idle_us->Record(NowUs() - wait_start);
+      }
       if (shutdown_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    if (task.enqueue_us != 0 && obs::MetricsEnabled()) {
+      const PoolMetrics& m = PoolMetrics::Get();
+      m.queue_depth->Add(-1);
+      int64_t start = NowUs();
+      m.task_wait_us->Record(start - task.enqueue_us);
+      task.fn();
+      m.task_run_us->Record(NowUs() - start);
+    } else {
+      if (task.enqueue_us != 0) PoolMetrics::Get().queue_depth->Add(-1);
+      task.fn();
+    }
   }
 }
 
@@ -98,9 +161,13 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   if (n == 1 || tls_in_pool) {
     // Inline (also avoids deadlock on reentrant use from a worker thread).
+    if (obs::MetricsEnabled()) {
+      PoolMetrics::Get().parallel_for_inline_total->Increment();
+    }
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  if (obs::MetricsEnabled()) PoolMetrics::Get().parallel_for_total->Increment();
   auto state = std::make_shared<ParallelForState>(n, fn);
   const size_t helpers = std::min(n, workers_.size());
   state->tasks_remaining = helpers;

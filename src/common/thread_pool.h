@@ -7,6 +7,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -37,11 +38,18 @@ class ThreadPool {
   static ThreadPool& Default();
 
  private:
+  /// Queued work item; `enqueue_us` (0 when metrics are off) feeds the
+  /// queue-wait histogram.
+  struct Task {
+    std::function<void()> fn;
+    int64_t enqueue_us = 0;
+  };
+
   void Submit(std::function<void()> task);
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<Task> tasks_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool shutdown_ = false;

@@ -1,8 +1,53 @@
 #include "exec/pipeline.h"
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gola {
+
+namespace {
+
+/// Pre-looked-up registry handles for one Run call. Stage histograms are
+/// fetched by name once per Run (a mutex-guarded map lookup), never per
+/// morsel — the morsel hot path pays only relaxed atomic adds.
+struct RunObs {
+  bool on = false;
+  obs::Counter* runs_total = nullptr;
+  obs::Counter* morsels_total = nullptr;
+  obs::Counter* rows_in_total = nullptr;
+  obs::Counter* rows_folded_total = nullptr;
+  obs::Counter* rows_uncertain_total = nullptr;
+  obs::Histogram* morsel_us = nullptr;
+  std::vector<obs::Histogram*> stage_us;  // transforms, then classify, sink
+
+  static RunObs Lookup(const std::vector<const TransformStage*>& transforms,
+                       const ClassifyStage* classify, const AggregateStage* sink) {
+    RunObs o;
+    o.on = obs::MetricsEnabled();
+    if (!o.on) return o;
+    auto& reg = obs::MetricsRegistry::Global();
+    o.runs_total = reg.GetCounter("gola_pipeline_runs_total");
+    o.morsels_total = reg.GetCounter("gola_pipeline_morsels_total");
+    o.rows_in_total = reg.GetCounter("gola_pipeline_rows_in_total");
+    o.rows_folded_total = reg.GetCounter("gola_pipeline_rows_folded_total");
+    o.rows_uncertain_total = reg.GetCounter("gola_pipeline_rows_uncertain_total");
+    o.morsel_us = reg.GetHistogram("gola_pipeline_morsel_us");
+    auto stage_hist = [&reg](const char* name) {
+      return reg.GetHistogram(
+          Format("gola_pipeline_stage_us{stage=\"%s\"}", name));
+    };
+    o.stage_us.reserve(transforms.size() + 2);
+    for (const TransformStage* t : transforms) o.stage_us.push_back(stage_hist(t->name()));
+    if (classify != nullptr) o.stage_us.push_back(stage_hist(classify->name()));
+    if (sink != nullptr) o.stage_us.push_back(stage_hist(sink->name()));
+    return o;
+  }
+};
+
+}  // namespace
 
 // ----------------------------------------------------------- DimJoinSet --
 
@@ -177,20 +222,41 @@ Status DeltaPipeline::Run(const ExecContext& ctx,
     ctx.metrics->batches += 1;
     ctx.metrics->morsels += static_cast<int64_t>(m);
   }
+  const RunObs ob = RunObs::Lookup(transforms_, classify_, sink_);
+  if (ob.on) {
+    ob.runs_total->Increment();
+    ob.morsels_total->Add(static_cast<int64_t>(m));
+  }
 
   auto run_morsel = [&](size_t i) {
     auto body = [&]() -> Status {
       const MorselPlan& mo = morsels[i];
+      obs::TraceSpan morsel_span("morsel", "rows",
+                                 static_cast<int64_t>(mo.rows));
+      Stopwatch morsel_timer;
       Chunk chunk = (mo.offset == 0 && mo.rows == mo.chunk->num_rows())
                         ? *mo.chunk
                         : mo.chunk->Slice(mo.offset, mo.rows);
       if (ctx.metrics) ctx.metrics->rows_in += static_cast<int64_t>(mo.rows);
+      if (ob.on) ob.rows_in_total->Add(static_cast<int64_t>(mo.rows));
+      Stopwatch stage_timer;
       for (size_t s = mo.first_stage; s < transforms_.size(); ++s) {
+        obs::TraceSpan stage_span(transforms_[s]->name());
+        stage_timer.Restart();
         GOLA_ASSIGN_OR_RETURN(chunk, transforms_[s]->Apply(std::move(chunk), ctx));
+        if (ob.on) ob.stage_us[s]->Record(stage_timer.ElapsedMicros());
       }
       if (classify_) {
+        obs::TraceSpan stage_span(classify_->name());
+        stage_timer.Restart();
         GOLA_ASSIGN_OR_RETURN(ClassifyStage::Split split,
                               classify_->Classify(i, std::move(chunk), ctx));
+        if (ob.on) {
+          ob.stage_us[transforms_.size()]->Record(stage_timer.ElapsedMicros());
+          ob.rows_folded_total->Add(static_cast<int64_t>(split.fold.num_rows()));
+          ob.rows_uncertain_total->Add(
+              static_cast<int64_t>(split.uncertain.num_rows()));
+        }
         if (ctx.metrics) {
           ctx.metrics->rows_folded += static_cast<int64_t>(split.fold.num_rows());
           ctx.metrics->rows_uncertain +=
@@ -200,12 +266,22 @@ Status DeltaPipeline::Run(const ExecContext& ctx,
           uncertain_slots[i] = std::move(split.uncertain);
         }
         chunk = std::move(split.fold);
-      } else if (ctx.metrics) {
-        ctx.metrics->rows_folded += static_cast<int64_t>(chunk.num_rows());
+      } else {
+        if (ctx.metrics) {
+          ctx.metrics->rows_folded += static_cast<int64_t>(chunk.num_rows());
+        }
+        if (ob.on) ob.rows_folded_total->Add(static_cast<int64_t>(chunk.num_rows()));
       }
       if (sink_) {
+        obs::TraceSpan stage_span(sink_->name());
+        stage_timer.Restart();
         GOLA_RETURN_NOT_OK(sink_->Consume(i, std::move(chunk), ctx));
+        if (ob.on) {
+          size_t slot = transforms_.size() + (classify_ != nullptr ? 1 : 0);
+          ob.stage_us[slot]->Record(stage_timer.ElapsedMicros());
+        }
       }
+      if (ob.on) ob.morsel_us->Record(morsel_timer.ElapsedMicros());
       return Status::OK();
     };
     statuses[i] = body();

@@ -5,8 +5,11 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "exec/sort.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gola {
 
@@ -157,11 +160,27 @@ void OnlineBlockExec::Reset() {
   rows_seen_ = 0;
 }
 
-Result<bool> OnlineBlockExec::ProcessBatch(const Chunk& batch, double scale,
-                                           OnlineEnv* env) {
+Result<RangeFailure> OnlineBlockExec::ProcessBatch(const Chunk& batch, double scale,
+                                                   OnlineEnv* env,
+                                                   obs::QueryStats* stats) {
   GOLA_RETURN_NOT_OK(Init());
-  GOLA_ASSIGN_OR_RETURN(bool violated, classify_stage_->CheckEnvelopes(env));
-  if (violated) return true;
+  obs::TraceSpan block_span("block", "id", block_->id);
+  Stopwatch phase_timer;
+  RangeFailure violated;
+  {
+    obs::TraceSpan span("envelope_check");
+    GOLA_ASSIGN_OR_RETURN(violated, classify_stage_->CheckEnvelopes(env));
+  }
+  if (stats) stats->envelope_check_seconds += phase_timer.ElapsedSeconds();
+  if (violated != RangeFailure::kNone) {
+    if (obs::MetricsEnabled()) {
+      obs::MetricsRegistry::Global()
+          .GetCounter(Format("gola_online_range_failures_total{cause=\"%s\"}",
+                             RangeFailureName(violated)))
+          ->Increment();
+    }
+    return violated;
+  }
 
   // Pipeline inputs: the cached uncertain set from batch i-1 (stored
   // post-join/post-filter, so it re-enters at the classify stage) plus the
@@ -176,16 +195,28 @@ Result<bool> OnlineBlockExec::ProcessBatch(const Chunk& batch, double scale,
 
   classify_stage_->SetEnv(env);
   ExecContext ctx = MakeContext(scale, env);
-  GOLA_RETURN_NOT_OK(pipeline_.Run(ctx, sources, &uncertain_));
+  phase_timer.Restart();
+  {
+    obs::TraceSpan span("delta_exec");
+    GOLA_RETURN_NOT_OK(pipeline_.Run(ctx, sources, &uncertain_));
+  }
+  if (stats) stats->delta_exec_seconds += phase_timer.ElapsedSeconds();
 
   rows_seen_ += static_cast<int64_t>(batch.num_rows());
-  GOLA_RETURN_NOT_OK(Emit(scale, env));
-  return false;
+  phase_timer.Restart();
+  {
+    obs::TraceSpan span("emit");
+    GOLA_RETURN_NOT_OK(Emit(scale, env));
+  }
+  if (stats) stats->emit_seconds += phase_timer.ElapsedSeconds();
+  return RangeFailure::kNone;
 }
 
 Status OnlineBlockExec::Rebuild(const std::vector<const Chunk*>& seen, double scale,
-                                OnlineEnv* env) {
+                                OnlineEnv* env, obs::QueryStats* stats) {
   GOLA_RETURN_NOT_OK(Init());
+  obs::TraceSpan block_span("rebuild_block", "id", block_->id);
+  Stopwatch rebuild_timer;
   Reset();
   // One morsel-parallel pass over all seen data with the *current* upstream
   // broadcasts (frozen for the whole pass): the envelopes installed at the
@@ -199,7 +230,9 @@ Status OnlineBlockExec::Rebuild(const std::vector<const Chunk*>& seen, double sc
   classify_stage_->SetEnv(env);
   ExecContext ctx = MakeContext(scale, env);
   GOLA_RETURN_NOT_OK(pipeline_.Run(ctx, sources, &uncertain_));
-  return Emit(scale, env);
+  Status st = Emit(scale, env);
+  if (stats) stats->rebuild_seconds += rebuild_timer.ElapsedSeconds();
+  return st;
 }
 
 // ------------------------------------------------------------- emission --
@@ -416,6 +449,7 @@ Status OnlineBlockExec::EmitRoot(const PostAggChunk& post_in, double scale,
 
   // Lazy error bars: replicate aggregate values are finalized only for the
   // selected rows, looked up from the overlay by group key.
+  obs::TraceSpan ci_span("bootstrap_ci", "rows", static_cast<int64_t>(selected));
   size_t num_reps = weights_ ? static_cast<size_t>(weights_->num_replicates()) : 0;
   std::vector<std::vector<Column>> rep_cols;  // [replicate][agg]
   if (num_reps > 0 && selected > 0 && last_overlay_) {

@@ -26,6 +26,7 @@
 #include "gola/online_env.h"
 #include "gola/online_stages.h"
 #include "gola/uncertain.h"
+#include "obs/query_stats.h"
 #include "plan/binder.h"
 #include "plan/logical_plan.h"
 #include "storage/partitioner.h"
@@ -57,16 +58,20 @@ class OnlineBlockExec : public MembershipSource {
                   const GolaOptions* options, const PoissonWeights* weights);
 
   /// Processes mini-batch `batch` (serials attached). Upstream blocks must
-  /// have emitted batch-i values into `env` already. Returns true when an
-  /// envelope failure was detected — the block did NOT fold the batch and
-  /// the caller must run a query-wide Rebuild.
-  Result<bool> ProcessBatch(const Chunk& batch, double scale, OnlineEnv* env);
+  /// have emitted batch-i values into `env` already. Returns the range
+  /// failure detected (kNone → the batch was folded); on failure the block
+  /// did NOT fold the batch and the caller must run a query-wide Rebuild.
+  /// Phase timings accumulate into `stats` when non-null.
+  Result<RangeFailure> ProcessBatch(const Chunk& batch, double scale,
+                                    OnlineEnv* env,
+                                    obs::QueryStats* stats = nullptr);
 
   /// Discards all state and reprocesses `seen` in one morsel-parallel pass
   /// against the *current* upstream broadcasts (the paper's failure
   /// recovery: recompute with the correct variation ranges). Ends with a
   /// fresh Emit.
-  Status Rebuild(const std::vector<const Chunk*>& seen, double scale, OnlineEnv* env);
+  Status Rebuild(const std::vector<const Chunk*>& seen, double scale, OnlineEnv* env,
+                 obs::QueryStats* stats = nullptr);
 
   void Reset();
 

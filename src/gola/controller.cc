@@ -2,6 +2,8 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gola {
 
@@ -46,6 +48,7 @@ Status OnlineQueryExecutor::Prepare() {
     blocks_.push_back(std::make_unique<OnlineBlockExec>(&block, catalog_, &options_,
                                                         weights_.get()));
   }
+  if (!options_.trace_path.empty()) obs::Tracer::Global().Enable();
   total_timer_.Restart();
   return Status::OK();
 }
@@ -64,38 +67,96 @@ Result<OnlineUpdate> OnlineQueryExecutor::Step() {
   double scale = static_cast<double>(partitioner_->total_rows()) /
                  static_cast<double>(rows_through);
 
-  for (auto& block : blocks_) {
-    GOLA_ASSIGN_OR_RETURN(bool violated, block->ProcessBatch(batch, scale, &env_));
-    if (violated) {
-      // Range failure (§3.2): recompute the whole query over D_i with the
-      // current variation ranges, block by block in dependency order.
-      ++recomputes_;
-      std::vector<const Chunk*> seen = partitioner_->BatchesUpTo(i + 1);
-      for (auto& b : blocks_) {
-        GOLA_RETURN_NOT_OK(b->Rebuild(seen, scale, &env_));
-      }
-      break;
-    }
-  }
-  next_batch_ = i + 1;
-
   OnlineUpdate update;
-  update.batch_index = next_batch_;
-  update.total_batches = partitioner_->num_batches();
-  update.fraction_processed = static_cast<double>(rows_through) /
-                              static_cast<double>(partitioner_->total_rows());
-  update.scale = scale;
-  const RootEmission& emission = blocks_.back()->root_emission();
-  update.result = emission.result;
-  update.max_rsd = emission.max_rsd;
-  update.uncertain_groups = emission.uncertain_groups;
-  for (const auto& block : blocks_) {
-    update.uncertain_tuples += block->uncertain_size();
+  bool recomputed = false;
+  {
+    obs::TraceSpan batch_span("batch", "index", i);
+    for (auto& block : blocks_) {
+      GOLA_ASSIGN_OR_RETURN(RangeFailure violated,
+                            block->ProcessBatch(batch, scale, &env_, &update.stats));
+      if (violated != RangeFailure::kNone) {
+        // Range failure (§3.2): recompute the whole query over D_i with the
+        // current variation ranges, block by block in dependency order.
+        ++recomputes_;
+        recomputed = true;
+        update.stats.failure_cause = RangeFailureName(violated);
+        std::vector<const Chunk*> seen = partitioner_->BatchesUpTo(i + 1);
+        for (auto& b : blocks_) {
+          GOLA_RETURN_NOT_OK(b->Rebuild(seen, scale, &env_, &update.stats));
+        }
+        break;
+      }
+    }
+    next_batch_ = i + 1;
+
+    Stopwatch materialize_timer;
+    obs::TraceSpan materialize_span("materialize", "batch", i);
+    update.batch_index = next_batch_;
+    update.total_batches = partitioner_->num_batches();
+    update.fraction_processed = static_cast<double>(rows_through) /
+                                static_cast<double>(partitioner_->total_rows());
+    update.scale = scale;
+    const RootEmission& emission = blocks_.back()->root_emission();
+    update.result = emission.result;
+    update.max_rsd = emission.max_rsd;
+    update.uncertain_groups = emission.uncertain_groups;
+    for (const auto& block : blocks_) {
+      update.uncertain_tuples += block->uncertain_size();
+    }
+    update.recomputes_so_far = recomputes_;
+    update.materialize_seconds = materialize_timer.ElapsedSeconds();
+    update.stats.materialize_seconds = update.materialize_seconds;
   }
-  update.recomputes_so_far = recomputes_;
   update.batch_seconds = batch_timer.ElapsedSeconds();
   elapsed_ += update.batch_seconds;
   update.elapsed_seconds = elapsed_;
+
+  // Pipeline volume of this batch: delta of the blocks' cumulative counters.
+  {
+    int64_t morsels = 0, rows_in = 0, rows_folded = 0, rows_uncertain = 0;
+    for (const auto& block : blocks_) {
+      const PipelineMetrics& m = block->metrics();
+      morsels += m.morsels.load(std::memory_order_relaxed);
+      rows_in += m.rows_in.load(std::memory_order_relaxed);
+      rows_folded += m.rows_folded.load(std::memory_order_relaxed);
+      rows_uncertain += m.rows_uncertain.load(std::memory_order_relaxed);
+    }
+    update.stats.morsels = morsels - prev_morsels_;
+    update.stats.rows_in = rows_in - prev_rows_in_;
+    update.stats.rows_folded = rows_folded - prev_rows_folded_;
+    update.stats.rows_uncertain = rows_uncertain - prev_rows_uncertain_;
+    prev_morsels_ = morsels;
+    prev_rows_in_ = rows_in;
+    prev_rows_folded_ = rows_folded;
+    prev_rows_uncertain_ = rows_uncertain;
+  }
+
+  if (obs::MetricsEnabled()) {
+    auto& reg = obs::MetricsRegistry::Global();
+    static obs::Counter* batches_total = reg.GetCounter("gola_online_batches_total");
+    static obs::Counter* recomputes_total =
+        reg.GetCounter("gola_online_recomputes_total");
+    static obs::Histogram* batch_us = reg.GetHistogram("gola_online_batch_us");
+    static obs::Gauge* uncertain_tuples =
+        reg.GetGauge("gola_online_uncertain_tuples");
+    static obs::Gauge* uncertain_groups =
+        reg.GetGauge("gola_online_uncertain_groups");
+    batches_total->Add(1);
+    if (recomputed) recomputes_total->Add(1);
+    batch_us->Record(static_cast<int64_t>(update.batch_seconds * 1e6));
+    uncertain_tuples->Set(update.uncertain_tuples);
+    uncertain_groups->Set(update.uncertain_groups);
+  }
+
+  // Last batch drained: flush the query timeline for Perfetto (§ tracing).
+  if (done() && !options_.trace_path.empty() && !trace_written_) {
+    trace_written_ = true;
+    Status st = obs::Tracer::Global().WriteJson(options_.trace_path);
+    if (!st.ok()) {
+      GOLA_LOG(Warn) << "failed to write trace to " << options_.trace_path << ": "
+                     << st.ToString();
+    }
+  }
   return update;
 }
 

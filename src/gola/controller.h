@@ -12,6 +12,7 @@
 
 #include "common/stopwatch.h"
 #include "gola/block_executor.h"
+#include "obs/query_stats.h"
 #include "plan/binder.h"
 #include "storage/partitioner.h"
 
@@ -35,8 +36,16 @@ struct OnlineUpdate {
   int64_t uncertain_tuples = 0;  // Σ |U_i| over all blocks
   int64_t uncertain_groups = 0;  // HAVING outcomes still undecided
   int recomputes_so_far = 0;     // range failures repaired so far
-  double batch_seconds = 0;      // wall time of this delta update
-  double elapsed_seconds = 0;    // wall time since query start
+  /// Wall time of this whole Step, result materialization included.
+  double batch_seconds = 0;
+  /// Portion of batch_seconds spent building this update (result-table
+  /// copy) — subtract it to measure delta maintenance alone, so §5-style
+  /// overhead experiments don't misattribute reporting cost.
+  double materialize_seconds = 0;
+  double elapsed_seconds = 0;  // wall time since query start
+
+  /// Per-phase cost breakdown and pipeline volume of this batch.
+  obs::QueryStats stats;
 };
 
 class OnlineQueryExecutor {
@@ -83,6 +92,13 @@ class OnlineQueryExecutor {
   int recomputes_ = 0;
   Stopwatch total_timer_;
   double elapsed_ = 0;
+  /// Cumulative pipeline volume already attributed to earlier updates
+  /// (QueryStats reports per-batch deltas of the blocks' counters).
+  int64_t prev_morsels_ = 0;
+  int64_t prev_rows_in_ = 0;
+  int64_t prev_rows_folded_ = 0;
+  int64_t prev_rows_uncertain_ = 0;
+  bool trace_written_ = false;
 };
 
 }  // namespace gola

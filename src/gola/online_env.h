@@ -5,6 +5,7 @@
 #define GOLA_GOLA_ONLINE_ENV_H_
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -40,6 +41,11 @@ struct GolaOptions {
   /// batch runs on the calling thread). Results are bit-identical across
   /// pool sizes: the morsel plan and partial-merge order never depend on it.
   ThreadPool* pool = nullptr;
+  /// When non-empty, the query enables the global tracer and writes a
+  /// Chrome trace-event JSON (chrome://tracing / Perfetto-loadable) of the
+  /// whole online run to this path once the last mini-batch drains. Spans
+  /// never change results — tracing only observes.
+  std::string trace_path;
 };
 
 /// Per-batch broadcast of a scalar subquery: point estimate plus the core

@@ -1,8 +1,20 @@
 #include "gola/online_stages.h"
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace gola {
+
+const char* RangeFailureName(RangeFailure cause) {
+  switch (cause) {
+    case RangeFailure::kNone: return "none";
+    case RangeFailure::kGlobalEnvelope: return "global_envelope";
+    case RangeFailure::kKeyedEnvelope: return "keyed_envelope";
+    case RangeFailure::kKeyVanished: return "key_vanished";
+    case RangeFailure::kMemberFlip: return "member_flip";
+  }
+  return "?";
+}
 
 // --------------------------------------------------- OnlineClassifyStage --
 
@@ -11,7 +23,7 @@ void OnlineClassifyStage::ResetEnvelopes() {
   pending_.clear();
 }
 
-Result<bool> OnlineClassifyStage::CheckEnvelopes(OnlineEnv* env) {
+Result<RangeFailure> OnlineClassifyStage::CheckEnvelopes(OnlineEnv* env) {
   for (size_t c = 0; c < block_->uncertain_conjuncts.size(); ++c) {
     const UncertainConjunct& uc = block_->uncertain_conjuncts[c];
     ConjunctState& cs = conj_states_[c];
@@ -23,13 +35,15 @@ Result<bool> OnlineClassifyStage::CheckEnvelopes(OnlineEnv* env) {
           const ScalarEntry& e = sb->global;
           // Failure: the running value or a bootstrap output escaped the
           // envelope (§3.2). The ε padding is slack, not part of the check.
-          if (!cs.global_envelope.Contains(e.core)) return true;
+          if (!cs.global_envelope.Contains(e.core)) {
+            return RangeFailure::kGlobalEnvelope;
+          }
           if (cs.global_envelope.Contains(e.padded)) cs.global_envelope = e.padded;
         }
         for (auto& [key, envelope] : cs.keyed_envelopes) {
           const ScalarEntry* e = sb->Find(key);
-          if (e == nullptr) return true;  // key vanished from the broadcast
-          if (!envelope.Contains(e->core)) return true;
+          if (e == nullptr) return RangeFailure::kKeyVanished;
+          if (!envelope.Contains(e->core)) return RangeFailure::kKeyedEnvelope;
           if (envelope.Contains(e->padded)) envelope = e->padded;
         }
         break;
@@ -43,7 +57,7 @@ Result<bool> OnlineClassifyStage::CheckEnvelopes(OnlineEnv* env) {
           // never trigger; only decisions at risk of flipping do.
           TriState now = src->CurrentPointDecision(key);
           if (now != (decision.is_member ? TriState::kTrue : TriState::kFalse)) {
-            return true;
+            return RangeFailure::kMemberFlip;
           }
         }
         break;
@@ -52,7 +66,7 @@ Result<bool> OnlineClassifyStage::CheckEnvelopes(OnlineEnv* env) {
         break;  // never classified deterministically → nothing to violate
     }
   }
-  return false;
+  return RangeFailure::kNone;
 }
 
 void OnlineClassifyStage::BeginBatch(size_t num_morsels) {
@@ -204,6 +218,8 @@ Status OnlineClassifyStage::EndBatch() {
   // Apply deferred installs in morsel order. emplace keeps the first install
   // for a key — all installs of one batch carry identical ranges/decisions
   // (the broadcast is frozen), so this only fixes the iteration history.
+  int64_t envelope_installs = 0;
+  int64_t member_decisions = 0;
   for (auto& morsel : pending_) {
     for (size_t c = 0; c < morsel.size(); ++c) {
       ConjInstalls& pi = morsel[c];
@@ -211,14 +227,28 @@ Status OnlineClassifyStage::EndBatch() {
       if (pi.has_global && !cs.has_global) {
         cs.has_global = true;
         cs.global_envelope = pi.global;
+        ++envelope_installs;
       }
-      for (auto& [key, range] : pi.keyed) cs.keyed_envelopes.emplace(key, range);
+      for (auto& [key, range] : pi.keyed) {
+        if (cs.keyed_envelopes.emplace(key, range).second) ++envelope_installs;
+      }
       for (auto& [key, member] : pi.members) {
-        cs.member_decisions.emplace(key, MemberDecision{member});
+        if (cs.member_decisions.emplace(key, MemberDecision{member}).second) {
+          ++member_decisions;
+        }
       }
     }
   }
   pending_.clear();
+  if (obs::MetricsEnabled() && (envelope_installs > 0 || member_decisions > 0)) {
+    auto& reg = obs::MetricsRegistry::Global();
+    static obs::Counter* installs_total =
+        reg.GetCounter("gola_online_envelope_installs_total");
+    static obs::Counter* decisions_total =
+        reg.GetCounter("gola_online_member_decisions_total");
+    installs_total->Add(envelope_installs);
+    decisions_total->Add(member_decisions);
+  }
   return Status::OK();
 }
 

@@ -26,6 +26,25 @@
 
 namespace gola {
 
+/// Why a range failure fired (§3.2 failure recovery) — the observability
+/// layer counts recomputes per cause so overhead regressions can be
+/// attributed (see `gola_online_range_failures_total{cause=...}`).
+enum class RangeFailure {
+  kNone = 0,
+  /// A global scalar's running value or bootstrap output escaped its
+  /// installed envelope.
+  kGlobalEnvelope,
+  /// A correlated (per-key) scalar escaped its envelope.
+  kKeyedEnvelope,
+  /// A key with an installed envelope vanished from the broadcast.
+  kKeyVanished,
+  /// A previously deterministic membership decision flipped.
+  kMemberFlip,
+};
+
+/// Stable label for metrics/QueryStats ("none", "global_envelope", ...).
+const char* RangeFailureName(RangeFailure cause);
+
 /// Classifies morsels against the block's uncertain conjuncts (paper §3.2):
 /// deterministic-true rows go to the fold, deterministic-false rows are
 /// dropped, uncertain rows are cached. Also owns the classification
@@ -44,9 +63,10 @@ class OnlineClassifyStage : public ClassifyStage {
   /// batch (the ExecContext only carries the point env).
   void SetEnv(OnlineEnv* env) { env_ = env; }
 
-  /// Envelope maintenance against the fresh upstream ranges; returns true
-  /// on violation (serial, before the batch's pipeline run).
-  Result<bool> CheckEnvelopes(OnlineEnv* env);
+  /// Envelope maintenance against the fresh upstream ranges; returns the
+  /// violation cause, kNone when every installed decision still holds
+  /// (serial, before the batch's pipeline run).
+  Result<RangeFailure> CheckEnvelopes(OnlineEnv* env);
 
   // --- ClassifyStage ----------------------------------------------------
   const char* name() const override { return "online_classify"; }

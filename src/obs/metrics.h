@@ -1,0 +1,177 @@
+// Lock-cheap engine metrics (named counters, gauges, log-scale histograms)
+// with Prometheus-style text exposition.
+//
+// Hot-path cost model: a Counter::Add is one relaxed atomic add into a
+// thread-sharded slot (no cache-line ping-pong between morsel workers); a
+// Histogram::Record is one relaxed bucket add plus a relaxed sum add. All
+// aggregation — shard merging, percentile estimation — happens on Snapshot,
+// never on the recording path. Handles returned by MetricsRegistry::Get*
+// are stable for the registry's lifetime, so call sites look a metric up
+// once (mutex-guarded name map) and then record through the raw pointer.
+//
+// Naming scheme (see DESIGN.md §9): Prometheus conventions —
+// `gola_<layer>_<what>_<unit>` with optional inline labels, e.g.
+// `gola_pipeline_stage_us{stage="filter"}`. Counters end in `_total`,
+// durations are microsecond histograms ending in `_us`.
+#ifndef GOLA_OBS_METRICS_H_
+#define GOLA_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gola {
+namespace obs {
+
+/// Process-wide instrumentation switch (default on; `GOLA_METRICS=0` or
+/// `off` disables). Instrumentation sites check this before touching clocks
+/// or the registry so the metrics-off configuration really pays nothing —
+/// the overhead-budget CI guard compares the two.
+bool MetricsEnabled();
+void SetMetricsEnabled(bool enabled);
+
+/// Monotonic counter sharded across cache-line-padded slots; each thread
+/// hashes to a stable slot, so concurrent morsel workers add without
+/// contending on one cache line.
+class Counter {
+ public:
+  static constexpr size_t kShards = 16;  // power of two
+
+  void Add(int64_t delta) {
+    shards_[ShardIndex()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  /// Sum over all shards (snapshot path).
+  int64_t Value() const {
+    int64_t total = 0;
+    for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void Reset() {
+    for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<int64_t> v{0};
+  };
+  static size_t ShardIndex();
+  Slot shards_[kShards];
+};
+
+/// Point-in-time value (queue depth, |U_i|): last write wins.
+class Gauge {
+ public:
+  void Set(int64_t value) { v_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Log-linear histogram over non-negative int64 values (HdrHistogram-style):
+/// 4 sub-buckets per power of two, so any recorded value lands in a bucket
+/// whose width is at most 25% of its lower bound — percentile estimates
+/// carry a bounded relative error of ~12.5% (midpoint interpolation).
+class Histogram {
+ public:
+  static constexpr int kSubBits = 2;                  // 4 sub-buckets/octave
+  static constexpr size_t kSub = size_t{1} << kSubBits;
+  static constexpr size_t kNumBuckets = (62 - kSubBits + 1) * kSub + kSub;
+
+  void Record(int64_t value) {
+    if (value < 0) value = 0;
+    buckets_[BucketIndex(static_cast<uint64_t>(value))].fetch_add(
+        1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  int64_t Count() const;
+  int64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Estimated q-quantile (q in [0,1]); 0 when empty. Linear interpolation
+  /// inside the winning bucket.
+  double Percentile(double q) const;
+  void Reset();
+
+  /// Bucket index for a value; monotone in `value`.
+  static size_t BucketIndex(uint64_t value);
+  /// Inclusive [lo, hi] value range covered by a bucket.
+  static void BucketBounds(size_t index, uint64_t* lo, uint64_t* hi);
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<int64_t> sum_{0};
+};
+
+struct CounterSample {
+  std::string name;
+  int64_t value = 0;
+};
+struct GaugeSample {
+  std::string name;
+  int64_t value = 0;
+};
+struct HistogramSample {
+  std::string name;
+  int64_t count = 0;
+  int64_t sum = 0;
+  double p50 = 0, p95 = 0, p99 = 0;
+};
+
+/// Point-in-time copy of every metric in a registry.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  /// Machine-readable form benches fold into their BENCH_*.json artifacts.
+  std::string ToJson() const;
+};
+
+/// Named metric registry. Registration is mutex-guarded; recording goes
+/// through the returned handles and never takes the lock.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create by full name (labels inline: `name{k="v"}`). The
+  /// returned pointer stays valid for the registry's lifetime.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Prometheus-style text exposition: `# TYPE` headers, counters verbatim,
+  /// histograms as `_count`/`_sum` plus `quantile` label series.
+  std::string RenderText() const;
+
+  /// Zeroes every metric (handles stay valid) — benches use this to window
+  /// a measurement.
+  void Reset();
+
+  /// Process-wide registry every engine layer records into (lazily
+  /// constructed, never destroyed).
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace gola
+
+#endif  // GOLA_OBS_METRICS_H_

@@ -1,0 +1,43 @@
+// Structured per-batch cost breakdown attached to every OnlineUpdate — the
+// numbers a §5-style dashboard plots next to the error bars, and the
+// vocabulary the BENCH_*.json trajectories report in.
+#ifndef GOLA_OBS_QUERY_STATS_H_
+#define GOLA_OBS_QUERY_STATS_H_
+
+#include <cstdint>
+
+namespace gola {
+namespace obs {
+
+/// Where one mini-batch's wall time went, across all lineage blocks.
+/// Phase seconds are disjoint; their sum is ≤ OnlineUpdate::batch_seconds
+/// (the remainder is controller bookkeeping).
+struct QueryStats {
+  /// Envelope / decision-validity monitoring before the delta run (§3.2).
+  double envelope_check_seconds = 0;
+  /// Morsel-parallel delta pipeline: DimJoin → Filter → Classify → Fold.
+  double delta_exec_seconds = 0;
+  /// Finalization, bootstrap CI estimation, and broadcast/root emission.
+  double emit_seconds = 0;
+  /// Query-wide recompute after a range failure (0 when none fired).
+  double rebuild_seconds = 0;
+  /// Building the OnlineUpdate the caller sees (result-table copy) — kept
+  /// apart so overhead experiments don't misattribute reporting cost to
+  /// delta maintenance.
+  double materialize_seconds = 0;
+
+  // Delta-pipeline volume for this batch (summed over blocks).
+  int64_t morsels = 0;
+  int64_t rows_in = 0;
+  int64_t rows_folded = 0;
+  int64_t rows_uncertain = 0;
+
+  /// Cause of the range failure that forced this batch's recompute
+  /// (string literal; nullptr when no failure fired).
+  const char* failure_cause = nullptr;
+};
+
+}  // namespace obs
+}  // namespace gola
+
+#endif  // GOLA_OBS_QUERY_STATS_H_

@@ -1,0 +1,153 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace gola {
+namespace obs {
+
+namespace {
+
+uint32_t NextThreadId() {
+  static std::atomic<uint32_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint32_t ThisThreadId() {
+  thread_local uint32_t id = NextThreadId();
+  return id;
+}
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer::Buffer* Tracer::ThreadBuffer() {
+  // Fast path: the (tracer, thread) pair was seen before. The cache holds a
+  // raw pointer; the shared_ptr in buffers_ keeps the buffer alive for the
+  // tracer's lifetime (the global tracer is never destroyed).
+  thread_local Tracer* cached_tracer = nullptr;
+  thread_local Buffer* cached_buffer = nullptr;
+  if (cached_tracer == this) return cached_buffer;
+
+  auto buffer = std::make_shared<Buffer>();
+  buffer->tid = ThisThreadId();
+  buffer->events.reserve(1024);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(buffer);
+  }
+  cached_tracer = this;
+  cached_buffer = buffer.get();
+  return cached_buffer;
+}
+
+void Tracer::Record(const char* name, int64_t start_ns, int64_t dur_ns,
+                    const char* arg_name, int64_t arg) {
+  if (!enabled()) return;
+  Buffer* buf = ThreadBuffer();
+  std::lock_guard<std::mutex> lock(buf->mu);
+  if (buf->events.size() >= kMaxEventsPerThread) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buf->events.push_back({name, arg_name, arg, start_ns, dur_ns});
+}
+
+std::string Tracer::ToJson() const {
+  std::vector<std::shared_ptr<Buffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  // Names are expected to be plain literals, but escape on export anyway —
+  // a stray quote must not produce an unloadable file.
+  auto escape = [](const char* s) {
+    std::string out;
+    for (const char* p = s; *p != '\0'; ++p) {
+      char c = *p;
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        out += Format("\\u%04x", c);
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  };
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    for (const TraceEvent& e : buf->events) {
+      if (!first) out += ",";
+      first = false;
+      // Chrome trace ts/dur are microseconds; keep ns resolution via the
+      // fractional part.
+      out += Format(
+          "\n{\"name\":\"%s\",\"cat\":\"gola\",\"ph\":\"X\","
+          "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u",
+          escape(e.name).c_str(), static_cast<double>(e.start_ns) / 1e3,
+          static_cast<double>(e.dur_ns) / 1e3, buf->tid);
+      if (e.arg_name != nullptr) {
+        out += Format(",\"args\":{\"%s\":%lld}", escape(e.arg_name).c_str(),
+                      static_cast<long long>(e.arg));
+      }
+      out += "}";
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status Tracer::WriteJson(const std::string& path) const {
+  std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open trace output file: " + path);
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::IoError("short write to trace output file: " + path);
+  }
+  return Status::OK();
+}
+
+void Tracer::Clear() {
+  std::vector<std::shared_ptr<Buffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    buf->events.clear();
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+size_t Tracer::num_events() const {
+  std::vector<std::shared_ptr<Buffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  size_t n = 0;
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+}  // namespace obs
+}  // namespace gola

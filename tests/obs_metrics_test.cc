@@ -1,0 +1,286 @@
+// Metrics-registry unit tests: histogram percentiles against a
+// sorted-vector oracle, sharded-counter snapshots under concurrent
+// increments (the TSan CI job runs this), Prometheus text exposition, and
+// GOLA_LOG_LEVEL parsing / concurrent log-line atomicity.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+
+namespace gola {
+namespace obs {
+namespace {
+
+TEST(CounterTest, AddAndValue) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0);
+  c.Add(5);
+  c.Increment();
+  EXPECT_EQ(c.Value(), 6);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0);
+}
+
+TEST(CounterTest, ConcurrentAddsSumExactly) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 20000;
+  ThreadPool pool(kThreads);
+  pool.ParallelFor(kThreads, [&](size_t) {
+    for (int i = 0; i < kAddsPerThread; ++i) c.Add(1);
+  });
+  EXPECT_EQ(c.Value(), int64_t{kThreads} * kAddsPerThread);
+}
+
+TEST(GaugeTest, SetAddValue) {
+  Gauge g;
+  g.Set(42);
+  EXPECT_EQ(g.Value(), 42);
+  g.Add(-2);
+  EXPECT_EQ(g.Value(), 40);
+}
+
+TEST(HistogramTest, BucketIndexMonotoneAndBoundsConsistent) {
+  uint64_t prev_hi = 0;
+  for (size_t b = 0; b < 64; ++b) {
+    uint64_t lo, hi;
+    Histogram::BucketBounds(b, &lo, &hi);
+    ASSERT_LE(lo, hi) << "bucket " << b;
+    if (b > 0) {
+      ASSERT_EQ(lo, prev_hi + 1) << "bucket " << b;
+    }
+    prev_hi = hi;
+    ASSERT_EQ(Histogram::BucketIndex(lo), b);
+    ASSERT_EQ(Histogram::BucketIndex(hi), b);
+  }
+}
+
+TEST(HistogramTest, PercentileMatchesSortedVectorOracle) {
+  // Log-linear buckets with 4 sub-buckets per octave bound the bucket width
+  // at 25% of its lower edge, so any interpolated percentile is within
+  // ~12.5% of the exact order statistic. Check well inside that bound.
+  Rng rng(17);
+  Histogram h;
+  std::vector<int64_t> values;
+  for (int i = 0; i < 50000; ++i) {
+    int64_t v = static_cast<int64_t>(rng.Exponential(5000.0));
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.5, 0.9, 0.95, 0.99}) {
+    double exact = static_cast<double>(
+        values[static_cast<size_t>(q * (values.size() - 1))]);
+    double est = h.Percentile(q);
+    EXPECT_NEAR(est, exact, 0.25 * exact + 4.0) << "q=" << q;
+  }
+  EXPECT_EQ(h.Count(), static_cast<int64_t>(values.size()));
+  int64_t sum = 0;
+  for (int64_t v : values) sum += v;
+  EXPECT_EQ(h.Sum(), sum);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  Histogram h;
+  for (int64_t v : {0, 0, 1, 1, 2, 3}) h.Record(v);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 3.0);
+  EXPECT_EQ(h.Count(), 6);
+  EXPECT_EQ(h.Sum(), 7);
+}
+
+TEST(HistogramTest, EmptyPercentileIsZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.0);
+}
+
+TEST(RegistryTest, FindOrCreateReturnsStableHandles) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("x_total");
+  Counter* b = reg.GetCounter("x_total");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(reg.GetCounter("y_total"), a);
+  Gauge* g = reg.GetGauge("g");
+  EXPECT_EQ(reg.GetGauge("g"), g);
+  Histogram* h = reg.GetHistogram("h_us");
+  EXPECT_EQ(reg.GetHistogram("h_us"), h);
+}
+
+TEST(RegistryTest, SnapshotUnderConcurrentIncrements) {
+  // Snapshot races with recorders by design; TSan (the CI thread-sanitizer
+  // job) must see only relaxed atomics, and every observed value must be a
+  // valid intermediate sum.
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("race_total");
+  Histogram* h = reg.GetHistogram("race_us");
+  constexpr int kWorkers = 4;
+  constexpr int64_t kPerWorker = 50000;
+  std::atomic<int> workers_done{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&] {
+      for (int64_t i = 0; i < kPerWorker; ++i) {
+        c->Add(1);
+        h->Record(i & 1023);
+      }
+      workers_done.fetch_add(1);
+    });
+  }
+  int64_t last = 0;
+  while (workers_done.load() < kWorkers) {
+    MetricsSnapshot snap = reg.Snapshot();
+    ASSERT_EQ(snap.counters.size(), 1u);
+    int64_t v = snap.counters[0].value;
+    ASSERT_GE(v, last);  // monotone counter: snapshots never go backwards
+    ASSERT_LE(v, kWorkers * kPerWorker);
+    last = v;
+  }
+  for (auto& t : workers) t.join();
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters[0].value, kWorkers * kPerWorker);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, kWorkers * kPerWorker);
+}
+
+TEST(RegistryTest, RenderTextExposesAllKinds) {
+  MetricsRegistry reg;
+  reg.GetCounter("gola_demo_rows_total")->Add(7);
+  reg.GetGauge("gola_demo_depth")->Set(3);
+  Histogram* h = reg.GetHistogram("gola_demo_latency_us{stage=\"filter\"}");
+  for (int i = 1; i <= 100; ++i) h->Record(i);
+  std::string text = reg.RenderText();
+  EXPECT_NE(text.find("# TYPE gola_demo_rows_total counter"), std::string::npos);
+  EXPECT_NE(text.find("gola_demo_rows_total 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE gola_demo_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("gola_demo_depth 3"), std::string::npos);
+  EXPECT_NE(text.find("gola_demo_latency_us_count{stage=\"filter\"} 100"),
+            std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.5\""), std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+}
+
+TEST(RegistryTest, ResetZeroesButKeepsHandles) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("c_total");
+  Histogram* h = reg.GetHistogram("h_us");
+  c->Add(5);
+  h->Record(10);
+  reg.Reset();
+  EXPECT_EQ(c->Value(), 0);
+  EXPECT_EQ(h->Count(), 0);
+  EXPECT_EQ(reg.GetCounter("c_total"), c);  // same handle after Reset
+}
+
+TEST(RegistryTest, SnapshotJsonIsWellFormedEnough) {
+  MetricsRegistry reg;
+  reg.GetCounter("a_total")->Add(1);
+  reg.GetHistogram("b_us")->Record(5);
+  std::string json = reg.Snapshot().ToJson();
+  while (!json.empty() && json.back() == '\n') json.pop_back();
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"a_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(MetricsEnabledTest, ToggleIsObserved) {
+  bool initial = MetricsEnabled();
+  SetMetricsEnabled(false);
+  EXPECT_FALSE(MetricsEnabled());
+  SetMetricsEnabled(true);
+  EXPECT_TRUE(MetricsEnabled());
+  SetMetricsEnabled(initial);
+}
+
+// ------------------------------------------------ logging satellites ------
+
+TEST(LoggingTest, ParseLogLevelNamesAndDigits) {
+  using internal::LogLevel;
+  using internal::ParseLogLevel;
+  EXPECT_EQ(ParseLogLevel("debug", LogLevel::kInfo), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("INFO", LogLevel::kError), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("Warn", LogLevel::kInfo), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("warning", LogLevel::kInfo), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("error", LogLevel::kInfo), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("fatal", LogLevel::kInfo), LogLevel::kFatal);
+  EXPECT_EQ(ParseLogLevel("off", LogLevel::kInfo), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel("none", LogLevel::kInfo), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel("silent", LogLevel::kInfo), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel("0", LogLevel::kInfo), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("5", LogLevel::kInfo), LogLevel::kOff);
+  // Unrecognized / null → fallback.
+  EXPECT_EQ(ParseLogLevel("verbose", LogLevel::kWarn), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("7", LogLevel::kWarn), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel(nullptr, LogLevel::kError), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("", LogLevel::kError), LogLevel::kError);
+}
+
+TEST(LoggingTest, ConcurrentLogLinesDoNotInterleave) {
+  // LogMessage writes each record with a single fwrite, so lines from
+  // concurrent workers must come out whole. Redirect stderr to a temp file
+  // and check every line carries exactly one homogeneous payload.
+  internal::LogLevel saved = internal::GetLogLevel();
+  internal::SetLogLevel(internal::LogLevel::kInfo);
+
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  std::fflush(stderr);
+  int saved_fd = dup(fileno(stderr));
+  ASSERT_GE(saved_fd, 0);
+  ASSERT_GE(dup2(fileno(tmp), fileno(stderr)), 0);
+
+  constexpr int kLines = 200;
+  {
+    ThreadPool pool(4);
+    pool.ParallelFor(4, [&](size_t worker) {
+      const std::string payload =
+          (worker % 2 == 0) ? std::string(40, 'a') : std::string(40, 'b');
+      for (int i = 0; i < kLines; ++i) GOLA_LOG(Info) << payload;
+    });
+  }
+
+  std::fflush(stderr);
+  dup2(saved_fd, fileno(stderr));
+  close(saved_fd);
+  internal::SetLogLevel(saved);
+
+  std::rewind(tmp);
+  std::string content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), tmp)) > 0) content.append(buf, n);
+  std::fclose(tmp);
+
+  int lines = 0;
+  std::istringstream in(content);
+  std::string line;
+  while (std::getline(in, line)) {
+    ++lines;
+    // A whole record: one level tag and one homogeneous payload.
+    EXPECT_NE(line.find("[INFO "), std::string::npos) << line;
+    bool has_a = line.find(std::string(40, 'a')) != std::string::npos;
+    bool has_b = line.find(std::string(40, 'b')) != std::string::npos;
+    EXPECT_TRUE(has_a != has_b) << "interleaved record: " << line;
+  }
+  EXPECT_EQ(lines, 4 * kLines);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace gola

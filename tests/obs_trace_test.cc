@@ -1,0 +1,344 @@
+// Trace subsystem tests: Chrome trace-event JSON well-formedness (parsed
+// back with a real, if minimal, JSON parser), and the acceptance check that
+// an online query's timeline nests batch → block → phase → morsel (≥3
+// levels by time containment on one thread track).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gola/gola.h"
+#include "obs/trace.h"
+#include "workload/conviva_gen.h"
+#include "workload/queries.h"
+
+namespace gola {
+namespace obs {
+namespace {
+
+// ----------------------------------------------- minimal JSON parser ------
+// Enough of RFC 8259 to round-trip the tracer's output; parse failures
+// surface as ADD_FAILURE + null values.
+
+struct JsonValue;
+using JsonPtr = std::shared_ptr<JsonValue>;
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind =
+      Kind::kNull;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<JsonPtr> items;
+  std::map<std::string, JsonPtr> fields;
+
+  const JsonValue* Get(const std::string& key) const {
+    auto it = fields.find(key);
+    return it == fields.end() ? nullptr : it->second.get();
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  JsonPtr Parse() {
+    JsonPtr v = ParseValue();
+    SkipWs();
+    if (pos_ != s_.size()) ok_ = false;
+    return ok_ ? v : nullptr;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    ok_ = false;
+    return false;
+  }
+
+  JsonPtr ParseValue() {
+    SkipWs();
+    auto v = std::make_shared<JsonValue>();
+    if (pos_ >= s_.size()) {
+      ok_ = false;
+      return v;
+    }
+    char c = s_[pos_];
+    if (c == '{') {
+      v->kind = JsonValue::Kind::kObject;
+      ++pos_;
+      SkipWs();
+      if (pos_ < s_.size() && s_[pos_] == '}') {
+        ++pos_;
+        return v;
+      }
+      while (ok_) {
+        SkipWs();
+        std::string key = ParseString();
+        Consume(':');
+        v->fields[key] = ParseValue();
+        SkipWs();
+        if (pos_ < s_.size() && s_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        Consume('}');
+        break;
+      }
+    } else if (c == '[') {
+      v->kind = JsonValue::Kind::kArray;
+      ++pos_;
+      SkipWs();
+      if (pos_ < s_.size() && s_[pos_] == ']') {
+        ++pos_;
+        return v;
+      }
+      while (ok_) {
+        v->items.push_back(ParseValue());
+        SkipWs();
+        if (pos_ < s_.size() && s_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        Consume(']');
+        break;
+      }
+    } else if (c == '"') {
+      v->kind = JsonValue::Kind::kString;
+      v->str = ParseString();
+    } else if (c == 't' || c == 'f') {
+      v->kind = JsonValue::Kind::kBool;
+      const char* lit = c == 't' ? "true" : "false";
+      v->b = c == 't';
+      for (const char* p = lit; *p != '\0'; ++p, ++pos_) {
+        if (pos_ >= s_.size() || s_[pos_] != *p) {
+          ok_ = false;
+          break;
+        }
+      }
+    } else if (c == 'n') {
+      for (const char* p = "null"; *p != '\0'; ++p, ++pos_) {
+        if (pos_ >= s_.size() || s_[pos_] != *p) {
+          ok_ = false;
+          break;
+        }
+      }
+    } else {
+      v->kind = JsonValue::Kind::kNumber;
+      size_t start = pos_;
+      while (pos_ < s_.size() &&
+             (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+              s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+              s_[pos_] == 'e' || s_[pos_] == 'E')) {
+        ++pos_;
+      }
+      if (pos_ == start) {
+        ok_ = false;
+      } else {
+        v->num = std::strtod(s_.substr(start, pos_ - start).c_str(), nullptr);
+      }
+    }
+    return v;
+  }
+
+  std::string ParseString() {
+    std::string out;
+    if (!Consume('"')) return out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\' && pos_ < s_.size()) {
+        char e = s_[pos_++];
+        switch (e) {
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'u':
+            pos_ += 4;  // tracer never emits non-ASCII; skip the escape
+            out.push_back('?');
+            break;
+          default: out.push_back(e);
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    Consume('"');
+    return out;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+struct ParsedEvent {
+  std::string name;
+  double ts = 0;
+  double dur = 0;
+  double tid = 0;
+};
+
+std::vector<ParsedEvent> ParseTrace(const std::string& json) {
+  std::vector<ParsedEvent> out;
+  JsonParser parser(json);
+  JsonPtr root = parser.Parse();
+  if (root == nullptr || root->kind != JsonValue::Kind::kObject) {
+    ADD_FAILURE() << "trace JSON failed to parse";
+    return out;
+  }
+  const JsonValue* events = root->Get("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    ADD_FAILURE() << "no traceEvents array";
+    return out;
+  }
+  for (const JsonPtr& e : events->items) {
+    EXPECT_EQ(e->kind, JsonValue::Kind::kObject);
+    const JsonValue* name = e->Get("name");
+    const JsonValue* ph = e->Get("ph");
+    const JsonValue* ts = e->Get("ts");
+    const JsonValue* dur = e->Get("dur");
+    const JsonValue* tid = e->Get("tid");
+    if (name == nullptr || ph == nullptr || ts == nullptr || dur == nullptr ||
+        tid == nullptr) {
+      ADD_FAILURE() << "event missing a required field";
+      continue;
+    }
+    EXPECT_EQ(ph->str, "X");  // complete events only
+    out.push_back({name->str, ts->num, dur->num, tid->num});
+  }
+  return out;
+}
+
+/// Nesting depth of each event on its thread track: the number of other
+/// events that strictly contain it in time — how Perfetto infers the stack.
+int MaxNestingLevels(const std::vector<ParsedEvent>& events) {
+  int max_levels = 1;
+  for (size_t i = 0; i < events.size(); ++i) {
+    int containers = 0;
+    for (size_t j = 0; j < events.size(); ++j) {
+      if (i == j || events[i].tid != events[j].tid) continue;
+      if (events[j].ts <= events[i].ts &&
+          events[j].ts + events[j].dur >= events[i].ts + events[i].dur &&
+          events[j].dur > events[i].dur) {
+        ++containers;
+      }
+    }
+    max_levels = std::max(max_levels, containers + 1);
+  }
+  return max_levels;
+}
+
+TEST(TracerTest, RecordsAndExportsWellFormedJson) {
+  Tracer tracer;
+  tracer.Enable();
+  int64_t t0 = tracer.NowNs();
+  tracer.Record("outer", t0, 10000, "arg \"quoted\"", 3);
+  tracer.Record("inner", t0 + 1000, 2000);
+  tracer.Disable();
+  EXPECT_EQ(tracer.num_events(), 2u);
+
+  std::vector<ParsedEvent> events = ParseTrace(tracer.ToJson());
+  ASSERT_EQ(events.size(), 2u);
+  bool saw_outer = false, saw_inner = false;
+  for (const auto& e : events) {
+    if (e.name == "outer") {
+      saw_outer = true;
+      EXPECT_NEAR(e.dur, 10.0, 1e-9);  // ns → µs
+    }
+    if (e.name == "inner") saw_inner = true;
+  }
+  EXPECT_TRUE(saw_outer);
+  EXPECT_TRUE(saw_inner);
+
+  tracer.Clear();
+  EXPECT_EQ(tracer.num_events(), 0u);
+}
+
+TEST(TracerTest, DisabledSpansRecordNothing) {
+  Tracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  {
+    // Against the global tracer, which is disabled unless a trace_path test
+    // ran first — guard on its state instead of assuming.
+    bool was_enabled = Tracer::Global().enabled();
+    if (!was_enabled) {
+      size_t before = Tracer::Global().num_events();
+      TraceSpan span("noop");
+      (void)span;
+      EXPECT_EQ(Tracer::Global().num_events(), before);
+    }
+  }
+}
+
+TEST(TraceEndToEndTest, OnlineQueryTimelineNestsThreeLevels) {
+  // Serial drain (pool = nullptr) puts batch → block → phase → morsel on a
+  // single thread track; the acceptance criterion is ≥3 nested span levels.
+  std::string path = ::testing::TempDir() + "gola_trace_test.json";
+  std::remove(path.c_str());
+
+  Engine engine;
+  ConvivaGenOptions conviva;
+  conviva.num_rows = 4000;
+  conviva.num_ads = 12;
+  conviva.num_contents = 100;
+  GOLA_CHECK_OK(engine.RegisterTable("conviva", GenerateConviva(conviva)));
+
+  GolaOptions opts;
+  opts.num_batches = 5;
+  opts.bootstrap_replicates = 20;
+  opts.trace_path = path;
+  auto online = engine.ExecuteOnline(SbiQuery(), opts);
+  ASSERT_TRUE(online.ok()) << online.status().ToString();
+  auto last = (*online)->Run();
+  ASSERT_TRUE(last.ok()) << last.status().ToString();
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr) << "trace file not written: " << path;
+  std::string json;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) json.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  std::vector<ParsedEvent> events = ParseTrace(json);
+  ASSERT_FALSE(events.empty());
+
+  std::map<std::string, int> by_name;
+  for (const auto& e : events) ++by_name[e.name];
+  EXPECT_EQ(by_name["batch"], 5);
+  EXPECT_GE(by_name["block"], 5);   // ≥1 block per batch
+  EXPECT_GE(by_name["morsel"], 5);  // ≥1 morsel per batch
+  EXPECT_GE(by_name["delta_exec"], 5);
+  EXPECT_GE(by_name["emit"], 5);
+  EXPECT_GE(by_name["materialize"], 5);
+
+  EXPECT_GE(MaxNestingLevels(events), 3);
+
+  Tracer::Global().Disable();
+  Tracer::Global().Clear();
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace gola

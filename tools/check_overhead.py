@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""CI guard for the observability overhead budget (DESIGN.md §9).
+
+Compares two google-benchmark JSON outputs of the online-drain
+microbenchmark — one run with GOLA_METRICS=1, one with GOLA_METRICS=0 —
+and fails if the metrics-on median regresses more than the budget
+(default 5%) against metrics-off.
+
+Usage: check_overhead.py <metrics_on.json> <metrics_off.json> [--budget 0.05]
+                         [--filter BM_OnlineDrainSbi]
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def medians_by_benchmark(path, name_filter):
+    """Median real_time per benchmark name (aggregates preferred)."""
+    with open(path) as f:
+        doc = json.load(f)
+    samples = {}
+    for bench in doc.get("benchmarks", []):
+        name = bench.get("name", "")
+        if name_filter not in name:
+            continue
+        # Prefer google-benchmark's own median aggregate when repetitions
+        # were requested; otherwise collect iteration rows and take our own.
+        if bench.get("run_type") == "aggregate":
+            if bench.get("aggregate_name") == "median":
+                samples[bench["run_name"]] = [bench["real_time"]]
+            continue
+        samples.setdefault(name, []).append(bench["real_time"])
+    return {name: statistics.median(vals) for name, vals in samples.items()}
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("metrics_on")
+    parser.add_argument("metrics_off")
+    parser.add_argument("--budget", type=float, default=0.05)
+    parser.add_argument("--filter", default="BM_OnlineDrainSbi")
+    args = parser.parse_args()
+
+    on = medians_by_benchmark(args.metrics_on, args.filter)
+    off = medians_by_benchmark(args.metrics_off, args.filter)
+    common = sorted(set(on) & set(off))
+    if not common:
+        print(f"error: no '{args.filter}' benchmarks common to both files",
+              file=sys.stderr)
+        return 2
+
+    failed = False
+    for name in common:
+        ratio = on[name] / off[name] if off[name] > 0 else float("inf")
+        overhead = ratio - 1.0
+        verdict = "OK" if overhead <= args.budget else "FAIL"
+        if verdict == "FAIL":
+            failed = True
+        print(f"{verdict:4s} {name}: metrics-on {on[name]:.3f} vs "
+              f"metrics-off {off[name]:.3f} -> {100 * overhead:+.2f}% "
+              f"(budget {100 * args.budget:g}%)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
