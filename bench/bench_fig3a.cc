@@ -31,6 +31,7 @@ int Main(int argc, char** argv) {
   opts.num_batches = kBatches;
   opts.bootstrap_replicates = kReplicates;
   opts.seed = 42;
+  opts.convergence_path = bench::ConvergenceArtifact("fig3a");
   auto online = engine.ExecuteOnline(sql, opts);
   GOLA_CHECK_OK(online.status());
 

@@ -41,6 +41,7 @@ int Main(int argc, char** argv) {
     GolaOptions gopts;
     gopts.num_batches = kBatches;
     gopts.bootstrap_replicates = kReplicates;
+    gopts.convergence_path = bench::ConvergenceArtifact("fig3b_" + q.name);
     std::vector<double> gola_times;
     {
       auto online = engine.ExecuteOnline(q.sql, gopts);

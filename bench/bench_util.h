@@ -92,6 +92,14 @@ inline void WriteMetricsArtifact(const std::string& name) {
   std::printf("\nmetrics snapshot: %s\n", path.c_str());
 }
 
+/// Convergence JSONL artifact path for a bench's headline online run, next
+/// to the timing output. tools/plot_convergence.py turns it into CSV/SVG.
+inline std::string ConvergenceArtifact(const std::string& name) {
+  const std::string path = "BENCH_" + name + ".convergence.jsonl";
+  std::printf("convergence log: %s\n", path.c_str());
+  return path;
+}
+
 }  // namespace bench
 }  // namespace gola
 

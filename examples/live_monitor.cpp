@@ -1,0 +1,82 @@
+// Live introspection demo: runs a multi-batch online query slowly enough
+// to watch from the outside. With GOLA_HTTP_PORT set, the embedded server
+// exposes /metrics, /statusz, /tracez and /flightz while batches stream;
+// the convergence recorder writes one JSONL record per update that
+// tools/plot_convergence.py turns into a Figure-3-style plot.
+//
+//   GOLA_HTTP_PORT=8080 ./live_monitor &
+//   curl -s localhost:8080/statusz | python3 -m json.tool
+//
+// Knobs (all env): GOLA_MONITOR_ROWS (table size, default 400000),
+// GOLA_MONITOR_BATCHES (default 40), GOLA_MONITOR_BATCH_MS (pause after
+// each batch so scrapes catch the query mid-flight, default 150),
+// GOLA_CONVERGENCE_PATH (default live_monitor.convergence.jsonl).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "gola/gola.h"
+#include "obs/http_server.h"
+#include "workload/conviva_gen.h"
+#include "workload/queries.h"
+
+namespace {
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::strtoll(v, nullptr, 10) : fallback;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gola;
+
+  const int64_t rows = EnvInt("GOLA_MONITOR_ROWS", 400'000);
+  const int batches = static_cast<int>(EnvInt("GOLA_MONITOR_BATCHES", 40));
+  const int batch_ms = static_cast<int>(EnvInt("GOLA_MONITOR_BATCH_MS", 150));
+
+  Engine engine;
+  ConvivaGenOptions gen;
+  gen.num_rows = rows;
+  gen.num_ads = 16;
+  GOLA_CHECK_OK(engine.RegisterTable("conviva", GenerateConviva(gen)));
+
+  GolaOptions opts;
+  opts.num_batches = batches;
+  opts.bootstrap_replicates = 80;
+  // http_port stays -1: the controller consults GOLA_HTTP_PORT itself, so
+  // this binary needs no flag parsing to become scrape-able.
+  const char* conv = std::getenv("GOLA_CONVERGENCE_PATH");
+  opts.convergence_path = conv ? conv : "live_monitor.convergence.jsonl";
+
+  auto online = engine.ExecuteOnline(SbiQuery(), opts);
+  GOLA_CHECK_OK(online.status());
+
+  if (obs::HttpServer* server = obs::IntrospectionServer()) {
+    std::printf("introspection: http://127.0.0.1:%d/statusz\n", server->port());
+  } else {
+    std::printf("introspection server off (set GOLA_HTTP_PORT to enable)\n");
+  }
+  std::printf("convergence log: %s\n\n", opts.convergence_path.c_str());
+  std::printf("%8s %9s %10s %12s %12s\n", "batch", "data(%)", "rsd(%)",
+              "uncertain", "recomputes");
+
+  while (!(*online)->done()) {
+    auto update = (*online)->Step();
+    GOLA_CHECK_OK(update.status());
+    std::printf("%8d %9.1f %10.3f %12lld %12d\n", update->batch_index,
+                100 * update->fraction_processed, 100 * update->max_rsd,
+                static_cast<long long>(update->uncertain_tuples),
+                update->recomputes_so_far);
+    std::fflush(stdout);
+    if (batch_ms > 0 && !(*online)->done()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(batch_ms));
+    }
+  }
+  std::printf("\ndone: %d batches, convergence trajectory in %s\n", batches,
+              opts.convergence_path.c_str());
+  return 0;
+}

@@ -2,9 +2,11 @@
 
 #include <atomic>
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 
 #include "common/status.h"
 
@@ -53,9 +55,31 @@ LogLevel ParseLogLevel(const char* spec, LogLevel fallback) {
 LogLevel GetLogLevel() { return static_cast<LogLevel>(LevelVar().load()); }
 void SetLogLevel(LogLevel level) { LevelVar().store(static_cast<int>(level)); }
 
+uint32_t ThisThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+  // ISO-8601 UTC with millisecond precision: logs from concurrent workers
+  // (and the flight recorder's wall-clock stamps) order and correlate.
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const int ms = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char stamp[64];
+  std::snprintf(stamp, sizeof(stamp), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, ms);
+  stream_ << "[" << stamp << " " << LevelName(level) << " tid=" << ThisThreadId()
+          << " " << file << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {

@@ -35,6 +35,11 @@ void SetLogLevel(LogLevel level);
 /// null or unrecognized.
 LogLevel ParseLogLevel(const char* spec, LogLevel fallback);
 
+/// Small dense id for the calling thread (1, 2, … in first-use order) —
+/// shared by log records, trace tracks, and the flight recorder, so the
+/// same thread carries the same id across every observability surface.
+uint32_t ThisThreadId();
+
 /// Stream-style log sink that emits the accumulated message on destruction
 /// and aborts the process for kFatal.
 class LogMessage {

@@ -1,8 +1,13 @@
 #include "gola/controller.h"
 
+#include <cstdlib>
+
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/flight_recorder.h"
+#include "obs/http_server.h"
 #include "obs/metrics.h"
+#include "obs/query_registry.h"
 #include "obs/trace.h"
 
 namespace gola {
@@ -49,8 +54,53 @@ Status OnlineQueryExecutor::Prepare() {
                                                         weights_.get()));
   }
   if (!options_.trace_path.empty()) obs::Tracer::Global().Enable();
+
+  // --- live introspection wiring (observes only; never changes results) --
+  // HTTP server: option wins, GOLA_HTTP_PORT env is the no-recompile path.
+  int http_port = options_.http_port;
+  if (http_port < 0) {
+    if (const char* env = std::getenv("GOLA_HTTP_PORT")) {
+      http_port = std::atoi(env);
+    }
+  }
+  if (http_port >= 0) {
+    auto server = obs::EnsureIntrospectionServer(http_port);
+    if (!server.ok()) {
+      GOLA_LOG(Warn) << "introspection server not started: "
+                     << server.status().ToString();
+    }
+  }
+
+  registry_id_ = obs::QueryRegistry::Global().Register(
+      Format("%s (%d blocks, %d batches)", streamed.c_str(),
+             static_cast<int>(query_.blocks.size()), options_.num_batches));
+
+  if (!options_.convergence_path.empty()) {
+    convergence_ =
+        std::make_unique<obs::ConvergenceRecorder>(options_.convergence_path);
+    if (!convergence_->status().ok()) {
+      GOLA_LOG(Warn) << "convergence recorder disabled: "
+                     << convergence_->status().ToString();
+      convergence_.reset();
+    }
+  }
+
+  flight_path_ = options_.flight_path;
+  if (flight_path_.empty()) {
+    if (const char* env = std::getenv("GOLA_FLIGHT_PATH")) flight_path_ = env;
+  }
+  if (!flight_path_.empty()) {
+    obs::FlightRecorder::InstallCrashHandler(flight_path_ + ".crash");
+  }
+  obs::FlightRecorder::Global().Note("query_start", streamed.c_str(),
+                                     static_cast<int64_t>(registry_id_));
+
   total_timer_.Restart();
   return Status::OK();
+}
+
+OnlineQueryExecutor::~OnlineQueryExecutor() {
+  if (registry_id_ != 0) obs::QueryRegistry::Global().Deregister(registry_id_);
 }
 
 Result<OnlineUpdate> OnlineQueryExecutor::Step() {
@@ -71,6 +121,7 @@ Result<OnlineUpdate> OnlineQueryExecutor::Step() {
   bool recomputed = false;
   {
     obs::TraceSpan batch_span("batch", "index", i);
+    obs::FlightRecorder::Global().Note("batch_begin", nullptr, i);
     for (auto& block : blocks_) {
       GOLA_ASSIGN_OR_RETURN(RangeFailure violated,
                             block->ProcessBatch(batch, scale, &env_, &update.stats));
@@ -80,9 +131,20 @@ Result<OnlineUpdate> OnlineQueryExecutor::Step() {
         ++recomputes_;
         recomputed = true;
         update.stats.failure_cause = RangeFailureName(violated);
+        obs::FlightRecorder::Global().Note("range_failure",
+                                           RangeFailureName(violated), i);
         std::vector<const Chunk*> seen = partitioner_->BatchesUpTo(i + 1);
         for (auto& b : blocks_) {
           GOLA_RETURN_NOT_OK(b->Rebuild(seen, scale, &env_, &update.stats));
+        }
+        obs::FlightRecorder::Global().Note("rebuild_done", nullptr, recomputes_);
+        // A recompute is exactly the pathological event a postmortem wants
+        // context for: persist the recent-event ring while it is fresh.
+        if (!flight_path_.empty()) {
+          Status st = obs::FlightRecorder::Global().Dump(flight_path_);
+          if (!st.ok()) {
+            GOLA_LOG(Warn) << "flight-recorder dump failed: " << st.ToString();
+          }
         }
         break;
       }
@@ -97,7 +159,12 @@ Result<OnlineUpdate> OnlineQueryExecutor::Step() {
                                 static_cast<double>(partitioner_->total_rows());
     update.scale = scale;
     const RootEmission& emission = blocks_.back()->root_emission();
-    update.result = emission.result;
+    // Live monitors watching huge group-bys via /statusz or the
+    // convergence file can skip the per-batch result copy; the final batch
+    // always materializes so the drained answer stays complete.
+    if (options_.materialize_results || done()) {
+      update.result = emission.result;
+    }
     update.max_rsd = emission.max_rsd;
     update.uncertain_groups = emission.uncertain_groups;
     for (const auto& block : blocks_) {
@@ -148,6 +215,9 @@ Result<OnlineUpdate> OnlineQueryExecutor::Step() {
     uncertain_groups->Set(update.uncertain_groups);
   }
 
+  PublishStatus(update);
+  RecordConvergence(update);
+
   // Last batch drained: flush the query timeline for Perfetto (§ tracing).
   if (done() && !options_.trace_path.empty() && !trace_written_) {
     trace_written_ = true;
@@ -158,6 +228,62 @@ Result<OnlineUpdate> OnlineQueryExecutor::Step() {
     }
   }
   return update;
+}
+
+void OnlineQueryExecutor::PublishStatus(const OnlineUpdate& update) {
+  obs::QueryStatus status;
+  status.batch_index = update.batch_index;
+  status.total_batches = update.total_batches;
+  status.fraction_processed = update.fraction_processed;
+  status.max_rsd = update.max_rsd;
+  status.uncertain_tuples = update.uncertain_tuples;
+  status.uncertain_groups = update.uncertain_groups;
+  status.recomputes = update.recomputes_so_far;
+  status.batch_seconds = update.batch_seconds;
+  status.elapsed_seconds = update.elapsed_seconds;
+  status.done = done();
+  status.last_stats = update.stats;
+  obs::QueryRegistry::Global().Update(registry_id_, status);
+}
+
+void OnlineQueryExecutor::RecordConvergence(const OnlineUpdate& update) {
+  if (!convergence_) return;
+  obs::ConvergenceRecord rec;
+  rec.batch_index = update.batch_index;
+  rec.total_batches = update.total_batches;
+  rec.fraction_processed = update.fraction_processed;
+  rec.max_rsd = update.max_rsd;
+  rec.uncertain_tuples = update.uncertain_tuples;
+  rec.uncertain_groups = update.uncertain_groups;
+  rec.recomputes = update.recomputes_so_far;
+  rec.batch_seconds = update.batch_seconds;
+  rec.elapsed_seconds = update.elapsed_seconds;
+  rec.stats = update.stats;
+
+  // Headline cell from the root emission (not update.result, which is
+  // empty when materialize_results is off): first aggregate-bearing
+  // column, first row, located via its `<col>_lo` companion.
+  const Table& result = blocks_.back()->root_emission().result;
+  rec.result_rows = result.num_rows();
+  if (result.num_rows() > 0) {
+    const Schema& schema = *result.schema();
+    for (size_t c = 0; c < schema.num_fields(); ++c) {
+      const std::string& name = schema.field(c).name;
+      if (name.size() <= 3 || name.substr(name.size() - 3) != "_lo") continue;
+      auto value_col = schema.FieldIndex(name.substr(0, name.size() - 3));
+      auto rsd_col = schema.FieldIndex(name.substr(0, name.size() - 3) + "_rsd");
+      if (!value_col.ok()) continue;
+      rec.has_estimate = true;
+      rec.estimate = result.At(0, *value_col).ToDouble().ValueOr(0);
+      rec.ci_lo = result.At(0, static_cast<int>(c)).ToDouble().ValueOr(0);
+      rec.ci_hi = result.At(0, static_cast<int>(c) + 1).ToDouble().ValueOr(0);
+      if (rsd_col.ok()) {
+        rec.rsd = result.At(0, *rsd_col).ToDouble().ValueOr(0);
+      }
+      break;
+    }
+  }
+  convergence_->Append(rec);
 }
 
 Result<OnlineUpdate> OnlineQueryExecutor::Run(

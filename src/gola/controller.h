@@ -12,6 +12,7 @@
 
 #include "common/stopwatch.h"
 #include "gola/block_executor.h"
+#include "obs/convergence.h"
 #include "obs/query_stats.h"
 #include "plan/binder.h"
 #include "storage/partitioner.h"
@@ -56,6 +57,10 @@ class OnlineQueryExecutor {
                                                              CompiledQuery query,
                                                              const GolaOptions& options);
 
+  /// Deregisters the query from the live /statusz registry (its final
+  /// status stays visible in the recently-finished history).
+  ~OnlineQueryExecutor();
+
   bool done() const { return next_batch_ >= partitioner_->num_batches(); }
   int batches_processed() const { return next_batch_; }
   int total_batches() const { return partitioner_->num_batches(); }
@@ -80,6 +85,13 @@ class OnlineQueryExecutor {
 
   Status Prepare();
 
+  /// Publishes `update` into the process-wide query registry (/statusz).
+  void PublishStatus(const OnlineUpdate& update);
+  /// Appends `update` to the convergence JSONL recorder, extracting the
+  /// headline aggregate cell from the root emission (so recording works
+  /// even when materialize_results is off).
+  void RecordConvergence(const OnlineUpdate& update);
+
   const Catalog* catalog_;
   CompiledQuery query_;
   GolaOptions options_;
@@ -99,6 +111,12 @@ class OnlineQueryExecutor {
   int64_t prev_rows_folded_ = 0;
   int64_t prev_rows_uncertain_ = 0;
   bool trace_written_ = false;
+
+  // Live introspection (PR 3): /statusz registration, convergence JSONL,
+  // and the flight-recorder dump destination for range-failure rebuilds.
+  uint64_t registry_id_ = 0;
+  std::unique_ptr<obs::ConvergenceRecorder> convergence_;
+  std::string flight_path_;
 };
 
 }  // namespace gola

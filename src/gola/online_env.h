@@ -46,6 +46,31 @@ struct GolaOptions {
   /// whole online run to this path once the last mini-batch drains. Spans
   /// never change results — tracing only observes.
   std::string trace_path;
+  /// TCP port for the process-wide live-introspection HTTP server
+  /// (GET /metrics, /statusz, /tracez, /flightz on loopback). -1 (default)
+  /// consults the GOLA_HTTP_PORT env var and stays off when that is unset
+  /// too; 0 binds an ephemeral port (obs::IntrospectionServer()->port()
+  /// reports it). The first query to ask starts the server; later ports
+  /// are ignored — one server per process.
+  int http_port = -1;
+  /// When non-empty, every OnlineUpdate appends one JSONL record —
+  /// estimate, CI bounds, rsd, |U_i|, per-phase seconds — to this path:
+  /// the §5/Fig-3 convergence trajectory as a reusable artifact
+  /// (tools/plot_convergence.py turns it into CSV/SVG). Truncated at
+  /// query start; one query per file.
+  std::string convergence_path;
+  /// When non-empty (or GOLA_FLIGHT_PATH is set), the flight recorder's
+  /// recent-event ring is dumped to this path on every range-failure
+  /// rebuild, and a fatal-signal handler is installed that writes
+  /// `<path>.crash` — a crash or pathological recompute leaves a
+  /// postmortem trail.
+  std::string flight_path;
+  /// When false, Step() skips the result-table copy on intermediate
+  /// batches (OnlineUpdate::result stays empty; max_rsd, uncertain counts
+  /// and stats are still filled), so live monitoring of huge group-bys
+  /// does not pay materialize_seconds every batch. The final batch always
+  /// materializes — the answer Run() returns stays complete.
+  bool materialize_results = true;
 };
 
 /// Per-batch broadcast of a scalar subquery: point estimate plus the core

@@ -1,0 +1,75 @@
+// Convergence recorder: one JSONL record per OnlineUpdate — estimate, CI
+// bounds, rsd, |U_i|, per-phase seconds — appended to
+// GolaOptions::convergence_path. This is the §5/Figure-3 trajectory as a
+// reusable artifact instead of ad-hoc bench printf: any run of any query
+// produces a file that tools/plot_convergence.py (or a notebook, or jq)
+// can turn into the paper's error-vs-time plot.
+#ifndef GOLA_OBS_CONVERGENCE_H_
+#define GOLA_OBS_CONVERGENCE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "common/status.h"
+#include "obs/query_stats.h"
+
+namespace gola {
+namespace obs {
+
+/// One refinement step of one online query — plain data so the recorder
+/// has no dependency on the engine layer that fills it.
+struct ConvergenceRecord {
+  int batch_index = 0;
+  int total_batches = 0;
+  double fraction_processed = 0;
+
+  /// Headline aggregate cell (first aggregate-bearing output column,
+  /// first result row) — the single trajectory a Fig-3-style plot tracks.
+  /// has_estimate is false when the result has no rows yet.
+  bool has_estimate = false;
+  double estimate = 0;
+  double ci_lo = 0;
+  double ci_hi = 0;
+  double rsd = 0;
+
+  double max_rsd = 0;  // worst rsd across all aggregate cells
+  int64_t uncertain_tuples = 0;
+  int64_t uncertain_groups = 0;
+  int recomputes = 0;
+  int64_t result_rows = 0;
+  double batch_seconds = 0;
+  double elapsed_seconds = 0;
+  /// Per-phase seconds of this batch (envelope / delta / emit / rebuild /
+  /// materialize).
+  QueryStats stats;
+};
+
+/// Appends records to a JSONL file, one single-fwrite line per record (so
+/// concurrent recorders writing distinct files never interleave through a
+/// shared stdio buffer, and a crash loses at most the in-flight line).
+class ConvergenceRecorder {
+ public:
+  /// Truncates `path` — one query trajectory per file.
+  explicit ConvergenceRecorder(const std::string& path);
+  ~ConvergenceRecorder();
+  ConvergenceRecorder(const ConvergenceRecorder&) = delete;
+  ConvergenceRecorder& operator=(const ConvergenceRecorder&) = delete;
+
+  /// Open failure, or OK. A failed recorder swallows Append calls.
+  const Status& status() const { return status_; }
+
+  void Append(const ConvergenceRecord& record);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  Status status_;
+};
+
+}  // namespace obs
+}  // namespace gola
+
+#endif  // GOLA_OBS_CONVERGENCE_H_

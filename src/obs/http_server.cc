@@ -1,0 +1,246 @@
+#include "obs/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <mutex>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/query_registry.h"
+#include "obs/trace.h"
+
+namespace gola {
+namespace obs {
+
+namespace {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Internal Server Error";
+  }
+}
+
+void SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer went away; nothing useful to do
+    sent += static_cast<size_t>(n);
+  }
+}
+
+void SendResponse(int fd, const HttpServer::Response& r) {
+  std::string out = Format("HTTP/1.1 %d %s\r\n", r.status, StatusText(r.status));
+  out += "Content-Type: " + r.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(r.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += r.body;
+  SendAll(fd, out);
+}
+
+}  // namespace
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Route(const std::string& path, Handler handler) {
+  routes_[path] = std::move(handler);
+}
+
+Status HttpServer::Start(int port) {
+  if (running()) return Status::ExecutionError("http server already running");
+
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError("http server: socket() failed");
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  // Loopback only: this is an introspection port, not a public service.
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    close(fd);
+    return Status::IoError(
+        Format("http server: cannot bind loopback port %d", port));
+  }
+  if (listen(fd, 16) < 0) {
+    close(fd);
+    return Status::IoError("http server: listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  } else {
+    port_ = port;
+  }
+
+  listen_fd_ = fd;
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  // Knock the accept loop out of its blocking accept(2): shutdown makes a
+  // pending accept return, and close releases the port. The fd member is
+  // only reset after the join — the serve thread still reads it.
+  shutdown(listen_fd_, SHUT_RDWR);
+  close(listen_fd_);
+  if (thread_.joinable()) thread_.join();
+  listen_fd_ = -1;
+  port_ = 0;
+}
+
+void HttpServer::Serve() {
+  while (running()) {
+    int conn = accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (!running()) break;  // Stop() closed the socket under us
+      continue;               // transient (EINTR, aborted connection)
+    }
+    // One connection at a time: introspection scrapes are tiny and rare,
+    // and serial handling keeps the server to a single thread.
+    timeval tv{2, 0};
+    setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    HandleConnection(conn);
+    close(conn);
+  }
+}
+
+void HttpServer::HandleConnection(int fd) {
+  // Read until the end of the request head (or a sane cap — we never use
+  // bodies, so anything past the blank line is ignored).
+  std::string request;
+  char buf[2048];
+  while (request.size() < 16 * 1024 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<size_t>(n));
+  }
+
+  size_t line_end = request.find("\r\n");
+  if (line_end == std::string::npos) {
+    SendResponse(fd, {400, "text/plain; charset=utf-8", "malformed request\n"});
+    return;
+  }
+  std::vector<std::string> parts = Split(request.substr(0, line_end), ' ');
+  if (parts.size() < 2) {
+    SendResponse(fd, {400, "text/plain; charset=utf-8", "malformed request\n"});
+    return;
+  }
+  const std::string& method = parts[0];
+  std::string path = parts[1];
+  size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  if (method != "GET") {
+    SendResponse(fd, {405, "text/plain; charset=utf-8",
+                      "only GET is supported\n"});
+    return;
+  }
+  auto it = routes_.find(path);
+  if (it == routes_.end()) {
+    std::string body = "not found: " + path + "\nroutes:\n";
+    for (const auto& [route, handler] : routes_) body += "  " + route + "\n";
+    SendResponse(fd, {404, "text/plain; charset=utf-8", body});
+    return;
+  }
+  SendResponse(fd, it->second());
+}
+
+// ------------------------------------------- process-wide introspection --
+
+namespace {
+
+std::mutex g_server_mu;
+HttpServer* g_server = nullptr;        // non-null once started successfully
+bool g_server_attempted = false;       // first Start outcome is sticky
+Status g_server_status = Status::OK();
+
+HttpServer* BuildIntrospectionServer() {
+  auto* server = new HttpServer();
+  server->Route("/", [server] {
+    HttpServer::Response r;
+    r.body =
+        "gola live introspection\n"
+        "  /metrics   Prometheus text exposition\n"
+        "  /statusz   active online queries (JSON)\n"
+        "  /tracez    most recent trace spans (Chrome trace JSON)\n"
+        "  /flightz   flight-recorder ring (text)\n";
+    return r;
+  });
+  server->Route("/metrics", [] {
+    HttpServer::Response r;
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    r.body = MetricsRegistry::Global().RenderText();
+    return r;
+  });
+  server->Route("/statusz", [] {
+    HttpServer::Response r;
+    r.content_type = "application/json";
+    r.body = QueryRegistry::Global().StatuszJson();
+    return r;
+  });
+  server->Route("/tracez", [] {
+    HttpServer::Response r;
+    r.content_type = "application/json";
+    r.body = Tracer::Global().RecentJson(256);
+    return r;
+  });
+  server->Route("/flightz", [] {
+    HttpServer::Response r;
+    r.body = FlightRecorder::Global().ToText();
+    return r;
+  });
+  return server;
+}
+
+}  // namespace
+
+Result<HttpServer*> EnsureIntrospectionServer(int port) {
+  std::lock_guard<std::mutex> lock(g_server_mu);
+  if (g_server_attempted) {
+    if (g_server != nullptr) return g_server;
+    return g_server_status;
+  }
+  g_server_attempted = true;
+  HttpServer* server = BuildIntrospectionServer();
+  Status st = server->Start(port);
+  if (!st.ok()) {
+    delete server;
+    g_server_status = st;
+    return st;
+  }
+  g_server = server;
+  FlightRecorder::Global().Note("http_server_started", nullptr,
+                                g_server->port());
+  GOLA_LOG(Info) << "live introspection server on http://127.0.0.1:"
+                 << g_server->port() << " (/metrics /statusz /tracez /flightz)";
+  return g_server;
+}
+
+HttpServer* IntrospectionServer() {
+  std::lock_guard<std::mutex> lock(g_server_mu);
+  return g_server;
+}
+
+}  // namespace obs
+}  // namespace gola

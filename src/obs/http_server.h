@@ -1,0 +1,87 @@
+// Dependency-free embedded HTTP/1.1 server for live engine introspection:
+// a blocking accept loop on one dedicated thread, serving registered GET
+// routes on the loopback interface. Built on raw POSIX sockets — no
+// third-party dependency, because the whole point of G-OLA is that a user
+// *watches* an answer converge, and that must work in any build.
+//
+// The process-wide instance (EnsureIntrospectionServer) serves:
+//   GET /          route index
+//   GET /metrics   Prometheus text exposition (MetricsRegistry::Global)
+//   GET /statusz   JSON: active queries — batch index, fraction_processed,
+//                  max_rsd, uncertain-tuple counts, per-phase QueryStats,
+//                  recompute count (QueryRegistry::Global)
+//   GET /tracez    Chrome-trace JSON of the most recent spans
+//   GET /flightz   text dump of the flight recorder's recent-event ring
+//
+// Handlers run on the server thread and only read snapshot-style global
+// state, so an idle server costs one blocked accept(2) and a scrape never
+// touches the query hot path.
+#ifndef GOLA_OBS_HTTP_SERVER_H_
+#define GOLA_OBS_HTTP_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace gola {
+namespace obs {
+
+class HttpServer {
+ public:
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+  using Handler = std::function<Response()>;
+
+  HttpServer() = default;
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers a GET route (exact path match, query string ignored).
+  /// Call before Start — routes are not guarded against the serve thread.
+  void Route(const std::string& path, Handler handler);
+
+  /// Binds loopback:`port` (0 → ephemeral; see port()) and starts the
+  /// accept loop on a dedicated thread.
+  Status Start(int port);
+
+  /// Stops the accept loop and joins the thread. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// Actual bound port (after Start with port 0 resolves the ephemeral
+  /// assignment); 0 when not running.
+  int port() const { return port_; }
+
+ private:
+  void Serve();
+  void HandleConnection(int fd);
+
+  std::map<std::string, Handler> routes_;
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread thread_;
+};
+
+/// Starts the process-wide introspection server on `port` (0 → ephemeral)
+/// with the /metrics, /statusz, /tracez and /flightz routes. The first
+/// call wins; later calls return the running server regardless of `port`.
+/// Returns the server, or the bind error from the first attempt.
+Result<HttpServer*> EnsureIntrospectionServer(int port);
+
+/// The running process-wide server, or null when never started (or the
+/// first Start failed).
+HttpServer* IntrospectionServer();
+
+}  // namespace obs
+}  // namespace gola
+
+#endif  // GOLA_OBS_HTTP_SERVER_H_

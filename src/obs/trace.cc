@@ -2,24 +2,11 @@
 
 #include <cstdio>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 
 namespace gola {
 namespace obs {
-
-namespace {
-
-uint32_t NextThreadId() {
-  static std::atomic<uint32_t> next{1};
-  return next.fetch_add(1, std::memory_order_relaxed);
-}
-
-uint32_t ThisThreadId() {
-  thread_local uint32_t id = NextThreadId();
-  return id;
-}
-
-}  // namespace
 
 Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
 
@@ -32,7 +19,9 @@ Tracer::Buffer* Tracer::ThreadBuffer() {
   if (cached_tracer == this) return cached_buffer;
 
   auto buffer = std::make_shared<Buffer>();
-  buffer->tid = ThisThreadId();
+  // Shared dense thread id: the same thread carries the same id on its
+  // trace track, in log records, and in flight-recorder events.
+  buffer->tid = internal::ThisThreadId();
   buffer->events.reserve(1024);
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -55,7 +44,9 @@ void Tracer::Record(const char* name, int64_t start_ns, int64_t dur_ns,
   buf->events.push_back({name, arg_name, arg, start_ns, dur_ns});
 }
 
-std::string Tracer::ToJson() const {
+std::string Tracer::ToJson() const { return RecentJson(kMaxEventsPerThread); }
+
+std::string Tracer::RecentJson(size_t max_per_thread) const {
   std::vector<std::shared_ptr<Buffer>> buffers;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -82,7 +73,11 @@ std::string Tracer::ToJson() const {
   bool first = true;
   for (const auto& buf : buffers) {
     std::lock_guard<std::mutex> lock(buf->mu);
-    for (const TraceEvent& e : buf->events) {
+    size_t begin = buf->events.size() > max_per_thread
+                       ? buf->events.size() - max_per_thread
+                       : 0;
+    for (size_t i = begin; i < buf->events.size(); ++i) {
+      const TraceEvent& e = buf->events[i];
       if (!first) out += ",";
       first = false;
       // Chrome trace ts/dur are microseconds; keep ns resolution via the

@@ -64,6 +64,10 @@ class Tracer {
   /// microseconds. Safe to call while other threads are still recording
   /// (their buffers are briefly locked).
   std::string ToJson() const;
+  /// Same format, truncated to the most recent `max_per_thread` events on
+  /// each thread track — the GET /tracez view of a live query, bounded so
+  /// a long-running process cannot make the endpoint arbitrarily slow.
+  std::string RecentJson(size_t max_per_thread) const;
   Status WriteJson(const std::string& path) const;
 
   /// Discards all recorded events (buffers stay registered).

@@ -272,8 +272,16 @@ TEST(LoggingTest, ConcurrentLogLinesDoNotInterleave) {
   std::string line;
   while (std::getline(in, line)) {
     ++lines;
-    // A whole record: one level tag and one homogeneous payload.
-    EXPECT_NE(line.find("[INFO "), std::string::npos) << line;
+    // A whole record: one ISO-8601 millisecond timestamp, one level tag,
+    // one thread id, and one homogeneous payload.
+    ASSERT_GE(line.size(), 25u) << line;
+    EXPECT_EQ(line[0], '[') << line;
+    EXPECT_EQ(line[5], '-') << line;   // [YYYY-MM-DDTHH:MM:SS.mmmZ ...
+    EXPECT_EQ(line[11], 'T') << line;
+    EXPECT_EQ(line[20], '.') << line;
+    EXPECT_EQ(line[24], 'Z') << line;
+    EXPECT_NE(line.find(" INFO "), std::string::npos) << line;
+    EXPECT_NE(line.find(" tid="), std::string::npos) << line;
     bool has_a = line.find(std::string(40, 'a')) != std::string::npos;
     bool has_b = line.find(std::string(40, 'b')) != std::string::npos;
     EXPECT_TRUE(has_a != has_b) << "interleaved record: " << line;
