@@ -10,7 +10,11 @@
 // Knobs (all env): GOLA_MONITOR_ROWS (table size, default 400000),
 // GOLA_MONITOR_BATCHES (default 40), GOLA_MONITOR_BATCH_MS (pause after
 // each batch so scrapes catch the query mid-flight, default 150),
-// GOLA_CONVERGENCE_PATH (default live_monitor.convergence.jsonl).
+// GOLA_CONVERGENCE_PATH (default live_monitor.convergence.jsonl),
+// GOLA_CHECKPOINT_PATH (when set: checkpoint after every batch, and resume
+// from the file when it already exists — kill -9 this process mid-query,
+// rerun it with the same env, and it continues at the next batch with a
+// bit-identical final answer; the CI chaos job does exactly that).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -52,8 +56,24 @@ int main() {
   const char* conv = std::getenv("GOLA_CONVERGENCE_PATH");
   opts.convergence_path = conv ? conv : "live_monitor.convergence.jsonl";
 
-  auto online = engine.ExecuteOnline(SbiQuery(), opts);
+  // Crash-resume demo: with GOLA_CHECKPOINT_PATH set, pick up where a
+  // previous (possibly SIGKILLed) process left off, and checkpoint after
+  // every batch so at most one batch of work is ever lost.
+  const char* ckpt_env = std::getenv("GOLA_CHECKPOINT_PATH");
+  const std::string checkpoint_path = ckpt_env ? ckpt_env : "";
+  FILE* existing =
+      checkpoint_path.empty() ? nullptr : std::fopen(checkpoint_path.c_str(), "rb");
+  const bool resuming = existing != nullptr;
+  if (existing) std::fclose(existing);
+
+  auto online = resuming
+                    ? engine.ResumeOnline(SbiQuery(), checkpoint_path, opts)
+                    : engine.ExecuteOnline(SbiQuery(), opts);
   GOLA_CHECK_OK(online.status());
+  if (resuming) {
+    std::printf("resumed from %s at batch %d/%d\n", checkpoint_path.c_str(),
+                (*online)->batches_processed(), (*online)->total_batches());
+  }
 
   if (obs::HttpServer* server = obs::IntrospectionServer()) {
     std::printf("introspection: http://127.0.0.1:%d/statusz\n", server->port());
@@ -64,18 +84,26 @@ int main() {
   std::printf("%8s %9s %10s %12s %12s\n", "batch", "data(%)", "rsd(%)",
               "uncertain", "recomputes");
 
+  Table final_result;
   while (!(*online)->done()) {
     auto update = (*online)->Step();
     GOLA_CHECK_OK(update.status());
+    if (update->result.num_rows() > 0) final_result = update->result;
     std::printf("%8d %9.1f %10.3f %12lld %12d\n", update->batch_index,
                 100 * update->fraction_processed, 100 * update->max_rsd,
                 static_cast<long long>(update->uncertain_tuples),
                 update->recomputes_so_far);
     std::fflush(stdout);
+    if (!checkpoint_path.empty()) {
+      GOLA_CHECK_OK((*online)->Checkpoint(checkpoint_path));
+    }
     if (batch_ms > 0 && !(*online)->done()) {
       std::this_thread::sleep_for(std::chrono::milliseconds(batch_ms));
     }
   }
+  // Final answer last, on its own marker line: the kill-resume smoke diffs
+  // this block between an interrupted+resumed run and a clean one.
+  std::printf("\nfinal result:\n%s", final_result.ToString(100).c_str());
   std::printf("\ndone: %d batches, convergence trajectory in %s\n", batches,
               opts.convergence_path.c_str());
   return 0;

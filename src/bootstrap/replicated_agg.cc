@@ -3,10 +3,33 @@
 #include <cmath>
 #include <limits>
 
+#include "storage/serde.h"
+
 namespace gola {
 
 namespace {
 constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+Status SaveAggState(BinaryWriter* w, const AggState& state) {
+  std::vector<Value> vals;
+  GOLA_RETURN_NOT_OK(state.SaveState(&vals));
+  w->U32(static_cast<uint32_t>(vals.size()));
+  for (const Value& v : vals) WriteValue(w, v);
+  return Status::OK();
+}
+
+Status LoadAggState(BinaryReader* r, AggState* state) {
+  GOLA_ASSIGN_OR_RETURN(uint32_t n, r->U32());
+  if (n > (1u << 24)) return Status::IoError("aggregate state field count implausible");
+  std::vector<Value> vals;
+  vals.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    GOLA_ASSIGN_OR_RETURN(Value v, ReadValue(r));
+    vals.push_back(std::move(v));
+  }
+  return state->LoadState(vals);
+}
+
 }  // namespace
 
 ReplicatedAgg::ReplicatedAgg(const AggregateFunction* fn, const PoissonWeights* weights)
@@ -134,6 +157,45 @@ std::vector<double> ReplicatedAgg::FinalizeReplicates(double scale) const {
     out.push_back(d);
   }
   return out;
+}
+
+Status ReplicatedAgg::SaveTo(BinaryWriter* w) const {
+  w->U8(static_cast<uint8_t>(simple_));
+  GOLA_RETURN_NOT_OK(SaveAggState(w, *main_));
+  if (simple_ != SimpleAggKind::kNone) {
+    w->U64(flat_sum_.size());
+    w->Raw(flat_sum_.data(), flat_sum_.size() * sizeof(double));
+    w->Raw(flat_count_.data(), flat_count_.size() * sizeof(double));
+    return Status::OK();
+  }
+  w->U64(replicates_.size());
+  for (const auto& rep : replicates_) {
+    GOLA_RETURN_NOT_OK(SaveAggState(w, *rep));
+  }
+  return Status::OK();
+}
+
+Status ReplicatedAgg::LoadFrom(BinaryReader* r) {
+  GOLA_ASSIGN_OR_RETURN(uint8_t kind, r->U8());
+  if (kind != static_cast<uint8_t>(simple_)) {
+    return Status::IoError("checkpointed aggregate fast-path kind mismatch");
+  }
+  GOLA_RETURN_NOT_OK(LoadAggState(r, main_.get()));
+  GOLA_ASSIGN_OR_RETURN(uint64_t b, r->U64());
+  if (simple_ != SimpleAggKind::kNone) {
+    if (b != flat_sum_.size()) {
+      return Status::IoError("checkpointed replicate count mismatch");
+    }
+    GOLA_RETURN_NOT_OK(r->Raw(flat_sum_.data(), b * sizeof(double)));
+    return r->Raw(flat_count_.data(), b * sizeof(double));
+  }
+  if (b != replicates_.size()) {
+    return Status::IoError("checkpointed replicate count mismatch");
+  }
+  for (auto& rep : replicates_) {
+    GOLA_RETURN_NOT_OK(LoadAggState(r, rep.get()));
+  }
+  return Status::OK();
 }
 
 ConfidenceInterval ReplicatedAgg::CI(double scale, double level) const {

@@ -20,6 +20,9 @@
 
 namespace gola {
 
+class BinaryReader;
+class BinaryWriter;
+
 class ReplicatedAgg {
  public:
   /// `fn` and `weights` must outlive this object (both are owned by the
@@ -60,6 +63,13 @@ class ReplicatedAgg {
   VariationRange Range(double scale, double epsilon_mult) const;
 
   const AggregateFunction* function() const { return fn_; }
+
+  /// Checkpoint round-trip. LoadFrom expects `this` to be freshly
+  /// constructed from the same (function, weights) pair the checkpoint was
+  /// taken with; mismatched replicate counts or fast-path kinds are I/O
+  /// errors, not surprises.
+  Status SaveTo(BinaryWriter* w) const;
+  Status LoadFrom(BinaryReader* r);
 
  private:
   const AggregateFunction* fn_;

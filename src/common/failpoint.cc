@@ -1,0 +1,242 @@
+#include "common/failpoint.h"
+
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
+namespace gola {
+namespace fail {
+
+std::atomic<int> g_armed_sites{0};
+
+namespace {
+
+enum class Trigger { kAlways, kOnce, kNth, kProb };
+
+struct SiteState {
+  Trigger trigger = Trigger::kAlways;
+  int64_t nth = 0;        // for kNth: 1-based hit index that fires
+  double prob = 0.0;      // for kProb
+  bool exhausted = false; // kOnce/kNth after their single fire
+  int64_t hits = 0;
+  int64_t fires = 0;
+  uint64_t draw_seed = 0; // per-site base for deterministic prob draws
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, SiteState> sites;
+  uint64_t seed = 0x60'1A'FA'11ULL;  // "gola fail"; GOLA_FAILPOINT_SEED overrides
+};
+
+Registry& Reg() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+uint64_t HashName(const std::string& name) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t SiteSeed(const Registry& reg, const std::string& name) {
+  return SplitMix64(reg.seed ^ HashName(name));
+}
+
+// Cold path on an actual fire: count it and leave a flight-recorder crumb so
+// chaos runs can be reconstructed post-mortem.
+void RecordFire(const std::string& site, int64_t fire_index) {
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("gola_failpoint_fires_total{site=\"" + site + "\"}")
+        ->Increment();
+  }
+  obs::FlightRecorder::Global().Note("failpoint_fire", site.c_str(),
+                                     fire_index);
+}
+
+}  // namespace
+
+bool Evaluate(const char* site) {
+  Registry& reg = Reg();
+  std::string fired_site;
+  int64_t fire_index = 0;
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    auto it = reg.sites.find(site);
+    if (it == reg.sites.end()) return false;
+    SiteState& s = it->second;
+    s.hits++;
+    bool fire = false;
+    switch (s.trigger) {
+      case Trigger::kAlways:
+        fire = true;
+        break;
+      case Trigger::kOnce:
+        fire = !s.exhausted;
+        s.exhausted = true;
+        break;
+      case Trigger::kNth:
+        fire = !s.exhausted && s.hits == s.nth;
+        if (fire) s.exhausted = true;
+        break;
+      case Trigger::kProb: {
+        // Hit-indexed SplitMix64 draw: replaying the same hit sequence with
+        // the same seed reproduces the same failures exactly.
+        uint64_t draw = SplitMix64(s.draw_seed + static_cast<uint64_t>(s.hits));
+        double u = static_cast<double>(draw >> 11) * 0x1.0p-53;
+        fire = u < s.prob;
+        break;
+      }
+    }
+    if (!fire) return false;
+    s.fires++;
+    fired_site = site;
+    fire_index = s.fires;
+  }
+  RecordFire(fired_site, fire_index);
+  return true;
+}
+
+Status Arm(const std::string& site, const std::string& action) {
+  if (site.empty()) return Status::InvalidArgument("failpoint: empty site name");
+  SiteState state;
+  if (action == "always") {
+    state.trigger = Trigger::kAlways;
+  } else if (action == "once") {
+    state.trigger = Trigger::kOnce;
+  } else if (action.rfind("nth(", 0) == 0 && action.back() == ')') {
+    state.trigger = Trigger::kNth;
+    char* end = nullptr;
+    const std::string arg = action.substr(4, action.size() - 5);
+    state.nth = std::strtoll(arg.c_str(), &end, 10);
+    if (arg.empty() || end == nullptr || *end != '\0' || state.nth < 1) {
+      return Status::InvalidArgument(
+          Format("failpoint %s: nth(N) needs a positive integer, got '%s'",
+                 site.c_str(), action.c_str()));
+    }
+  } else if (action.rfind("prob(", 0) == 0 && action.back() == ')') {
+    state.trigger = Trigger::kProb;
+    char* end = nullptr;
+    const std::string arg = action.substr(5, action.size() - 6);
+    state.prob = std::strtod(arg.c_str(), &end);
+    if (arg.empty() || end == nullptr || *end != '\0' || state.prob < 0.0 ||
+        state.prob > 1.0) {
+      return Status::InvalidArgument(
+          Format("failpoint %s: prob(P) needs P in [0,1], got '%s'",
+                 site.c_str(), action.c_str()));
+    }
+  } else if (action == "off") {
+    Disarm(site);
+    return Status::OK();
+  } else {
+    return Status::InvalidArgument(
+        Format("failpoint %s: unknown action '%s' (expected always, once, "
+               "nth(N), prob(P), or off)",
+               site.c_str(), action.c_str()));
+  }
+
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  state.draw_seed = SiteSeed(reg, site);
+  auto [it, inserted] = reg.sites.insert_or_assign(site, state);
+  (void)it;
+  if (inserted) g_armed_sites.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status Configure(const std::string& spec) {
+  for (const std::string& raw : Split(spec, ',')) {
+    std::string entry(Trim(raw));
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument(
+          Format("failpoint spec entry '%s' is not site=action", entry.c_str()));
+    }
+    GOLA_RETURN_NOT_OK(Arm(std::string(Trim(entry.substr(0, eq))),
+                           std::string(Trim(entry.substr(eq + 1)))));
+  }
+  return Status::OK();
+}
+
+Status ConfigureFromEnv() {
+  if (const char* seed = std::getenv("GOLA_FAILPOINT_SEED")) {
+    SetSeed(std::strtoull(seed, nullptr, 10));
+  }
+  const char* spec = std::getenv("GOLA_FAILPOINTS");
+  if (spec == nullptr || *spec == '\0') return Status::OK();
+  return Configure(spec);
+}
+
+void Disarm(const std::string& site) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  if (reg.sites.erase(site) > 0) {
+    g_armed_sites.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAll() {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  g_armed_sites.fetch_sub(static_cast<int>(reg.sites.size()),
+                          std::memory_order_relaxed);
+  reg.sites.clear();
+}
+
+void SetSeed(uint64_t seed) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.seed = seed;
+  for (auto& [name, s] : reg.sites) {
+    s.draw_seed = SiteSeed(reg, name);
+    s.hits = 0;
+    s.fires = 0;
+    s.exhausted = false;
+  }
+}
+
+int64_t Hits(const std::string& site) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.sites.find(site);
+  return it == reg.sites.end() ? 0 : it->second.hits;
+}
+
+int64_t Fires(const std::string& site) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.sites.find(site);
+  return it == reg.sites.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string> ArmedSites() {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<std::string> names;
+  names.reserve(reg.sites.size());
+  for (const auto& [name, s] : reg.sites) names.push_back(name);
+  return names;
+}
+
+Status InjectedError(const char* site) {
+  return Status::ExecutionError(Format("failpoint %s: injected fault", site));
+}
+
+bool Retryable(const Status& st) {
+  return st.code() == StatusCode::kExecutionError ||
+         st.code() == StatusCode::kIoError;
+}
+
+}  // namespace fail
+}  // namespace gola

@@ -1,0 +1,102 @@
+// Deterministic fault-injection framework. A failpoint is a named site in
+// the code (`GOLA_FAILPOINT("exec.morsel")`) that normally evaluates to
+// false at the cost of one relaxed atomic load. Arming a site attaches a
+// trigger — always, once, the Nth hit, or an independent per-hit
+// probability — and makes the site report "fire" accordingly, so recovery
+// paths (morsel retry, rebuild retry, checkpoint resume) can be exercised
+// and tested without real hardware faults.
+//
+// Determinism: probabilistic triggers draw from a per-site SplitMix64
+// sequence keyed by (global seed, site name, hit index). The same seed and
+// the same hit sequence replay the same failures — a failing chaos run is
+// reproducible from its seed alone.
+//
+// Activation: programmatic (Arm/Configure) or the GOLA_FAILPOINTS env var,
+// e.g. GOLA_FAILPOINTS="exec.morsel=prob(0.01),gola.rebuild=once"
+// (GOLA_FAILPOINT_SEED overrides the draw seed). Sites compiled into hot
+// paths stay free when nothing is armed: the macro short-circuits on a
+// single process-wide atomic counter of armed sites.
+#ifndef GOLA_COMMON_FAILPOINT_H_
+#define GOLA_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gola {
+namespace fail {
+
+/// Number of currently armed sites (process-wide). Internal to the macro.
+extern std::atomic<int> g_armed_sites;
+
+/// True when at least one site is armed anywhere in the process.
+inline bool AnyActive() {
+  return g_armed_sites.load(std::memory_order_relaxed) > 0;
+}
+
+/// Cold path behind the macro: true when `site` is armed and its trigger
+/// fires on this hit. Thread-safe; hit/fire counters are maintained here.
+bool Evaluate(const char* site);
+
+/// Arms one site with an action: "always", "once", "nth(N)" (fires on the
+/// N-th hit only, 1-based), "prob(P)" (each hit fires independently with
+/// probability P, deterministic in the seed), or "off" (disarms).
+Status Arm(const std::string& site, const std::string& action);
+
+/// Arms a comma-separated spec: "site=action,site=action,...".
+Status Configure(const std::string& spec);
+
+/// Applies GOLA_FAILPOINTS / GOLA_FAILPOINT_SEED from the environment
+/// (no-op when unset). Idempotent enough to call from engine startup.
+Status ConfigureFromEnv();
+
+void Disarm(const std::string& site);
+void DisarmAll();
+
+/// Seed for the deterministic probabilistic draws (also resets every armed
+/// site's hit/fire counters, so a reseeded run replays from scratch).
+void SetSeed(uint64_t seed);
+
+/// Times the site was evaluated / actually fired since it was armed
+/// (0 for unknown sites).
+int64_t Hits(const std::string& site);
+int64_t Fires(const std::string& site);
+
+/// Names of all currently armed sites.
+std::vector<std::string> ArmedSites();
+
+/// The Status an injected failure surfaces as: retryable kExecutionError
+/// with a recognizable "failpoint" prefix.
+Status InjectedError(const char* site);
+
+/// True for Status codes the resilience layers may retry: runtime
+/// execution faults and I/O faults. Plan/type/argument errors are
+/// deterministic and retrying them cannot help.
+bool Retryable(const Status& st);
+
+}  // namespace fail
+}  // namespace gola
+
+/// Evaluates to true when the named failpoint fires. Zero measurable cost
+/// while nothing is armed: one relaxed load, branch predicted not-taken.
+#if defined(__GNUC__) || defined(__clang__)
+#define GOLA_FAILPOINT(site) \
+  (__builtin_expect(::gola::fail::AnyActive(), 0) && ::gola::fail::Evaluate(site))
+#else
+#define GOLA_FAILPOINT(site) \
+  (::gola::fail::AnyActive() && ::gola::fail::Evaluate(site))
+#endif
+
+/// Returns an injected (retryable) error from the enclosing function when
+/// the site fires.
+#define GOLA_FAILPOINT_RETURN(site)                   \
+  do {                                                \
+    if (GOLA_FAILPOINT(site)) {                       \
+      return ::gola::fail::InjectedError(site);       \
+    }                                                 \
+  } while (0)
+
+#endif  // GOLA_COMMON_FAILPOINT_H_

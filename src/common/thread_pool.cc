@@ -3,7 +3,9 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <stdexcept>
 
+#include "common/failpoint.h"
 #include "obs/metrics.h"
 
 namespace gola {
@@ -137,6 +139,12 @@ struct ParallelForState {
       size_t i = next.fetch_add(1);
       if (i >= n) break;
       try {
+        if (GOLA_FAILPOINT("threadpool.task")) {
+          // Simulates a worker dying mid-dispatch: the iteration is lost and
+          // the whole ParallelFor aborts through the normal exception path,
+          // exercising the caller's batch-level recovery.
+          throw std::runtime_error("failpoint threadpool.task: injected task fault");
+        }
         fn(i);
       } catch (...) {
         // First exception wins; the rest of the iteration space is

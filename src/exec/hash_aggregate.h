@@ -5,6 +5,7 @@
 #ifndef GOLA_EXEC_HASH_AGGREGATE_H_
 #define GOLA_EXEC_HASH_AGGREGATE_H_
 
+#include <algorithm>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -21,6 +22,12 @@ struct GroupKey {
   std::vector<Value> values;
 
   bool operator==(const GroupKey& other) const { return values == other.values; }
+  /// Lexicographic over Value's total ordering (NULL first) — gives group
+  /// emission a canonical order independent of hash-map layout.
+  bool operator<(const GroupKey& other) const {
+    return std::lexicographical_compare(values.begin(), values.end(),
+                                        other.values.begin(), other.values.end());
+  }
 };
 
 struct GroupKeyHash {

@@ -1,8 +1,14 @@
 #include "exec/pipeline.h"
 
+#include <chrono>
+#include <exception>
+#include <thread>
+
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -128,6 +134,9 @@ void HashAggregateStage::BeginBatch(size_t num_morsels) {
 
 Status HashAggregateStage::Consume(size_t morsel_index, Chunk in,
                                    const ExecContext& ctx) {
+  // Overwrite (never accumulate into) the morsel's slot so a retried morsel
+  // replaces any partial left by a failed earlier attempt.
+  partials_[morsel_index].reset();
   if (in.num_rows() == 0) return Status::OK();
   partials_[morsel_index] = std::make_unique<HashAggregate>(block_);
   return partials_[morsel_index]->Update(in, ctx.env);
@@ -152,7 +161,8 @@ void CollectStage::BeginBatch(size_t num_morsels) {
 
 Status CollectStage::Consume(size_t morsel_index, Chunk in, const ExecContext& ctx) {
   (void)ctx;
-  if (in.num_rows() > 0) outputs_[morsel_index] = std::move(in);
+  // Unconditional slot overwrite — see HashAggregateStage::Consume.
+  outputs_[morsel_index] = std::move(in);
   return Status::OK();
 }
 
@@ -231,6 +241,7 @@ Status DeltaPipeline::Run(const ExecContext& ctx,
   auto run_morsel = [&](size_t i) {
     auto body = [&]() -> Status {
       const MorselPlan& mo = morsels[i];
+      GOLA_FAILPOINT_RETURN("exec.morsel");
       obs::TraceSpan morsel_span("morsel", "rows",
                                  static_cast<int64_t>(mo.rows));
       Stopwatch morsel_timer;
@@ -262,9 +273,9 @@ Status DeltaPipeline::Run(const ExecContext& ctx,
           ctx.metrics->rows_uncertain +=
               static_cast<int64_t>(split.uncertain.num_rows());
         }
-        if (split.uncertain.num_rows() > 0) {
-          uncertain_slots[i] = std::move(split.uncertain);
-        }
+        // Unconditional: a retried morsel must overwrite whatever a failed
+        // earlier attempt left in its slot, including clearing it.
+        uncertain_slots[i] = std::move(split.uncertain);
         chunk = std::move(split.fold);
       } else {
         if (ctx.metrics) {
@@ -284,11 +295,54 @@ Status DeltaPipeline::Run(const ExecContext& ctx,
       if (ob.on) ob.morsel_us->Record(morsel_timer.ElapsedMicros());
       return Status::OK();
     };
-    statuses[i] = body();
+    // Exception containment: a stage that throws is folded into the same
+    // retryable-Status channel as one that returns an error.
+    auto attempt = [&]() -> Status {
+      try {
+        return body();
+      } catch (const std::exception& e) {
+        return Status::ExecutionError(
+            Format("morsel %zu raised: %s", i, e.what()));
+      } catch (...) {
+        return Status::ExecutionError(
+            Format("morsel %zu raised a non-standard exception", i));
+      }
+    };
+    Status st = attempt();
+    // Morsel-level retry: the morsel plan and every stage are deterministic
+    // in the input slice, so a retried morsel rebuilds the exact same
+    // partial state (sinks overwrite their per-morsel slot each attempt).
+    for (int r = 1; !st.ok() && fail::Retryable(st) && r <= ctx.max_morsel_retries;
+         ++r) {
+      if (obs::MetricsEnabled()) {
+        obs::MetricsRegistry::Global()
+            .GetCounter("gola_pipeline_morsel_retries_total")
+            ->Increment();
+      }
+      obs::FlightRecorder::Global().Note("morsel_retry", nullptr,
+                                         static_cast<int64_t>(i));
+      int64_t backoff = static_cast<int64_t>(ctx.retry_backoff_ms) << (r - 1);
+      if (backoff > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      }
+      st = attempt();
+    }
+    statuses[i] = std::move(st);
   };
 
   if (ctx.pool != nullptr && m > 1) {
-    ctx.pool->ParallelFor(m, run_morsel);
+    // A fault injected below the morsel layer (thread-pool task dispatch)
+    // surfaces here as an exception; turn it into a retryable Status so the
+    // block-level retry can rerun the whole batch.
+    try {
+      ctx.pool->ParallelFor(m, run_morsel);
+    } catch (const std::exception& e) {
+      return Status::ExecutionError(
+          Format("parallel execution failed: %s", e.what()));
+    } catch (...) {
+      return Status::ExecutionError(
+          "parallel execution failed with a non-standard exception");
+    }
   } else {
     for (size_t i = 0; i < m; ++i) run_morsel(i);
   }
@@ -297,17 +351,23 @@ Status DeltaPipeline::Run(const ExecContext& ctx,
   }
 
   // Barrier: deferred classification decisions, then partial-state merges —
-  // both applied in morsel order on the calling thread.
+  // both applied in morsel order on the calling thread. A failure past this
+  // point may have already mutated the merge target, so it must NOT look
+  // retryable to the batch-level retry: downgrade to kInternal.
+  auto barrier_guard = [](Status st) -> Status {
+    if (st.ok() || !fail::Retryable(st)) return st;
+    return Status::Internal(st.message());
+  };
   if (classify_) {
-    GOLA_RETURN_NOT_OK(classify_->EndBatch());
+    GOLA_RETURN_NOT_OK(barrier_guard(classify_->EndBatch()));
   }
   if (sink_) {
-    GOLA_RETURN_NOT_OK(sink_->Finish());
+    GOLA_RETURN_NOT_OK(barrier_guard(sink_->Finish()));
   }
   if (uncertain_out != nullptr) {
     for (auto& slot : uncertain_slots) {
       if (slot.num_rows() > 0) {
-        GOLA_RETURN_NOT_OK(uncertain_out->Append(slot));
+        GOLA_RETURN_NOT_OK(barrier_guard(uncertain_out->Append(slot)));
       }
     }
   }

@@ -73,6 +73,13 @@ struct ExecContext {
   size_t min_morsel_rows = 512;
   size_t max_morsels = 32;
   PipelineMetrics* metrics = nullptr;
+  /// Resilience policy: a morsel whose body returns a retryable error (or
+  /// throws) is re-executed in place up to this many extra attempts, with
+  /// exponential backoff starting at `retry_backoff_ms`. Morsel bodies are
+  /// deterministic functions of their input slice, so a retried morsel
+  /// reproduces the exact same partial state — retries never change results.
+  int max_morsel_retries = 2;
+  int retry_backoff_ms = 1;
 };
 
 /// Prebuilt hash tables for a block's dimension joins, applied in order.

@@ -12,6 +12,16 @@ namespace gola {
 
 namespace {
 
+// Checkpoint payloads are positional Value vectors; a wrong field count
+// means the file does not match this build's state layout.
+Status ExpectStateSize(const std::vector<Value>& vals, size_t n, const char* what) {
+  if (vals.size() != n) {
+    return Status::IoError(Format("checkpointed %s state has %zu fields, expected %zu",
+                                  what, vals.size(), n));
+  }
+  return Status::OK();
+}
+
 // ---------------------------------------------------------------- COUNT --
 class CountState : public AggState {
  public:
@@ -23,6 +33,15 @@ class CountState : public AggState {
   Value Finalize(double scale) const override { return Value::Float(count_ * scale); }
   std::unique_ptr<AggState> Clone() const override {
     return std::make_unique<CountState>(*this);
+  }
+  Status SaveState(std::vector<Value>* out) const override {
+    out->push_back(Value::Float(count_));
+    return Status::OK();
+  }
+  Status LoadState(const std::vector<Value>& vals) override {
+    GOLA_RETURN_NOT_OK(ExpectStateSize(vals, 1, "COUNT"));
+    GOLA_ASSIGN_OR_RETURN(count_, vals[0].ToDouble());
+    return Status::OK();
   }
 
  private:
@@ -47,6 +66,17 @@ class SumState : public AggState {
   std::unique_ptr<AggState> Clone() const override {
     return std::make_unique<SumState>(*this);
   }
+  Status SaveState(std::vector<Value>* out) const override {
+    out->push_back(Value::Float(sum_));
+    out->push_back(Value::Bool(any_));
+    return Status::OK();
+  }
+  Status LoadState(const std::vector<Value>& vals) override {
+    GOLA_RETURN_NOT_OK(ExpectStateSize(vals, 2, "SUM"));
+    GOLA_ASSIGN_OR_RETURN(sum_, vals[0].ToDouble());
+    any_ = !vals[1].is_null() && vals[1].AsBool();
+    return Status::OK();
+  }
 
  private:
   double sum_ = 0;
@@ -70,6 +100,17 @@ class AvgState : public AggState {
   }
   std::unique_ptr<AggState> Clone() const override {
     return std::make_unique<AvgState>(*this);
+  }
+  Status SaveState(std::vector<Value>* out) const override {
+    out->push_back(Value::Float(sum_));
+    out->push_back(Value::Float(count_));
+    return Status::OK();
+  }
+  Status LoadState(const std::vector<Value>& vals) override {
+    GOLA_RETURN_NOT_OK(ExpectStateSize(vals, 2, "AVG"));
+    GOLA_ASSIGN_OR_RETURN(sum_, vals[0].ToDouble());
+    GOLA_ASSIGN_OR_RETURN(count_, vals[1].ToDouble());
+    return Status::OK();
   }
 
  private:
@@ -98,6 +139,17 @@ class MinMaxState : public AggState {
   Value Finalize(double) const override { return has_ ? current_ : Value::Null(); }
   std::unique_ptr<AggState> Clone() const override {
     return std::make_unique<MinMaxState>(*this);
+  }
+  Status SaveState(std::vector<Value>* out) const override {
+    out->push_back(Value::Bool(has_));
+    out->push_back(current_);
+    return Status::OK();
+  }
+  Status LoadState(const std::vector<Value>& vals) override {
+    GOLA_RETURN_NOT_OK(ExpectStateSize(vals, 2, "MIN/MAX"));
+    has_ = !vals[0].is_null() && vals[0].AsBool();
+    current_ = vals[1];
+    return Status::OK();
   }
 
  private:
@@ -131,6 +183,19 @@ class VarState : public AggState {
   }
   std::unique_ptr<AggState> Clone() const override {
     return std::make_unique<VarState>(*this);
+  }
+  Status SaveState(std::vector<Value>* out) const override {
+    out->push_back(Value::Float(n_));
+    out->push_back(Value::Float(sum_));
+    out->push_back(Value::Float(sumsq_));
+    return Status::OK();
+  }
+  Status LoadState(const std::vector<Value>& vals) override {
+    GOLA_RETURN_NOT_OK(ExpectStateSize(vals, 3, "VAR/STDDEV"));
+    GOLA_ASSIGN_OR_RETURN(n_, vals[0].ToDouble());
+    GOLA_ASSIGN_OR_RETURN(sum_, vals[1].ToDouble());
+    GOLA_ASSIGN_OR_RETURN(sumsq_, vals[2].ToDouble());
+    return Status::OK();
   }
 
  private:
@@ -168,6 +233,28 @@ class QuantileState : public AggState {
   }
   std::unique_ptr<AggState> Clone() const override {
     return std::make_unique<QuantileState>(*this);
+  }
+  // q_ and capacity_ come from the function descriptor; only the observed
+  // stream state (seen counter + reservoir) needs to round-trip.
+  Status SaveState(std::vector<Value>* out) const override {
+    out->push_back(Value::Int(seen_));
+    for (double v : reservoir_) out->push_back(Value::Float(v));
+    return Status::OK();
+  }
+  Status LoadState(const std::vector<Value>& vals) override {
+    if (vals.empty()) return Status::IoError("checkpointed QUANTILE state is empty");
+    GOLA_ASSIGN_OR_RETURN(double seen, vals[0].ToDouble());
+    seen_ = static_cast<int64_t>(seen);
+    if (vals.size() - 1 > capacity_) {
+      return Status::IoError("checkpointed QUANTILE reservoir exceeds capacity");
+    }
+    reservoir_.clear();
+    reservoir_.reserve(vals.size() - 1);
+    for (size_t i = 1; i < vals.size(); ++i) {
+      GOLA_ASSIGN_OR_RETURN(double v, vals[i].ToDouble());
+      reservoir_.push_back(v);
+    }
+    return Status::OK();
   }
 
  private:
@@ -291,6 +378,17 @@ class SimpleUdafState : public AggState {
   }
   std::unique_ptr<AggState> Clone() const override {
     return std::make_unique<SimpleUdafState>(*this);
+  }
+  Status SaveState(std::vector<Value>* out) const override {
+    for (double v : acc_) out->push_back(Value::Float(v));
+    return Status::OK();
+  }
+  Status LoadState(const std::vector<Value>& vals) override {
+    GOLA_RETURN_NOT_OK(ExpectStateSize(vals, acc_.size(), spec_->name.c_str()));
+    for (size_t i = 0; i < vals.size(); ++i) {
+      GOLA_ASSIGN_OR_RETURN(acc_[i], vals[i].ToDouble());
+    }
+    return Status::OK();
   }
 
  private:

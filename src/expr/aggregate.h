@@ -39,6 +39,21 @@ class AggState {
   virtual void Merge(const AggState& other) = 0;
   virtual Value Finalize(double scale) const = 0;
   virtual std::unique_ptr<AggState> Clone() const = 0;
+
+  /// Checkpoint support: flattens the state's dynamic fields into Values
+  /// (the checkpoint layer handles the wire encoding). LoadState runs on a
+  /// freshly CreateState()'d object of the same function, so constructor
+  /// parameters (MIN vs MAX, the quantile q) need not round-trip. All
+  /// built-ins implement both; the defaults keep third-party states
+  /// compiling but make them non-checkpointable.
+  virtual Status SaveState(std::vector<Value>* out) const {
+    (void)out;
+    return Status::NotImplemented("aggregate state does not support checkpointing");
+  }
+  virtual Status LoadState(const std::vector<Value>& vals) {
+    (void)vals;
+    return Status::NotImplemented("aggregate state does not support checkpointing");
+  }
 };
 
 /// Aggregates with (weighted sum, weighted count) sufficient statistics get

@@ -1,15 +1,20 @@
 #include "gola/block_executor.h"
 
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <thread>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "exec/sort.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/serde.h"
 
 namespace gola {
 
@@ -73,7 +78,32 @@ ExecContext OnlineBlockExec::MakeContext(double scale, OnlineEnv* env) {
   ctx.seed = options_->seed;
   ctx.env = &env->point_env();
   ctx.metrics = &metrics_;
+  ctx.max_morsel_retries = options_->max_morsel_retries;
+  ctx.retry_backoff_ms = options_->retry_backoff_ms;
   return ctx;
+}
+
+Status OnlineBlockExec::RunPipelineWithRetry(const ExecContext& ctx,
+                                             const std::vector<MorselSource>& sources,
+                                             Chunk* uncertain_out, const char* what) {
+  Status st = pipeline_.Run(ctx, sources, uncertain_out);
+  for (int r = 1; !st.ok() && fail::Retryable(st) && r <= options_->max_morsel_retries;
+       ++r) {
+    // A failed Run left no merged state behind: the barrier only merges after
+    // every morsel succeeded, and per-morsel slots are rebuilt by BeginBatch.
+    // Resetting the uncertain sink is the only cleanup a rerun needs.
+    if (uncertain_out != nullptr) *uncertain_out = EmptyUncertain();
+    if (obs::MetricsEnabled()) {
+      obs::MetricsRegistry::Global()
+          .GetCounter("gola_block_pipeline_retries_total")
+          ->Increment();
+    }
+    obs::FlightRecorder::Global().Note("pipeline_retry", what, block_->id);
+    int64_t backoff = static_cast<int64_t>(options_->retry_backoff_ms) << (r - 1);
+    if (backoff > 0) std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    st = pipeline_.Run(ctx, sources, uncertain_out);
+  }
+  return st;
 }
 
 Status OnlineBlockExec::Init() {
@@ -171,6 +201,11 @@ Result<RangeFailure> OnlineBlockExec::ProcessBatch(const Chunk& batch, double sc
     obs::TraceSpan span("envelope_check");
     GOLA_ASSIGN_OR_RETURN(violated, classify_stage_->CheckEnvelopes(env));
   }
+  if (violated == RangeFailure::kNone && GOLA_FAILPOINT("gola.check_envelopes")) {
+    // Forced range failure: exercises the full recovery path (the caller
+    // runs a query-wide Rebuild) without waiting for a real envelope escape.
+    violated = RangeFailure::kInjected;
+  }
   if (stats) stats->envelope_check_seconds += phase_timer.ElapsedSeconds();
   if (violated != RangeFailure::kNone) {
     if (obs::MetricsEnabled()) {
@@ -198,7 +233,13 @@ Result<RangeFailure> OnlineBlockExec::ProcessBatch(const Chunk& batch, double sc
   phase_timer.Restart();
   {
     obs::TraceSpan span("delta_exec");
-    GOLA_RETURN_NOT_OK(pipeline_.Run(ctx, sources, &uncertain_));
+    Status st = RunPipelineWithRetry(ctx, sources, &uncertain_, "batch");
+    if (!st.ok()) {
+      // Retries exhausted (or non-retryable): put the pre-batch lineage
+      // cache back so the block stays at its batch-(i-1) state.
+      uncertain_ = std::move(uncertain_prev);
+      return st;
+    }
   }
   if (stats) stats->delta_exec_seconds += phase_timer.ElapsedSeconds();
 
@@ -215,6 +256,7 @@ Result<RangeFailure> OnlineBlockExec::ProcessBatch(const Chunk& batch, double sc
 Status OnlineBlockExec::Rebuild(const std::vector<const Chunk*>& seen, double scale,
                                 OnlineEnv* env, obs::QueryStats* stats) {
   GOLA_RETURN_NOT_OK(Init());
+  GOLA_FAILPOINT_RETURN("gola.rebuild");
   obs::TraceSpan block_span("rebuild_block", "id", block_->id);
   Stopwatch rebuild_timer;
   Reset();
@@ -229,10 +271,81 @@ Status OnlineBlockExec::Rebuild(const std::vector<const Chunk*>& seen, double sc
   }
   classify_stage_->SetEnv(env);
   ExecContext ctx = MakeContext(scale, env);
-  GOLA_RETURN_NOT_OK(pipeline_.Run(ctx, sources, &uncertain_));
+  GOLA_RETURN_NOT_OK(RunPipelineWithRetry(ctx, sources, &uncertain_, "rebuild"));
   Status st = Emit(scale, env);
   if (stats) stats->rebuild_seconds += rebuild_timer.ElapsedSeconds();
   return st;
+}
+
+Status OnlineBlockExec::ReEmit(double scale, OnlineEnv* env) {
+  GOLA_RETURN_NOT_OK(Init());
+  return Emit(scale, env);
+}
+
+Status OnlineBlockExec::SaveState(BinaryWriter* w) const {
+  w->U8(initialized_ ? 1 : 0);
+  if (!initialized_) return Status::OK();
+  w->I64(rows_seen_);
+  GOLA_RETURN_NOT_OK(agg_->SaveTo(w));
+  GOLA_RETURN_NOT_OK(classify_stage_->SaveState(w));
+  // Cached uncertain set: per-column payloads plus the serial numbers that
+  // key the bootstrap weights.
+  uint64_t rows = uncertain_.num_rows();
+  w->U64(rows);
+  w->U32(static_cast<uint32_t>(uncertain_.num_columns()));
+  for (size_t c = 0; c < uncertain_.num_columns(); ++c) {
+    GOLA_RETURN_NOT_OK(WriteColumnData(w, uncertain_.column(c)));
+  }
+  const std::vector<int64_t>& serials = uncertain_.serials();
+  w->U64(serials.size());
+  for (int64_t s : serials) w->I64(s);
+  return Status::OK();
+}
+
+Status OnlineBlockExec::LoadState(BinaryReader* r) {
+  GOLA_ASSIGN_OR_RETURN(uint8_t has_state, r->U8());
+  if (has_state == 0) return Status::OK();
+  GOLA_RETURN_NOT_OK(Init());
+  GOLA_ASSIGN_OR_RETURN(rows_seen_, r->I64());
+  GOLA_RETURN_NOT_OK(agg_->LoadFrom(r));
+  GOLA_RETURN_NOT_OK(classify_stage_->LoadState(r));
+  GOLA_ASSIGN_OR_RETURN(uint64_t rows, r->U64());
+  GOLA_ASSIGN_OR_RETURN(uint32_t ncols, r->U32());
+  if (ncols != block_->input_schema->num_fields()) {
+    return Status::IoError(
+        Format("checkpoint uncertain set has %u columns, block expects %zu",
+               ncols, block_->input_schema->num_fields()));
+  }
+  std::vector<Column> cols;
+  cols.reserve(ncols);
+  for (uint32_t c = 0; c < ncols; ++c) {
+    GOLA_ASSIGN_OR_RETURN(
+        Column col, ReadColumnData(r, block_->input_schema->field(c).type, rows));
+    cols.push_back(std::move(col));
+  }
+  GOLA_ASSIGN_OR_RETURN(uint64_t nserials, r->U64());
+  if (nserials != rows) {
+    return Status::IoError(Format(
+        "checkpoint uncertain set has %llu serials for %llu rows",
+        static_cast<unsigned long long>(nserials),
+        static_cast<unsigned long long>(rows)));
+  }
+  std::vector<int64_t> serials;
+  serials.reserve(nserials);
+  for (uint64_t s = 0; s < nserials; ++s) {
+    GOLA_ASSIGN_OR_RETURN(int64_t v, r->I64());
+    serials.push_back(v);
+  }
+  uncertain_ = Chunk(block_->input_schema, std::move(cols));
+  uncertain_.set_serials(std::move(serials));
+  // Broadcast-facing caches (overlay, membership views, classify cache) are
+  // intentionally stale here; the caller ReEmits every block in dependency
+  // order to rebuild them from the restored aggregates.
+  last_overlay_.reset();
+  last_point_lhs_.clear();
+  last_members_.clear();
+  classify_cache_.clear();
+  return Status::OK();
 }
 
 // ------------------------------------------------------------- emission --
@@ -451,6 +564,13 @@ Status OnlineBlockExec::EmitRoot(const PostAggChunk& post_in, double scale,
   // selected rows, looked up from the overlay by group key.
   obs::TraceSpan ci_span("bootstrap_ci", "rows", static_cast<int64_t>(selected));
   size_t num_reps = weights_ ? static_cast<size_t>(weights_->num_replicates()) : 0;
+  // Deadline degradation: finalize CIs from a prefix of the replicates.
+  // Classification and envelope checks always use the full set, so results
+  // stay bit-identical — only the error bars get cheaper (and wider).
+  if (options_->active_replicates >= 0 &&
+      static_cast<size_t>(options_->active_replicates) < num_reps) {
+    num_reps = static_cast<size_t>(options_->active_replicates);
+  }
   std::vector<std::vector<Column>> rep_cols;  // [replicate][agg]
   if (num_reps > 0 && selected > 0 && last_overlay_) {
     rep_cols.assign(num_reps, {});

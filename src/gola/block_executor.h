@@ -75,6 +75,19 @@ class OnlineBlockExec : public MembershipSource {
 
   void Reset();
 
+  /// Checkpoint round-trip of the block's online state: row counter,
+  /// deterministic aggregates (with bootstrap replicates), installed
+  /// classification envelopes and the cached uncertain set. Broadcast-facing
+  /// caches are NOT saved — after LoadState the caller must ReEmit every
+  /// block in dependency order to rebuild them.
+  Status SaveState(BinaryWriter* w) const;
+  Status LoadState(BinaryReader* r);
+
+  /// Re-runs this block's emission from current (e.g. just-restored) state:
+  /// rebuilds broadcasts / membership views / root output without folding
+  /// any new rows.
+  Status ReEmit(double scale, OnlineEnv* env);
+
   // --- statistics -------------------------------------------------------
   int64_t uncertain_size() const { return static_cast<int64_t>(uncertain_.num_rows()); }
   size_t num_groups() const { return agg_ ? agg_->num_groups() : 0; }
@@ -97,6 +110,14 @@ class OnlineBlockExec : public MembershipSource {
   Chunk EmptyUncertain() const;
 
   ExecContext MakeContext(double scale, OnlineEnv* env);
+
+  /// Runs the delta pipeline, retrying the whole batch on retryable
+  /// failures that escape the morsel-level retry (e.g. a fault below the
+  /// morsel layer). Safe because Run merges into shared state only after
+  /// every morsel succeeded.
+  Status RunPipelineWithRetry(const ExecContext& ctx,
+                              const std::vector<MorselSource>& sources,
+                              Chunk* uncertain_out, const char* what);
 
   /// Finalizes and broadcasts / produces root output.
   Status Emit(double scale, OnlineEnv* env);

@@ -1,7 +1,9 @@
 #include "gola/controller.h"
 
+#include <algorithm>
 #include <cstdlib>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "obs/flight_recorder.h"
@@ -11,6 +13,16 @@
 #include "obs/trace.h"
 
 namespace gola {
+
+const char* DegradationName(Degradation d) {
+  switch (d) {
+    case Degradation::kNone: return "none";
+    case Degradation::kSkipMaterialize: return "skip_materialize";
+    case Degradation::kReducedReplicates: return "reduced_replicates";
+    case Degradation::kStoppedEarly: return "stopped_early";
+  }
+  return "unknown";
+}
 
 OnlineQueryExecutor::OnlineQueryExecutor(const Catalog* catalog, CompiledQuery query,
                                          const GolaOptions& options)
@@ -24,7 +36,52 @@ Result<std::unique_ptr<OnlineQueryExecutor>> OnlineQueryExecutor::Create(
   return exec;
 }
 
+namespace {
+
+/// Options are user input: reject nonsense up front instead of failing (or
+/// silently misbehaving) batches later.
+Status ValidateOptions(const GolaOptions& o) {
+  if (o.num_batches < 1) {
+    return Status::InvalidArgument("num_batches must be >= 1");
+  }
+  if (o.bootstrap_replicates < 0) {
+    return Status::InvalidArgument("bootstrap_replicates must be >= 0");
+  }
+  if (o.epsilon_mult < 0 || !(o.epsilon_mult == o.epsilon_mult)) {
+    return Status::InvalidArgument("epsilon_mult must be a non-negative number");
+  }
+  if (!(o.ci_level > 0 && o.ci_level < 1)) {
+    return Status::InvalidArgument("ci_level must be in (0, 1)");
+  }
+  if (o.min_group_support < 0) {
+    return Status::InvalidArgument("min_group_support must be >= 0");
+  }
+  if (o.max_morsel_retries < 0) {
+    return Status::InvalidArgument("max_morsel_retries must be >= 0");
+  }
+  if (o.retry_backoff_ms < 0) {
+    return Status::InvalidArgument("retry_backoff_ms must be >= 0");
+  }
+  if (o.deadline_ms < 0 || !(o.deadline_ms == o.deadline_ms)) {
+    return Status::InvalidArgument("deadline_ms must be a non-negative number");
+  }
+  if (o.active_replicates < -1 || o.active_replicates > o.bootstrap_replicates) {
+    return Status::InvalidArgument(
+        "active_replicates must be -1 (all) or in [0, bootstrap_replicates]");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Status OnlineQueryExecutor::Prepare() {
+  // One-time, process-wide arming of failpoints from GOLA_FAILPOINTS (a bad
+  // spec is a warning, not a query failure — fault injection is a test rig).
+  static const Status env_status = fail::ConfigureFromEnv();
+  if (!env_status.ok()) {
+    GOLA_LOG(Warn) << "GOLA_FAILPOINTS ignored: " << env_status.ToString();
+  }
+  GOLA_RETURN_NOT_OK(ValidateOptions(options_));
   if (query_.blocks.empty()) return Status::PlanError("empty query");
   const std::string streamed = ToLower(query_.root().table);
   for (const auto& block : query_.blocks) {
@@ -135,7 +192,21 @@ Result<OnlineUpdate> OnlineQueryExecutor::Step() {
                                            RangeFailureName(violated), i);
         std::vector<const Chunk*> seen = partitioner_->BatchesUpTo(i + 1);
         for (auto& b : blocks_) {
-          GOLA_RETURN_NOT_OK(b->Rebuild(seen, scale, &env_, &update.stats));
+          // Rebuild starts from a Reset, so a failed attempt (injected fault
+          // or thrown stage) can simply be rerun.
+          Status st = b->Rebuild(seen, scale, &env_, &update.stats);
+          for (int r = 1;
+               !st.ok() && fail::Retryable(st) && r <= options_.max_morsel_retries;
+               ++r) {
+            if (obs::MetricsEnabled()) {
+              obs::MetricsRegistry::Global()
+                  .GetCounter("gola_online_rebuild_retries_total")
+                  ->Increment();
+            }
+            obs::FlightRecorder::Global().Note("rebuild_retry", nullptr, r);
+            st = b->Rebuild(seen, scale, &env_, &update.stats);
+          }
+          GOLA_RETURN_NOT_OK(st);
         }
         obs::FlightRecorder::Global().Note("rebuild_done", nullptr, recomputes_);
         // A recompute is exactly the pathological event a postmortem wants
@@ -150,6 +221,14 @@ Result<OnlineUpdate> OnlineQueryExecutor::Step() {
       }
     }
     next_batch_ = i + 1;
+
+    // Deadline pressure is evaluated after the in-flight batch finished, so
+    // the answer below reflects every row folded so far and a well-formed
+    // query always completes at least one batch. The clock is wall time
+    // since Prepare (plus any pre-resume spend) — caller think-time between
+    // Steps counts against the deadline, as a dashboard user would expect.
+    ApplyDeadlinePressure(resumed_elapsed_ + total_timer_.ElapsedSeconds());
+    update.degradation = degradation_;
 
     Stopwatch materialize_timer;
     obs::TraceSpan materialize_span("materialize", "batch", i);
@@ -228,6 +307,43 @@ Result<OnlineUpdate> OnlineQueryExecutor::Step() {
     }
   }
   return update;
+}
+
+void OnlineQueryExecutor::ApplyDeadlinePressure(double wall_seconds) {
+  if (options_.deadline_ms <= 0 || next_batch_ == 0) return;
+  double frac = wall_seconds * 1000.0 / options_.deadline_ms;
+  Degradation level = Degradation::kNone;
+  if (frac >= 1.0) {
+    level = Degradation::kStoppedEarly;
+  } else if (frac >= 0.75) {
+    level = Degradation::kReducedReplicates;
+  } else if (frac >= 0.5) {
+    level = Degradation::kSkipMaterialize;
+  }
+  if (level <= degradation_) return;  // monotone ladder
+  degradation_ = level;
+  ApplyDegradationEffects();
+  obs::FlightRecorder::Global().Note("degrade", DegradationName(degradation_),
+                                     next_batch_);
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry::Global()
+        .GetCounter(Format("gola_online_degradations_total{level=\"%s\"}",
+                           DegradationName(degradation_)))
+        ->Increment();
+  }
+}
+
+void OnlineQueryExecutor::ApplyDegradationEffects() {
+  // Each rung includes the ones below it (documented order, DESIGN.md §10).
+  if (degradation_ >= Degradation::kSkipMaterialize) {
+    options_.materialize_results = false;
+  }
+  if (degradation_ >= Degradation::kReducedReplicates) {
+    options_.active_replicates = std::max(1, options_.bootstrap_replicates / 2);
+  }
+  if (degradation_ >= Degradation::kStoppedEarly) {
+    stopped_early_ = true;
+  }
 }
 
 void OnlineQueryExecutor::PublishStatus(const OnlineUpdate& update) {

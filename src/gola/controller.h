@@ -19,6 +19,23 @@
 
 namespace gola {
 
+/// Deadline-pressure degradation rung (GolaOptions::deadline_ms). The ladder
+/// is monotone within a query and each rung includes the ones below it:
+/// 50% of the deadline → stop materializing intermediate results; 75% →
+/// finalize CIs from half the bootstrap replicates (classification keeps the
+/// full set, so results stay deterministic); 100% → finish the in-flight
+/// batch, then stop and return the best available estimate with its CI.
+/// A deadline never turns a well-formed query into an error.
+enum class Degradation : uint8_t {
+  kNone = 0,
+  kSkipMaterialize = 1,
+  kReducedReplicates = 2,
+  kStoppedEarly = 3,
+};
+
+/// Stable label ("none", "skip_materialize", ...) for metrics and logs.
+const char* DegradationName(Degradation d);
+
 /// The running answer after one mini-batch — what a dashboard would render.
 struct OnlineUpdate {
   int batch_index = 0;  // 1-based
@@ -45,6 +62,10 @@ struct OnlineUpdate {
   double materialize_seconds = 0;
   double elapsed_seconds = 0;  // wall time since query start
 
+  /// Highest deadline-degradation rung in effect when this update was
+  /// produced (kNone unless deadline_ms pressure kicked in).
+  Degradation degradation = Degradation::kNone;
+
   /// Per-phase cost breakdown and pipeline volume of this batch.
   obs::QueryStats stats;
 };
@@ -61,10 +82,16 @@ class OnlineQueryExecutor {
   /// status stays visible in the recently-finished history).
   ~OnlineQueryExecutor();
 
-  bool done() const { return next_batch_ >= partitioner_->num_batches(); }
+  bool done() const {
+    return stopped_early_ || next_batch_ >= partitioner_->num_batches();
+  }
   int batches_processed() const { return next_batch_; }
   int total_batches() const { return partitioner_->num_batches(); }
   int recomputes() const { return recomputes_; }
+  /// Highest deadline-degradation rung reached so far.
+  Degradation degradation() const { return degradation_; }
+  /// True when the deadline controller ended the query before every batch.
+  bool stopped_early() const { return stopped_early_; }
   const CompiledQuery& query() const { return query_; }
 
   /// Processes the next mini-batch and returns the refined answer.
@@ -79,11 +106,31 @@ class OnlineQueryExecutor {
   /// (or the data is exhausted) — the "accuracy criterion" stop of §2.
   Result<OnlineUpdate> RunToAccuracy(double target_rsd);
 
+  /// Serializes the full resumable online state — batch cursor, per-block
+  /// aggregates with bootstrap replicates, uncertain sets, classification
+  /// envelopes — to `path` atomically (tmp + rename). Versioned format; see
+  /// gola/checkpoint.h. Implemented in checkpoint.cc.
+  Status Checkpoint(const std::string& path) const;
+
+  /// Restores a Checkpoint into this freshly created executor (same catalog,
+  /// query and options — a fingerprint is validated before any state is
+  /// touched) and rebuilds all broadcasts, so the next Step() processes
+  /// batch `batches_processed()` and the final answer is bit-identical to an
+  /// uninterrupted run. Implemented in checkpoint.cc.
+  Status ResumeFrom(const std::string& path);
+
  private:
   OnlineQueryExecutor(const Catalog* catalog, CompiledQuery query,
                       const GolaOptions& options);
 
   Status Prepare();
+
+  /// Raises the degradation rung to match deadline progress (monotone; only
+  /// called after ≥1 batch, so a well-formed query always yields an answer).
+  void ApplyDeadlinePressure(double wall_seconds);
+  /// (Re-)applies the side effects of the current rung — also used on
+  /// ResumeFrom so a restored query degrades exactly like the original.
+  void ApplyDegradationEffects();
 
   /// Publishes `update` into the process-wide query registry (/statusz).
   void PublishStatus(const OnlineUpdate& update);
@@ -102,8 +149,14 @@ class OnlineQueryExecutor {
   int next_batch_ = 0;
   int64_t rows_through_ = 0;  // Σ rows of batches 0..next_batch_-1
   int recomputes_ = 0;
+  Degradation degradation_ = Degradation::kNone;
+  bool stopped_early_ = false;
   Stopwatch total_timer_;
   double elapsed_ = 0;
+  /// Wall seconds already spent before a ResumeFrom (0 in a fresh run); the
+  /// deadline clock is resumed_elapsed_ + total_timer_, so a restored query
+  /// keeps the budget it already consumed.
+  double resumed_elapsed_ = 0;
   /// Cumulative pipeline volume already attributed to earlier updates
   /// (QueryStats reports per-batch deltas of the blocks' counters).
   int64_t prev_morsels_ = 0;

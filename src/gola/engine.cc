@@ -50,4 +50,18 @@ Result<std::unique_ptr<OnlineQueryExecutor>> Engine::ExecuteOnline(
   return OnlineQueryExecutor::Create(&catalog_, std::move(query), options);
 }
 
+Result<std::unique_ptr<OnlineQueryExecutor>> Engine::ResumeOnline(
+    const std::string& sql, const std::string& checkpoint_path) const {
+  return ResumeOnline(sql, checkpoint_path, default_options_);
+}
+
+Result<std::unique_ptr<OnlineQueryExecutor>> Engine::ResumeOnline(
+    const std::string& sql, const std::string& checkpoint_path,
+    const GolaOptions& options) const {
+  GOLA_ASSIGN_OR_RETURN(std::unique_ptr<OnlineQueryExecutor> exec,
+                        ExecuteOnline(sql, options));
+  GOLA_RETURN_NOT_OK(exec->ResumeFrom(checkpoint_path));
+  return exec;
+}
+
 }  // namespace gola

@@ -51,6 +51,17 @@ class Engine {
   Result<std::unique_ptr<OnlineQueryExecutor>> ExecuteOnline(
       const std::string& sql, const GolaOptions& options) const;
 
+  /// Online execution resumed from a checkpoint written by
+  /// OnlineQueryExecutor::Checkpoint: compiles `sql`, restores the saved
+  /// state (the checkpoint's fingerprint must match this query, dataset and
+  /// options) and returns an executor whose next Step() continues at the
+  /// saved batch — the final answer is bit-identical to an uninterrupted run.
+  Result<std::unique_ptr<OnlineQueryExecutor>> ResumeOnline(
+      const std::string& sql, const std::string& checkpoint_path) const;
+  Result<std::unique_ptr<OnlineQueryExecutor>> ResumeOnline(
+      const std::string& sql, const std::string& checkpoint_path,
+      const GolaOptions& options) const;
+
   GolaOptions& default_options() { return default_options_; }
 
  private:

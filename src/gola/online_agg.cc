@@ -1,6 +1,9 @@
 #include "gola/online_agg.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
+#include "storage/serde.h"
 
 namespace gola {
 
@@ -137,6 +140,48 @@ void OnlineAggregate::MergePartial(GroupMap&& partial) {
 
 void OnlineAggregate::Reset() { groups_.clear(); }
 
+Status OnlineAggregate::SaveTo(BinaryWriter* w) const {
+  w->U64(groups_.size());
+  for (const auto& [key, entry] : groups_) {
+    w->U32(static_cast<uint32_t>(key.values.size()));
+    for (const Value& v : key.values) WriteValue(w, v);
+    w->I64(entry.rows);
+    w->U32(static_cast<uint32_t>(entry.aggs.size()));
+    for (const ReplicatedAgg& agg : entry.aggs) {
+      GOLA_RETURN_NOT_OK(agg.SaveTo(w));
+    }
+  }
+  return Status::OK();
+}
+
+Status OnlineAggregate::LoadFrom(BinaryReader* r) {
+  groups_.clear();
+  GOLA_ASSIGN_OR_RETURN(uint64_t n, r->U64());
+  for (uint64_t g = 0; g < n; ++g) {
+    GOLA_ASSIGN_OR_RETURN(uint32_t key_size, r->U32());
+    if (key_size != block_->group_by.size()) {
+      return Status::IoError("checkpointed group key arity mismatch");
+    }
+    GroupKey key;
+    key.values.reserve(key_size);
+    for (uint32_t k = 0; k < key_size; ++k) {
+      GOLA_ASSIGN_OR_RETURN(Value v, ReadValue(r));
+      key.values.push_back(std::move(v));
+    }
+    GroupEntry entry = NewStates();
+    GOLA_ASSIGN_OR_RETURN(entry.rows, r->I64());
+    GOLA_ASSIGN_OR_RETURN(uint32_t num_aggs, r->U32());
+    if (num_aggs != entry.aggs.size()) {
+      return Status::IoError("checkpointed aggregate count mismatch");
+    }
+    for (ReplicatedAgg& agg : entry.aggs) {
+      GOLA_RETURN_NOT_OK(agg.LoadFrom(r));
+    }
+    groups_.emplace(std::move(key), std::move(entry));
+  }
+  return Status::OK();
+}
+
 const GroupStates* OnlineAggregate::Find(const GroupKey& key) const {
   auto it = groups_.find(key);
   return it == groups_.end() ? nullptr : &it->second;
@@ -198,17 +243,25 @@ Result<PostAggChunk> AggOverlay::Finalize(double scale, bool with_replicates) co
     }
   };
 
-  bool any = false;
+  // Emit groups in sorted key order, not hash-map order: the map's layout
+  // depends on its insertion history (morsel merges, rebuilds, checkpoint
+  // reloads), and emission order feeds downstream classification caches and
+  // user-visible intermediate results. Sorting makes every one of those
+  // paths produce bit-identical output regardless of how the map was built.
+  std::vector<std::pair<const GroupKey*, const GroupStates*>> ordered;
+  ordered.reserve(base_->groups_.size() + delta_.size());
   for (const auto& [key, states] : base_->groups_) {
     auto it = delta_.find(key);
-    emit(key, it != delta_.end() ? it->second : states);
-    any = true;
+    ordered.emplace_back(&key, it != delta_.end() ? &it->second : &states);
   }
   for (const auto& [key, states] : delta_) {
-    if (base_->groups_.count(key)) continue;  // already emitted via base pass
-    emit(key, states);
-    any = true;
+    if (base_->groups_.count(key)) continue;  // already covered via base pass
+    ordered.emplace_back(&key, &states);
   }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return *a.first < *b.first; });
+  bool any = !ordered.empty();
+  for (const auto& [key, states] : ordered) emit(*key, *states);
   if (!any && num_keys == 0) {
     // Global aggregation over an empty prefix still yields one row.
     GroupKey empty;

@@ -21,6 +21,9 @@
 
 namespace gola {
 
+class BinaryReader;
+class BinaryWriter;
+
 /// One group's aggregate states plus its raw observation count. The count
 /// gates deterministic classification: variation ranges estimated from a
 /// handful of rows are too unstable to hang an envelope on (the bootstrap
@@ -71,6 +74,12 @@ class OnlineAggregate {
   const GroupStates* Find(const GroupKey& key) const;
 
   GroupStates NewStates() const;
+
+  /// Checkpoint round-trip of the deterministic states. LoadFrom replaces
+  /// the current contents; entries are validated against the block's
+  /// aggregate list.
+  Status SaveTo(BinaryWriter* w) const;
+  Status LoadFrom(BinaryReader* r);
 
  private:
   friend class AggOverlay;

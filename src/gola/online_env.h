@@ -71,6 +71,26 @@ struct GolaOptions {
   /// does not pay materialize_seconds every batch. The final batch always
   /// materializes — the answer Run() returns stays complete.
   bool materialize_results = true;
+  /// Resilience: extra attempts for a morsel (or a whole batch pipeline /
+  /// rebuild) whose execution fails with a retryable error — injected
+  /// faults, thrown exceptions, I/O hiccups. Morsel plans are deterministic,
+  /// so retries reproduce bit-identical state. 0 disables retrying.
+  int max_morsel_retries = 2;
+  /// Base of the exponential retry backoff (doubles per attempt).
+  int retry_backoff_ms = 1;
+  /// Soft wall-clock deadline for the whole online run, measured from
+  /// Prepare(). 0 (default) disables it. A query that overruns never errors:
+  /// the controller finishes the in-flight batch and then degrades in
+  /// documented order — at 50% of the deadline it stops materializing
+  /// intermediate results, at 75% it halves the replicates used for CI
+  /// evaluation (classification still uses the full set, keeping results
+  /// deterministic), and at 100% it stops early and returns the best
+  /// available estimate with its CI, flagged via OnlineUpdate::degradation.
+  double deadline_ms = 0;
+  /// Replicates used when finalizing CIs/error bars at the root (-1 = all
+  /// of bootstrap_replicates). Lowered by the deadline controller; never
+  /// affects classification or envelope checks.
+  int active_replicates = -1;
 };
 
 /// Per-batch broadcast of a scalar subquery: point estimate plus the core

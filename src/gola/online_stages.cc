@@ -1,7 +1,9 @@
 #include "gola/online_stages.h"
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "storage/serde.h"
 
 namespace gola {
 
@@ -12,6 +14,7 @@ const char* RangeFailureName(RangeFailure cause) {
     case RangeFailure::kKeyedEnvelope: return "keyed_envelope";
     case RangeFailure::kKeyVanished: return "key_vanished";
     case RangeFailure::kMemberFlip: return "member_flip";
+    case RangeFailure::kInjected: return "injected";
   }
   return "?";
 }
@@ -252,6 +255,58 @@ Status OnlineClassifyStage::EndBatch() {
   return Status::OK();
 }
 
+Status OnlineClassifyStage::SaveState(BinaryWriter* w) const {
+  w->U32(static_cast<uint32_t>(conj_states_.size()));
+  for (const ConjunctState& cs : conj_states_) {
+    w->U8(cs.has_global ? 1 : 0);
+    w->F64(cs.global_envelope.lo);
+    w->F64(cs.global_envelope.hi);
+    w->U32(static_cast<uint32_t>(cs.keyed_envelopes.size()));
+    for (const auto& [key, envelope] : cs.keyed_envelopes) {
+      WriteValue(w, key);
+      w->F64(envelope.lo);
+      w->F64(envelope.hi);
+    }
+    w->U32(static_cast<uint32_t>(cs.member_decisions.size()));
+    for (const auto& [key, decision] : cs.member_decisions) {
+      WriteValue(w, key);
+      w->U8(decision.is_member ? 1 : 0);
+    }
+  }
+  return Status::OK();
+}
+
+Status OnlineClassifyStage::LoadState(BinaryReader* r) {
+  GOLA_ASSIGN_OR_RETURN(uint32_t n, r->U32());
+  if (n != block_->uncertain_conjuncts.size()) {
+    return Status::IoError("checkpointed uncertain-conjunct count mismatch");
+  }
+  conj_states_.assign(n, ConjunctState{});
+  pending_.clear();
+  for (uint32_t c = 0; c < n; ++c) {
+    ConjunctState& cs = conj_states_[c];
+    GOLA_ASSIGN_OR_RETURN(uint8_t has_global, r->U8());
+    cs.has_global = has_global != 0;
+    GOLA_ASSIGN_OR_RETURN(cs.global_envelope.lo, r->F64());
+    GOLA_ASSIGN_OR_RETURN(cs.global_envelope.hi, r->F64());
+    GOLA_ASSIGN_OR_RETURN(uint32_t keyed, r->U32());
+    for (uint32_t k = 0; k < keyed; ++k) {
+      GOLA_ASSIGN_OR_RETURN(Value key, ReadValue(r));
+      VariationRange envelope = VariationRange::Point(0);
+      GOLA_ASSIGN_OR_RETURN(envelope.lo, r->F64());
+      GOLA_ASSIGN_OR_RETURN(envelope.hi, r->F64());
+      cs.keyed_envelopes.emplace(std::move(key), envelope);
+    }
+    GOLA_ASSIGN_OR_RETURN(uint32_t members, r->U32());
+    for (uint32_t m = 0; m < members; ++m) {
+      GOLA_ASSIGN_OR_RETURN(Value key, ReadValue(r));
+      GOLA_ASSIGN_OR_RETURN(uint8_t is_member, r->U8());
+      cs.member_decisions.emplace(std::move(key), MemberDecision{is_member != 0});
+    }
+  }
+  return Status::OK();
+}
+
 // ------------------------------------------------------- OnlineFoldStage --
 
 void OnlineFoldStage::BeginBatch(size_t num_morsels) {
@@ -260,9 +315,18 @@ void OnlineFoldStage::BeginBatch(size_t num_morsels) {
 }
 
 Status OnlineFoldStage::Consume(size_t morsel_index, Chunk in, const ExecContext& ctx) {
-  if (in.num_rows() == 0) return Status::OK();
-  return UpdateGroupMap(*agg_->block(), agg_->weights(), in, ctx.env,
-                        &partials_[morsel_index], nullptr);
+  // Retry idempotency: fold into a local map and only then publish it into
+  // the morsel's slot, so a fold that fails (or trips the failpoint) partway
+  // leaves no half-accumulated replicate state behind for the retry to
+  // double-count.
+  GroupMap local;
+  GOLA_FAILPOINT_RETURN("bootstrap.replicate");
+  if (in.num_rows() > 0) {
+    GOLA_RETURN_NOT_OK(UpdateGroupMap(*agg_->block(), agg_->weights(), in, ctx.env,
+                                      &local, nullptr));
+  }
+  partials_[morsel_index] = std::move(local);
+  return Status::OK();
 }
 
 Status OnlineFoldStage::Finish() {

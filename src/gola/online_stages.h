@@ -26,6 +26,9 @@
 
 namespace gola {
 
+class BinaryReader;
+class BinaryWriter;
+
 /// Why a range failure fired (§3.2 failure recovery) — the observability
 /// layer counts recomputes per cause so overhead regressions can be
 /// attributed (see `gola_online_range_failures_total{cause=...}`).
@@ -40,6 +43,9 @@ enum class RangeFailure {
   kKeyVanished,
   /// A previously deterministic membership decision flipped.
   kMemberFlip,
+  /// Forced by the `gola.check_envelopes` failpoint (fault-injection tests
+  /// exercising the rebuild path).
+  kInjected,
 };
 
 /// Stable label for metrics/QueryStats ("none", "global_envelope", ...).
@@ -74,6 +80,12 @@ class OnlineClassifyStage : public ClassifyStage {
   Result<Split> Classify(size_t morsel_index, Chunk in,
                          const ExecContext& ctx) override;
   Status EndBatch() override;
+
+  /// Checkpoint round-trip of the installed envelopes and member decisions
+  /// (the part of classification state that is not derivable from the
+  /// deterministic aggregates).
+  Status SaveState(BinaryWriter* w) const;
+  Status LoadState(BinaryReader* r);
 
  private:
   struct MemberDecision {

@@ -27,6 +27,7 @@ const char* StatusText(int status) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
     default: return "Internal Server Error";
   }
 }
@@ -88,12 +89,16 @@ Status HttpServer::Start(int port) {
   }
 
   listen_fd_ = fd;
+  stopping_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { Serve(); });
   return Status::OK();
 }
 
 void HttpServer::Stop() {
+  // Drain before tearing the socket down: a request racing the shutdown is
+  // answered with 503 instead of dispatching into handlers mid-teardown.
+  BeginDrain();
   if (!running_.exchange(false, std::memory_order_acq_rel)) {
     if (thread_.joinable()) thread_.join();
     return;
@@ -154,6 +159,11 @@ void HttpServer::HandleConnection(int fd) {
   if (method != "GET") {
     SendResponse(fd, {405, "text/plain; charset=utf-8",
                       "only GET is supported\n"});
+    return;
+  }
+  if (stopping_.load(std::memory_order_acquire)) {
+    SendResponse(fd, {503, "text/plain; charset=utf-8",
+                      "shutting down; retry later\n"});
     return;
   }
   auto it = routes_.find(path);

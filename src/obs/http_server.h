@@ -52,7 +52,14 @@ class HttpServer {
   /// accept loop on a dedicated thread.
   Status Start(int port);
 
-  /// Stops the accept loop and joins the thread. Idempotent.
+  /// Puts the server into drain mode: connections already accepted (and any
+  /// accepted until the socket closes) get "503 Service Unavailable" instead
+  /// of a route dispatch, so a scraper polling during shutdown sees an
+  /// honest retryable status, never a half-written body or a reset.
+  /// Stop() implies this.
+  void BeginDrain() { stopping_.store(true, std::memory_order_release); }
+
+  /// Stops the accept loop and joins the thread. Idempotent; drains first.
   void Stop();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
@@ -66,6 +73,7 @@ class HttpServer {
 
   std::map<std::string, Handler> routes_;
   std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
   int listen_fd_ = -1;
   int port_ = 0;
   std::thread thread_;

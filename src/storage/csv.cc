@@ -1,8 +1,10 @@
 #include "storage/csv.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <fstream>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 
 namespace gola {
@@ -25,8 +27,10 @@ std::string QuoteCell(const std::string& s, char delim) {
   return out;
 }
 
-/// Splits one CSV record honoring double-quote escaping.
-std::vector<std::string> ParseRecord(const std::string& line, char delim) {
+/// Splits one CSV record honoring double-quote escaping. A quote left open
+/// at end of line is malformed input, not a cell that happens to end early.
+Result<std::vector<std::string>> ParseRecord(const std::string& line, char delim,
+                                             int64_t line_number) {
   std::vector<std::string> cells;
   std::string cur;
   bool in_quotes = false;
@@ -52,8 +56,51 @@ std::vector<std::string> ParseRecord(const std::string& line, char delim) {
       cur += c;
     }
   }
+  if (in_quotes) {
+    return Status::ParseError(
+        Format("CSV line %lld: unterminated quoted field",
+               static_cast<long long>(line_number)));
+  }
   cells.push_back(std::move(cur));
   return cells;
+}
+
+/// Strict typed cell parsers: trailing garbage, overflow and empty cells are
+/// errors with the offending line/column, never silent truncation.
+Result<Value> ParseTypedCell(const std::string& cell, TypeId type,
+                             const std::string& column, int64_t line_number) {
+  auto bad = [&](const char* what) {
+    return Status::ParseError(
+        Format("CSV line %lld, column \"%s\": \"%s\" is not a valid %s",
+               static_cast<long long>(line_number), column.c_str(), cell.c_str(),
+               what));
+  };
+  switch (type) {
+    case TypeId::kBool: {
+      if (EqualsIgnoreCase(cell, "true") || cell == "1") return Value::Bool(true);
+      if (EqualsIgnoreCase(cell, "false") || cell == "0") return Value::Bool(false);
+      return bad("BOOL (expected true/false/1/0)");
+    }
+    case TypeId::kInt64: {
+      if (cell.empty()) return bad("INT64");
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(cell.c_str(), &end, 10);
+      if (end != cell.c_str() + cell.size()) return bad("INT64");
+      if (errno == ERANGE) return bad("INT64 (out of range)");
+      return Value::Int(v);
+    }
+    case TypeId::kFloat64: {
+      if (cell.empty()) return bad("FLOAT64");
+      errno = 0;
+      char* end = nullptr;
+      double v = std::strtod(cell.c_str(), &end);
+      if (end != cell.c_str() + cell.size()) return bad("FLOAT64");
+      return Value::Float(v);
+    }
+    default:
+      return Value::String(cell);
+  }
 }
 
 bool LooksLikeInt(const std::string& s) {
@@ -102,17 +149,22 @@ Status WriteCsv(const Table& table, const std::string& path, const CsvOptions& o
 }
 
 Result<Table> ReadCsv(const std::string& path, SchemaPtr schema, const CsvOptions& options) {
+  GOLA_FAILPOINT_RETURN("storage.csv_read");
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open for read: " + path);
 
   std::vector<std::string> header;
   std::vector<std::vector<std::string>> rows;
+  std::vector<int64_t> row_lines;  // 1-based source line of each data row
   std::string line;
+  int64_t line_number = 0;
   bool first = true;
   while (std::getline(in, line)) {
+    ++line_number;
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
-    auto cells = ParseRecord(line, options.delimiter);
+    GOLA_ASSIGN_OR_RETURN(std::vector<std::string> cells,
+                          ParseRecord(line, options.delimiter, line_number));
     if (first && options.has_header) {
       header = std::move(cells);
       first = false;
@@ -120,7 +172,9 @@ Result<Table> ReadCsv(const std::string& path, SchemaPtr schema, const CsvOption
     }
     first = false;
     rows.push_back(std::move(cells));
+    row_lines.push_back(line_number);
   }
+  if (in.bad()) return Status::IoError("read failed: " + path);
 
   size_t width = schema ? schema->num_fields()
                         : (header.empty() ? (rows.empty() ? 0 : rows[0].size())
@@ -148,9 +202,12 @@ Result<Table> ReadCsv(const std::string& path, SchemaPtr schema, const CsvOption
 
   TableBuilder builder(schema);
   std::vector<Value> values(width);
-  for (const auto& row : rows) {
+  for (size_t r = 0; r < rows.size(); ++r) {
+    const auto& row = rows[r];
     if (row.size() != width) {
-      return Status::IoError(Format("CSV row has %zu cells, expected %zu", row.size(), width));
+      return Status::ParseError(
+          Format("CSV line %lld: row has %zu cells, expected %zu",
+                 static_cast<long long>(row_lines[r]), row.size(), width));
     }
     for (size_t c = 0; c < width; ++c) {
       const std::string& cell = row[c];
@@ -158,20 +215,9 @@ Result<Table> ReadCsv(const std::string& path, SchemaPtr schema, const CsvOption
         values[c] = Value::Null();
         continue;
       }
-      switch (schema->field(c).type) {
-        case TypeId::kBool:
-          values[c] = Value::Bool(EqualsIgnoreCase(cell, "true") || cell == "1");
-          break;
-        case TypeId::kInt64:
-          values[c] = Value::Int(std::strtoll(cell.c_str(), nullptr, 10));
-          break;
-        case TypeId::kFloat64:
-          values[c] = Value::Float(std::strtod(cell.c_str(), nullptr));
-          break;
-        default:
-          values[c] = Value::String(cell);
-          break;
-      }
+      GOLA_ASSIGN_OR_RETURN(
+          values[c], ParseTypedCell(cell, schema->field(c).type,
+                                    schema->field(c).name, row_lines[r]));
     }
     builder.AppendRow(values);
   }

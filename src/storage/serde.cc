@@ -12,86 +12,31 @@ namespace {
 
 constexpr char kMagic[8] = {'G', 'O', 'L', 'A', 'T', '1', '\0', '\0'};
 
-/// Streaming FNV-1a over the serialized payload.
-class Fnv1a {
- public:
-  void Update(const void* data, size_t n) {
-    const auto* p = static_cast<const unsigned char*>(data);
-    for (size_t i = 0; i < n; ++i) {
-      hash_ ^= p[i];
-      hash_ *= 1099511628211ULL;
-    }
-  }
-  uint64_t value() const { return hash_; }
+}  // namespace
 
- private:
-  uint64_t hash_ = 14695981039346656037ULL;
-};
+void BinaryWriter::Raw(const void* data, size_t n) {
+  out_->write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+  checksum_.Update(data, n);
+}
 
-class Writer {
- public:
-  explicit Writer(std::ofstream* out) : out_(out) {}
+Status BinaryReader::Raw(void* data, size_t n) {
+  in_->read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+  if (static_cast<size_t>(in_->gcount()) != n) {
+    return Status::IoError("binary stream truncated");
+  }
+  checksum_.Update(data, n);
+  return Status::OK();
+}
 
-  void Raw(const void* data, size_t n) {
-    out_->write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
-    checksum_.Update(data, n);
-  }
-  void U8(uint8_t v) { Raw(&v, 1); }
-  void U32(uint32_t v) { Raw(&v, 4); }
-  void U64(uint64_t v) { Raw(&v, 8); }
-  void Str(const std::string& s) {
-    U32(static_cast<uint32_t>(s.size()));
-    Raw(s.data(), s.size());
-  }
-  uint64_t checksum() const { return checksum_.value(); }
+Result<std::string> BinaryReader::Str(uint32_t max_len) {
+  GOLA_ASSIGN_OR_RETURN(uint32_t n, U32());
+  if (n > max_len) return Status::IoError("binary string length implausible");
+  std::string s(n, '\0');
+  GOLA_RETURN_NOT_OK(Raw(s.data(), n));
+  return s;
+}
 
- private:
-  std::ofstream* out_;
-  Fnv1a checksum_;
-};
-
-class Reader {
- public:
-  explicit Reader(std::ifstream* in) : in_(in) {}
-
-  Status Raw(void* data, size_t n) {
-    in_->read(static_cast<char*>(data), static_cast<std::streamsize>(n));
-    if (static_cast<size_t>(in_->gcount()) != n) {
-      return Status::IoError("golat file truncated");
-    }
-    checksum_.Update(data, n);
-    return Status::OK();
-  }
-  Result<uint8_t> U8() {
-    uint8_t v;
-    GOLA_RETURN_NOT_OK(Raw(&v, 1));
-    return v;
-  }
-  Result<uint32_t> U32() {
-    uint32_t v;
-    GOLA_RETURN_NOT_OK(Raw(&v, 4));
-    return v;
-  }
-  Result<uint64_t> U64() {
-    uint64_t v;
-    GOLA_RETURN_NOT_OK(Raw(&v, 8));
-    return v;
-  }
-  Result<std::string> Str(uint32_t max_len = 1u << 20) {
-    GOLA_ASSIGN_OR_RETURN(uint32_t n, U32());
-    if (n > max_len) return Status::IoError("golat string length implausible");
-    std::string s(n, '\0');
-    GOLA_RETURN_NOT_OK(Raw(s.data(), n));
-    return s;
-  }
-  uint64_t checksum() const { return checksum_.value(); }
-
- private:
-  std::ifstream* in_;
-  Fnv1a checksum_;
-};
-
-Status WriteColumn(Writer* w, const Column& col) {
+Status WriteColumnData(BinaryWriter* w, const Column& col) {
   size_t n = col.size();
   w->U8(col.has_nulls() ? 1 : 0);
   if (col.has_nulls()) {
@@ -118,7 +63,7 @@ Status WriteColumn(Writer* w, const Column& col) {
   return Status::OK();
 }
 
-Result<Column> ReadColumn(Reader* r, TypeId type, uint64_t n) {
+Result<Column> ReadColumnData(BinaryReader* r, TypeId type, uint64_t n) {
   GOLA_ASSIGN_OR_RETURN(uint8_t has_nulls, r->U8());
   std::vector<uint8_t> mask;
   if (has_nulls) {
@@ -156,7 +101,7 @@ Result<Column> ReadColumn(Reader* r, TypeId type, uint64_t n) {
       break;
     }
     case TypeId::kNull:
-      return Status::IoError("golat file declares an untyped column");
+      return Status::IoError("binary stream declares an untyped column");
   }
   if (has_nulls) {
     // Rebuild through the append API to keep the invariant "mask length ==
@@ -172,14 +117,64 @@ Result<Column> ReadColumn(Reader* r, TypeId type, uint64_t n) {
   return col;
 }
 
-}  // namespace
+void WriteValue(BinaryWriter* w, const Value& v) {
+  if (v.is_null()) {
+    w->U8(static_cast<uint8_t>(TypeId::kNull));
+    return;
+  }
+  w->U8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case TypeId::kBool:
+      w->U8(v.AsBool() ? 1 : 0);
+      break;
+    case TypeId::kInt64:
+      w->I64(v.AsInt());
+      break;
+    case TypeId::kFloat64:
+      w->F64(v.AsFloat());
+      break;
+    case TypeId::kString:
+      w->Str(v.AsString());
+      break;
+    case TypeId::kNull:
+      break;  // handled above
+  }
+}
+
+Result<Value> ReadValue(BinaryReader* r) {
+  GOLA_ASSIGN_OR_RETURN(uint8_t tag, r->U8());
+  if (tag > static_cast<uint8_t>(TypeId::kString)) {
+    return Status::IoError("binary value type tag out of range");
+  }
+  switch (static_cast<TypeId>(tag)) {
+    case TypeId::kNull:
+      return Value::Null();
+    case TypeId::kBool: {
+      GOLA_ASSIGN_OR_RETURN(uint8_t b, r->U8());
+      return Value::Bool(b != 0);
+    }
+    case TypeId::kInt64: {
+      GOLA_ASSIGN_OR_RETURN(int64_t i, r->I64());
+      return Value::Int(i);
+    }
+    case TypeId::kFloat64: {
+      GOLA_ASSIGN_OR_RETURN(double f, r->F64());
+      return Value::Float(f);
+    }
+    case TypeId::kString: {
+      GOLA_ASSIGN_OR_RETURN(std::string s, r->Str());
+      return Value::String(std::move(s));
+    }
+  }
+  return Status::IoError("binary value type tag out of range");
+}
 
 Status WriteTableBinary(const Table& table, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IoError("cannot open for write: " + path);
   out.write(kMagic, sizeof(kMagic));
 
-  Writer w(&out);
+  BinaryWriter w(&out);
   const Schema& schema = *table.schema();
   w.U32(static_cast<uint32_t>(schema.num_fields()));
   for (const auto& f : schema.fields()) {
@@ -190,7 +185,7 @@ Status WriteTableBinary(const Table& table, const std::string& path) {
   for (const auto& chunk : table.chunks()) {
     w.U64(chunk.num_rows());
     for (size_t c = 0; c < chunk.num_columns(); ++c) {
-      GOLA_RETURN_NOT_OK(WriteColumn(&w, chunk.column(c)));
+      GOLA_RETURN_NOT_OK(WriteColumnData(&w, chunk.column(c)));
     }
   }
   uint64_t checksum = w.checksum();
@@ -208,7 +203,7 @@ Result<Table> ReadTableBinary(const std::string& path) {
     return Status::IoError("not a golat file: " + path);
   }
 
-  Reader r(&in);
+  BinaryReader r(&in);
   GOLA_ASSIGN_OR_RETURN(uint32_t num_fields, r.U32());
   if (num_fields > 4096) return Status::IoError("golat field count implausible");
   std::vector<Field> fields;
@@ -230,7 +225,7 @@ Result<Table> ReadTableBinary(const std::string& path) {
     std::vector<Column> cols;
     cols.reserve(schema->num_fields());
     for (size_t f = 0; f < schema->num_fields(); ++f) {
-      GOLA_ASSIGN_OR_RETURN(Column col, ReadColumn(&r, schema->field(f).type, rows));
+      GOLA_ASSIGN_OR_RETURN(Column col, ReadColumnData(&r, schema->field(f).type, rows));
       cols.push_back(std::move(col));
     }
     table.AppendChunk(Chunk(schema, std::move(cols)));

@@ -13,15 +13,110 @@
 //       float64 → row_count * 8 bytes
 //       string  → per row: u32 length + bytes
 //   u64 FNV-1a checksum of everything after the magic
+//
+// The checksummed BinaryWriter/BinaryReader primitives underneath the table
+// format are exposed so other binary snapshots (the G-OLA checkpoint format
+// in src/gola/checkpoint.cc) share one wire discipline instead of growing a
+// second hand-rolled encoder.
 #ifndef GOLA_STORAGE_SERDE_H_
 #define GOLA_STORAGE_SERDE_H_
 
+#include <cstdint>
+#include <iosfwd>
 #include <string>
 
 #include "common/status.h"
 #include "storage/table.h"
+#include "storage/value.h"
 
 namespace gola {
+
+/// Streaming FNV-1a over a serialized payload.
+class Fnv1a {
+ public:
+  void Update(const void* data, size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 1099511628211ULL;
+    }
+  }
+  uint64_t value() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 14695981039346656037ULL;
+};
+
+/// Little-endian primitive writer with a running FNV-1a checksum of
+/// everything written through it.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream* out) : out_(out) {}
+
+  void Raw(const void* data, size_t n);
+  void U8(uint8_t v) { Raw(&v, 1); }
+  void U32(uint32_t v) { Raw(&v, 4); }
+  void U64(uint64_t v) { Raw(&v, 8); }
+  void I64(int64_t v) { Raw(&v, 8); }
+  void F64(double v) { Raw(&v, 8); }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+  uint64_t checksum() const { return checksum_.value(); }
+
+ private:
+  std::ostream* out_;
+  Fnv1a checksum_;
+};
+
+/// Mirror of BinaryWriter: checked reads that fail with kIoError on
+/// truncation, maintaining the same running checksum.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream* in) : in_(in) {}
+
+  Status Raw(void* data, size_t n);
+  Result<uint8_t> U8() {
+    uint8_t v;
+    GOLA_RETURN_NOT_OK(Raw(&v, 1));
+    return v;
+  }
+  Result<uint32_t> U32() {
+    uint32_t v;
+    GOLA_RETURN_NOT_OK(Raw(&v, 4));
+    return v;
+  }
+  Result<uint64_t> U64() {
+    uint64_t v;
+    GOLA_RETURN_NOT_OK(Raw(&v, 8));
+    return v;
+  }
+  Result<int64_t> I64() {
+    int64_t v;
+    GOLA_RETURN_NOT_OK(Raw(&v, 8));
+    return v;
+  }
+  Result<double> F64() {
+    double v;
+    GOLA_RETURN_NOT_OK(Raw(&v, 8));
+    return v;
+  }
+  Result<std::string> Str(uint32_t max_len = 1u << 20);
+  uint64_t checksum() const { return checksum_.value(); }
+
+ private:
+  std::istream* in_;
+  Fnv1a checksum_;
+};
+
+/// One column's payload in the golat wire layout (nulls mask + typed data).
+Status WriteColumnData(BinaryWriter* w, const Column& col);
+Result<Column> ReadColumnData(BinaryReader* r, TypeId type, uint64_t n);
+
+/// One tagged Value (u8 type tag, then the payload; nulls are the bare tag).
+void WriteValue(BinaryWriter* w, const Value& v);
+Result<Value> ReadValue(BinaryReader* r);
 
 /// Writes the table to `path` in the golat binary format.
 Status WriteTableBinary(const Table& table, const std::string& path);

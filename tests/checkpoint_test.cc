@@ -1,0 +1,328 @@
+// Checkpoint/resume of G-OLA online state: round-trip bit-identity against
+// an uninterrupted run, fingerprint and checksum validation of the versioned
+// format, resume of membership/uncertain state, interaction with the
+// deadline-degradation ladder, and a real SIGKILL-mid-query crash test.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "gola/gola.h"
+
+namespace gola {
+namespace {
+
+Table MakeData(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  auto schema = std::make_shared<Schema>(std::vector<Field>{
+      {"g1", TypeId::kInt64},
+      {"g2", TypeId::kInt64},
+      {"a", TypeId::kFloat64},
+      {"b", TypeId::kFloat64},
+  });
+  TableBuilder builder(schema, 200);
+  for (int64_t i = 0; i < n; ++i) {
+    builder.AppendRow({Value::Int(rng.UniformInt(1, 5)),
+                       Value::Int(rng.UniformInt(1, 7)),
+                       Value::Float(rng.LogNormal(1.5, 0.6)),
+                       Value::Float(rng.Normal(40, 12))});
+  }
+  return builder.Finish();
+}
+
+constexpr const char* kQuery =
+    "SELECT g1, AVG(a) AS m, COUNT(*) AS n FROM d d "
+    "WHERE b > 0.95 * (SELECT AVG(b) FROM d u WHERE u.g1 = d.g1) "
+    "GROUP BY g1 ORDER BY g1";
+
+void ExpectTablesIdentical(const Table& got, const Table& want,
+                           const std::string& what) {
+  ASSERT_EQ(got.num_rows(), want.num_rows()) << what;
+  for (int64_t r = 0; r < want.num_rows(); ++r) {
+    for (size_t c = 0; c < want.schema()->num_fields(); ++c) {
+      ASSERT_TRUE(got.At(r, static_cast<int>(c)) ==
+                  want.At(r, static_cast<int>(c)))
+          << what << " differs at row " << r << " col "
+          << want.schema()->field(c).name;
+    }
+  }
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fail::DisarmAll();
+    GOLA_CHECK_OK(engine_.RegisterTable("d", MakeData(1800, 91)));
+    path_ = Format("checkpoint_test_%d.ckpt", static_cast<int>(::getpid()));
+  }
+  void TearDown() override {
+    fail::DisarmAll();
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+
+  GolaOptions BaseOptions() {
+    GolaOptions opts;
+    opts.num_batches = 8;
+    opts.bootstrap_replicates = 24;
+    opts.seed = 515;
+    return opts;
+  }
+
+  /// Runs kQuery to completion from scratch, collecting every update.
+  std::vector<OnlineUpdate> RunClean(const GolaOptions& opts) {
+    std::vector<OnlineUpdate> updates;
+    auto online = engine_.ExecuteOnline(kQuery, opts);
+    GOLA_CHECK_OK(online.status());
+    while (!(*online)->done()) {
+      auto update = (*online)->Step();
+      GOLA_CHECK_OK(update.status());
+      updates.push_back(std::move(*update));
+    }
+    return updates;
+  }
+
+  Engine engine_;
+  std::string path_;
+};
+
+TEST_F(CheckpointTest, ResumeMidQueryIsBitIdenticalToUninterruptedRun) {
+  GolaOptions opts = BaseOptions();
+  std::vector<OnlineUpdate> clean = RunClean(opts);
+
+  // Interrupt after batch 3: checkpoint, drop the executor entirely, resume
+  // into a fresh one and drain. Every post-resume update must be exact.
+  {
+    auto online = engine_.ExecuteOnline(kQuery, opts);
+    GOLA_CHECK_OK(online.status());
+    for (int i = 0; i < 3; ++i) GOLA_CHECK_OK((*online)->Step().status());
+    GOLA_CHECK_OK((*online)->Checkpoint(path_));
+  }
+
+  auto resumed = engine_.ResumeOnline(kQuery, path_, opts);
+  GOLA_CHECK_OK(resumed.status());
+  EXPECT_EQ((*resumed)->batches_processed(), 3);
+  EXPECT_FALSE((*resumed)->done());
+
+  std::vector<OnlineUpdate> tail;
+  while (!(*resumed)->done()) {
+    auto update = (*resumed)->Step();
+    GOLA_CHECK_OK(update.status());
+    tail.push_back(std::move(*update));
+  }
+  ASSERT_EQ(tail.size(), clean.size() - 3);
+  for (size_t i = 0; i < tail.size(); ++i) {
+    EXPECT_EQ(tail[i].batch_index, clean[i + 3].batch_index);
+    EXPECT_EQ(tail[i].uncertain_tuples, clean[i + 3].uncertain_tuples);
+    EXPECT_EQ(tail[i].max_rsd, clean[i + 3].max_rsd);
+    ExpectTablesIdentical(tail[i].result, clean[i + 3].result,
+                          Format("resumed update %zu", i));
+  }
+}
+
+TEST_F(CheckpointTest, CheckpointAfterEveryBatchResumesFromAnyOfThem) {
+  GolaOptions opts = BaseOptions();
+  opts.num_batches = 5;
+  std::vector<OnlineUpdate> clean = RunClean(opts);
+
+  for (int cut = 1; cut < opts.num_batches; ++cut) {
+    auto online = engine_.ExecuteOnline(kQuery, opts);
+    GOLA_CHECK_OK(online.status());
+    for (int i = 0; i < cut; ++i) GOLA_CHECK_OK((*online)->Step().status());
+    GOLA_CHECK_OK((*online)->Checkpoint(path_));
+
+    auto resumed = engine_.ResumeOnline(kQuery, path_, opts);
+    GOLA_CHECK_OK(resumed.status());
+    OnlineUpdate last;
+    while (!(*resumed)->done()) {
+      auto update = (*resumed)->Step();
+      GOLA_CHECK_OK(update.status());
+      last = std::move(*update);
+    }
+    ExpectTablesIdentical(last.result, clean.back().result,
+                          Format("final answer resumed from batch %d", cut));
+  }
+}
+
+TEST_F(CheckpointTest, FingerprintMismatchIsRejectedBeforeAnyStateChanges) {
+  GolaOptions opts = BaseOptions();
+  {
+    auto online = engine_.ExecuteOnline(kQuery, opts);
+    GOLA_CHECK_OK(online.status());
+    GOLA_CHECK_OK((*online)->Step().status());
+    GOLA_CHECK_OK((*online)->Checkpoint(path_));
+  }
+
+  GolaOptions other = opts;
+  other.seed = opts.seed + 1;  // different mini-batch partition
+  auto st = engine_.ResumeOnline(kQuery, path_, other).status();
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_NE(st.message().find("fingerprint"), std::string::npos);
+
+  other = opts;
+  other.num_batches = opts.num_batches + 1;
+  EXPECT_FALSE(engine_.ResumeOnline(kQuery, path_, other).ok());
+
+  // A different query shape is also a different fingerprint.
+  EXPECT_FALSE(engine_
+                   .ResumeOnline(
+                       "SELECT AVG(a) AS m FROM d d "
+                       "WHERE b > (SELECT AVG(b) FROM d)",
+                       path_, opts)
+                   .ok());
+}
+
+TEST_F(CheckpointTest, TruncatedAndCorruptedFilesAreRejected) {
+  GolaOptions opts = BaseOptions();
+  {
+    auto online = engine_.ExecuteOnline(kQuery, opts);
+    GOLA_CHECK_OK(online.status());
+    for (int i = 0; i < 2; ++i) GOLA_CHECK_OK((*online)->Step().status());
+    GOLA_CHECK_OK((*online)->Checkpoint(path_));
+  }
+  std::string bytes;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 64u);
+
+  // Truncation (lost tail) and a flipped byte mid-payload must both fail
+  // loudly instead of resuming from silently wrong state.
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 9));
+  }
+  EXPECT_EQ(engine_.ResumeOnline(kQuery, path_, opts).status().code(),
+            StatusCode::kIoError);
+
+  std::string corrupt = bytes;
+  corrupt[corrupt.size() / 2] ^= 0x40;
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(corrupt.data(), static_cast<std::streamsize>(corrupt.size()));
+  }
+  auto st = engine_.ResumeOnline(kQuery, path_, opts).status();
+  EXPECT_FALSE(st.ok());
+
+  // Not a checkpoint at all.
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << "definitely not a checkpoint";
+  }
+  st = engine_.ResumeOnline(kQuery, path_, opts).status();
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+
+  std::remove(path_.c_str());
+  st = engine_.ResumeOnline(kQuery, path_, opts).status();
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+}
+
+TEST_F(CheckpointTest, CheckpointFailpointSurfacesButLeavesTheQueryRunnable) {
+  GolaOptions opts = BaseOptions();
+  auto online = engine_.ExecuteOnline(kQuery, opts);
+  GOLA_CHECK_OK(online.status());
+  GOLA_CHECK_OK((*online)->Step().status());
+
+  GOLA_CHECK_OK(fail::Arm("gola.checkpoint", "once"));
+  EXPECT_FALSE((*online)->Checkpoint(path_).ok());
+  fail::DisarmAll();
+
+  // The failed attempt must not have perturbed the in-memory query: it keeps
+  // running, and a second Checkpoint succeeds.
+  GOLA_CHECK_OK((*online)->Step().status());
+  GOLA_CHECK_OK((*online)->Checkpoint(path_));
+  auto resumed = engine_.ResumeOnline(kQuery, path_, opts);
+  GOLA_CHECK_OK(resumed.status());
+  EXPECT_EQ((*resumed)->batches_processed(), 2);
+}
+
+TEST_F(CheckpointTest, DegradationRungSurvivesResume) {
+  // Degrade a query all the way (a deadline that is already blown when the
+  // first batch lands), checkpoint it, and resume: the restored executor
+  // must come back at the same rung with the same done/stopped-early state.
+  GolaOptions tiny = BaseOptions();
+  tiny.deadline_ms = 0.001;
+  auto online = engine_.ExecuteOnline(kQuery, tiny);
+  GOLA_CHECK_OK(online.status());
+  auto update = (*online)->Step();
+  GOLA_CHECK_OK(update.status());
+  ASSERT_EQ(update->degradation, Degradation::kStoppedEarly);
+  GOLA_CHECK_OK((*online)->Checkpoint(path_));
+
+  auto resumed = engine_.ResumeOnline(kQuery, path_, tiny);
+  GOLA_CHECK_OK(resumed.status());
+  EXPECT_EQ((*resumed)->degradation(), Degradation::kStoppedEarly);
+  EXPECT_TRUE((*resumed)->stopped_early());
+  EXPECT_TRUE((*resumed)->done());
+}
+
+TEST_F(CheckpointTest, SigkilledProcessResumesToTheIdenticalAnswer) {
+  GolaOptions opts = BaseOptions();
+  opts.num_batches = 6;
+  std::vector<OnlineUpdate> clean = RunClean(opts);
+
+  // Child: run the same query, checkpointing after every batch, and pause
+  // forever after batch 3 — then the parent SIGKILLs it mid-query exactly
+  // like a crashed process. MakeData is deterministic in (n, seed), so the
+  // child's engine sees byte-identical data.
+  ::pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    Engine child_engine;
+    if (!child_engine.RegisterTable("d", MakeData(1800, 91)).ok()) ::_exit(2);
+    auto child_online = child_engine.ExecuteOnline(kQuery, opts);
+    if (!child_online.ok()) ::_exit(2);
+    for (int i = 0; i < 3; ++i) {
+      if (!(*child_online)->Step().ok()) ::_exit(2);
+      if (!(*child_online)->Checkpoint(path_).ok()) ::_exit(2);
+    }
+    // Signal readiness via a marker file, then hang until killed.
+    { std::ofstream marker(path_ + ".ready"); }
+    for (;;) ::pause();
+  }
+
+  // Parent: wait for the marker, then kill -9.
+  const std::string marker = path_ + ".ready";
+  for (int spin = 0; spin < 500; ++spin) {
+    std::ifstream probe(marker);
+    if (probe.good()) break;
+    ::usleep(20'000);
+  }
+  {
+    std::ifstream probe(marker);
+    ASSERT_TRUE(probe.good()) << "child never reached batch 3";
+  }
+  ::kill(pid, SIGKILL);
+  int wstatus = 0;
+  ::waitpid(pid, &wstatus, 0);
+  ASSERT_TRUE(WIFSIGNALED(wstatus));
+  std::remove(marker.c_str());
+
+  // Resume from the dead process's checkpoint and drain to the end.
+  auto resumed = engine_.ResumeOnline(kQuery, path_, opts);
+  GOLA_CHECK_OK(resumed.status());
+  EXPECT_EQ((*resumed)->batches_processed(), 3);
+  OnlineUpdate last;
+  while (!(*resumed)->done()) {
+    auto update = (*resumed)->Step();
+    GOLA_CHECK_OK(update.status());
+    last = std::move(*update);
+  }
+  ExpectTablesIdentical(last.result, clean.back().result,
+                        "final answer after SIGKILL + resume");
+}
+
+}  // namespace
+}  // namespace gola

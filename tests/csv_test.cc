@@ -6,6 +6,9 @@
 #include <cstdio>
 #include <fstream>
 
+#include "common/failpoint.h"
+#include "common/logging.h"
+
 namespace gola {
 namespace {
 
@@ -77,6 +80,119 @@ TEST_F(CsvTest, MissingFileErrors) {
   auto r = ReadCsv("/nonexistent/definitely/not/here.csv");
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+// --- strict error paths: no silent truncation, every message names the
+// --- 1-based source line (header included) and the offending column -------
+
+TEST_F(CsvTest, MalformedIntNamesLineAndColumn) {
+  {
+    std::ofstream out(path_);
+    out << "id,score\n1,1.5\nnope,2.5\n";
+  }
+  auto schema = std::make_shared<Schema>(std::vector<Field>{
+      {"id", TypeId::kInt64}, {"score", TypeId::kFloat64}});
+  auto r = ReadCsv(path_, schema);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos)
+      << r.status().ToString();
+  EXPECT_NE(r.status().message().find("\"id\""), std::string::npos)
+      << r.status().ToString();
+  EXPECT_NE(r.status().message().find("INT64"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(CsvTest, TrailingGarbageAfterNumberRejected) {
+  // strtod/strtoll would silently accept the prefix — the reader must not.
+  {
+    std::ofstream out(path_);
+    out << "id,score\n1,1.5\n2,3.5kg\n";
+  }
+  auto schema = std::make_shared<Schema>(std::vector<Field>{
+      {"id", TypeId::kInt64}, {"score", TypeId::kFloat64}});
+  auto r = ReadCsv(path_, schema);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos);
+  EXPECT_NE(r.status().message().find("FLOAT64"), std::string::npos);
+}
+
+TEST_F(CsvTest, IntOverflowRejected) {
+  {
+    std::ofstream out(path_);
+    out << "id\n99999999999999999999999\n";
+  }
+  auto schema =
+      std::make_shared<Schema>(std::vector<Field>{{"id", TypeId::kInt64}});
+  auto r = ReadCsv(path_, schema);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+TEST_F(CsvTest, BoolCellsParseStrictly) {
+  {
+    std::ofstream out(path_);
+    out << "flag\ntrue\nFalse\n1\n0\n";
+  }
+  auto schema =
+      std::make_shared<Schema>(std::vector<Field>{{"flag", TypeId::kBool}});
+  auto loaded = ReadCsv(path_, schema);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->At(0, 0), Value::Bool(true));
+  EXPECT_EQ(loaded->At(1, 0), Value::Bool(false));
+  EXPECT_EQ(loaded->At(2, 0), Value::Bool(true));
+  EXPECT_EQ(loaded->At(3, 0), Value::Bool(false));
+
+  {
+    std::ofstream out(path_);
+    out << "flag\nmaybe\n";
+  }
+  auto r = ReadCsv(path_, schema);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(r.status().message().find("BOOL"), std::string::npos);
+}
+
+TEST_F(CsvTest, UnterminatedQuoteNamesTheLine) {
+  {
+    std::ofstream out(path_);
+    out << "name\nok\n\"never closed\n";
+  }
+  auto r = ReadCsv(path_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("unterminated"), std::string::npos)
+      << r.status().ToString();
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(CsvTest, RaggedRowErrorNamesTheLine) {
+  {
+    std::ofstream out(path_);
+    out << "a,b\n1,2\n3,4\n5\n";
+  }
+  auto r = ReadCsv(path_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("line 4"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(CsvTest, ReadFailpointInjects) {
+  {
+    std::ofstream out(path_);
+    out << "a\n1\n";
+  }
+  GOLA_CHECK_OK(fail::Arm("storage.csv_read", "once"));
+  auto r = ReadCsv(path_);
+  fail::DisarmAll();
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(fail::Retryable(r.status()));
+  EXPECT_TRUE(ReadCsv(path_).ok()) << "fires once, then reads succeed";
 }
 
 }  // namespace

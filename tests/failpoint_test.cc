@@ -1,0 +1,138 @@
+// Unit tests of the deterministic fault-injection framework
+// (common/failpoint.h): trigger semantics, spec parsing, seeded replay of
+// probabilistic sites, and the retryability classification the resilience
+// layers key off.
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace gola {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fail::DisarmAll(); }
+  void TearDown() override { fail::DisarmAll(); }
+};
+
+TEST_F(FailpointTest, DisarmedSiteNeverFiresAndCountsNothing) {
+  EXPECT_FALSE(fail::AnyActive());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(GOLA_FAILPOINT("test.never_armed"));
+  }
+  // The macro short-circuits on the armed-site counter: the cold path never
+  // ran, so the site has no hit record at all.
+  EXPECT_EQ(fail::Hits("test.never_armed"), 0);
+  EXPECT_TRUE(fail::ArmedSites().empty());
+}
+
+TEST_F(FailpointTest, AlwaysFiresEveryHit) {
+  GOLA_CHECK_OK(fail::Arm("test.always", "always"));
+  EXPECT_TRUE(fail::AnyActive());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(GOLA_FAILPOINT("test.always"));
+  }
+  EXPECT_EQ(fail::Hits("test.always"), 5);
+  EXPECT_EQ(fail::Fires("test.always"), 5);
+}
+
+TEST_F(FailpointTest, OnceFiresExactlyOnce) {
+  GOLA_CHECK_OK(fail::Arm("test.once", "once"));
+  int fires = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (GOLA_FAILPOINT("test.once")) ++fires;
+  }
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(fail::Hits("test.once"), 10);
+  EXPECT_EQ(fail::Fires("test.once"), 1);
+}
+
+TEST_F(FailpointTest, NthFiresOnExactlyTheNthHit) {
+  GOLA_CHECK_OK(fail::Arm("test.nth", "nth(3)"));
+  std::vector<bool> pattern;
+  for (int i = 0; i < 6; ++i) pattern.push_back(GOLA_FAILPOINT("test.nth"));
+  EXPECT_EQ(pattern, (std::vector<bool>{false, false, true, false, false, false}));
+}
+
+TEST_F(FailpointTest, ProbIsDeterministicInTheSeed) {
+  fail::SetSeed(1234);
+  GOLA_CHECK_OK(fail::Arm("test.prob", "prob(0.5)"));
+  std::vector<bool> first;
+  for (int i = 0; i < 64; ++i) first.push_back(GOLA_FAILPOINT("test.prob"));
+  // Re-seeding resets hit counters: the same seed replays the same pattern.
+  fail::SetSeed(1234);
+  std::vector<bool> replay;
+  for (int i = 0; i < 64; ++i) replay.push_back(GOLA_FAILPOINT("test.prob"));
+  EXPECT_EQ(first, replay);
+  // p=0.5 over 64 draws: both outcomes occur (probability ~5e-20 otherwise).
+  EXPECT_NE(fail::Fires("test.prob"), 0);
+  EXPECT_NE(fail::Fires("test.prob"), 64);
+
+  fail::SetSeed(99);
+  std::vector<bool> other;
+  for (int i = 0; i < 64; ++i) other.push_back(GOLA_FAILPOINT("test.prob"));
+  EXPECT_NE(first, other);  // different seed, different fault schedule
+}
+
+TEST_F(FailpointTest, OffDisarmsASite) {
+  GOLA_CHECK_OK(fail::Arm("test.off", "always"));
+  EXPECT_TRUE(GOLA_FAILPOINT("test.off"));
+  GOLA_CHECK_OK(fail::Arm("test.off", "off"));
+  EXPECT_FALSE(GOLA_FAILPOINT("test.off"));
+  EXPECT_TRUE(fail::ArmedSites().empty());
+}
+
+TEST_F(FailpointTest, ConfigureParsesMultiSiteSpecs) {
+  GOLA_CHECK_OK(fail::Configure("test.a=always, test.b=nth(2) ,test.c=prob(0.25)"));
+  auto sites = fail::ArmedSites();
+  EXPECT_EQ(sites.size(), 3u);
+  EXPECT_TRUE(GOLA_FAILPOINT("test.a"));
+  EXPECT_FALSE(GOLA_FAILPOINT("test.b"));
+  EXPECT_TRUE(GOLA_FAILPOINT("test.b"));
+}
+
+TEST_F(FailpointTest, BadSpecsAreInvalidArgument) {
+  EXPECT_EQ(fail::Arm("s", "sometimes").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(fail::Arm("s", "nth(zero)").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(fail::Arm("s", "nth(0)").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(fail::Arm("s", "prob(1.5)").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(fail::Arm("s", "prob(x)").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(fail::Arm("", "always").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(fail::Configure("test.a").code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(fail::ArmedSites().empty()) << "failed Arm must not arm";
+}
+
+TEST_F(FailpointTest, ConfigureFromEnvArmsSites) {
+  ::setenv("GOLA_FAILPOINTS", "test.env=nth(2)", 1);
+  ::setenv("GOLA_FAILPOINT_SEED", "777", 1);
+  Status st = fail::ConfigureFromEnv();
+  ::unsetenv("GOLA_FAILPOINTS");
+  ::unsetenv("GOLA_FAILPOINT_SEED");
+  GOLA_CHECK_OK(st);
+  EXPECT_FALSE(GOLA_FAILPOINT("test.env"));
+  EXPECT_TRUE(GOLA_FAILPOINT("test.env"));
+}
+
+TEST_F(FailpointTest, InjectedErrorsAreRetryableExecutionErrors) {
+  Status st = fail::InjectedError("test.site");
+  EXPECT_EQ(st.code(), StatusCode::kExecutionError);
+  EXPECT_NE(st.message().find("failpoint"), std::string::npos);
+  EXPECT_NE(st.message().find("test.site"), std::string::npos);
+  EXPECT_TRUE(fail::Retryable(st));
+  EXPECT_TRUE(fail::Retryable(Status::IoError("disk hiccup")));
+  // Deterministic errors must never be retried.
+  EXPECT_FALSE(fail::Retryable(Status::OK()));
+  EXPECT_FALSE(fail::Retryable(Status::PlanError("bad plan")));
+  EXPECT_FALSE(fail::Retryable(Status::InvalidArgument("bad arg")));
+  EXPECT_FALSE(fail::Retryable(Status::TypeError("bad type")));
+  EXPECT_FALSE(fail::Retryable(Status::Internal("bug")));
+}
+
+}  // namespace
+}  // namespace gola

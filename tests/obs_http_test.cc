@@ -216,6 +216,44 @@ TEST(HttpServerTest, StandaloneServerLifecycle) {
   server.Stop();  // idempotent
 }
 
+TEST(HttpServerTest, DrainingServerAnswers503) {
+  HttpServer server;
+  server.Route("/ping", [] {
+    HttpServer::Response r;
+    r.body = "pong\n";
+    return r;
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  EXPECT_EQ(StatusOf(HttpGet(server.port(), "/ping")), 200);
+
+  // While draining, connections are still accepted but answered with a
+  // clean 503 instead of a hung socket or a reset — what a scraper retries.
+  server.BeginDrain();
+  std::string response = HttpGet(server.port(), "/ping");
+  EXPECT_EQ(StatusOf(response), 503);
+  EXPECT_NE(response.find("Service Unavailable"), std::string::npos);
+  EXPECT_NE(BodyOf(response).find("retry"), std::string::npos);
+  server.Stop();
+}
+
+TEST(HttpServerTest, RestartOnSamePortClearsDrainState) {
+  HttpServer server;
+  server.Route("/ping", [] {
+    HttpServer::Response r;
+    r.body = "pong\n";
+    return r;
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  int port = server.port();
+  server.Stop();  // Stop() drains first, then joins
+
+  // SO_REUSEADDR + cleared drain flag: the same port serves 200s again.
+  ASSERT_TRUE(server.Start(port).ok());
+  EXPECT_EQ(server.port(), port);
+  EXPECT_EQ(StatusOf(HttpGet(port, "/ping")), 200);
+  server.Stop();
+}
+
 }  // namespace
 }  // namespace obs
 }  // namespace gola
