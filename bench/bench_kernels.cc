@@ -1,0 +1,179 @@
+// Kernel-layer microbenchmarks (google-benchmark): vectorized vs
+// row-at-a-time reference on the three hot paths the kernel subsystem
+// replaces — predicate filtering, grouped aggregation, and the poissonized
+// replicate fold. Every benchmark carries a `vec` argument (0 = reference,
+// 1 = kernels); tools/check_perf.py pairs the two and fails CI when the
+// vectorized path loses its speedup on the group-by / replicate benches.
+//
+// Emits BENCH_kernels.json (google-benchmark JSON) in the working
+// directory unless --benchmark_out is passed explicitly.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "bench_util.h"
+#include "exec/hash_aggregate.h"
+#include "gola/online_agg.h"
+
+namespace gola {
+namespace {
+
+/// 64 int groups, an exponential measure and a uniform measure — the same
+/// shape bench_micro uses, so numbers are comparable across bench binaries.
+Table MakeGroupedTable(int64_t rows) {
+  Rng rng(7);
+  auto schema = std::make_shared<Schema>(std::vector<Field>{
+      {"k", TypeId::kInt64}, {"x", TypeId::kFloat64}, {"y", TypeId::kFloat64}});
+  TableBuilder builder(schema, rows);
+  for (int64_t i = 0; i < rows; ++i) {
+    builder.AppendRow({Value::Int(rng.UniformInt(1, 64)),
+                       Value::Float(rng.Exponential(10)),
+                       Value::Float(rng.UniformDouble(0, 1))});
+  }
+  return builder.Finish();
+}
+
+Chunk ChunkWithSerials(const Table& t) {
+  Chunk c = t.Combined();
+  std::vector<int64_t> serials(c.num_rows());
+  std::iota(serials.begin(), serials.end(), 0);
+  c.set_serials(std::move(serials));
+  return c;
+}
+
+ExprPtr BoundCol(const char* name, int index, TypeId type) {
+  ExprPtr c = Expr::Col(name);
+  c->column_index = index;
+  c->type = type;
+  return c;
+}
+
+/// Conjunctive filter (x > 10 AND k <= 32, ~18% selectivity) exactly as
+/// FilterStage::Apply runs it: selection-vector refinement + one Gather on
+/// the kernel path, per-predicate boolean columns + mask Filter on the
+/// reference path.
+void BM_KernelFilter(benchmark::State& state) {
+  Table t = MakeGroupedTable(state.range(0));
+  Chunk chunk = t.Combined();
+  size_t n = chunk.num_rows();
+  std::vector<ExprPtr> preds;
+  preds.push_back(Expr::Cmp(CmpOp::kGt, BoundCol("x", 1, TypeId::kFloat64),
+                            Expr::Lit(Value::Float(10.0))));
+  preds.push_back(Expr::Cmp(CmpOp::kLe, BoundCol("k", 0, TypeId::kInt64),
+                            Expr::Lit(Value::Int(32))));
+  for (auto& p : preds) p->type = TypeId::kBool;
+
+  const bool vec = state.range(1) != 0;
+  for (auto _ : state) {
+    if (vec) {
+      SelectionVector sel(n);
+      for (size_t i = 0; i < n; ++i) sel[i] = static_cast<uint32_t>(i);
+      for (const auto& pred : preds) {
+        GOLA_CHECK_OK(EvaluatePredicateInto(*pred, chunk, nullptr, &sel));
+      }
+      Chunk out = chunk.Gather(sel);
+      benchmark::DoNotOptimize(out);
+    } else {
+      std::vector<uint8_t> mask(n, 1);
+      for (const auto& pred : preds) {
+        auto m = EvaluatePredicate(*pred, chunk, nullptr);
+        GOLA_CHECK_OK(m.status());
+        for (size_t i = 0; i < n; ++i) mask[i] &= (*m)[i];
+      }
+      Chunk out = chunk.Filter(mask);
+      benchmark::DoNotOptimize(out);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KernelFilter)
+    ->ArgsProduct({{1 << 16}, {0, 1}})
+    ->ArgNames({"rows", "vec"});
+
+/// Grouped COUNT(*)/SUM/AVG through the exact batch aggregate: dense group
+/// ids + flat slot accumulation vs per-row Value-boxed map probes.
+void BM_KernelGroupBy(benchmark::State& state) {
+  Engine engine;
+  GOLA_CHECK_OK(engine.RegisterTable("t", MakeGroupedTable(state.range(0))));
+  auto query = engine.Compile("SELECT k, COUNT(*), SUM(x), AVG(y) FROM t GROUP BY k");
+  GOLA_CHECK_OK(query.status());
+  Table t = *(*engine.GetTable("t"));
+  Chunk chunk = t.Combined();
+  const BlockDef& block = query->root();
+  const bool vec = state.range(1) != 0;
+  for (auto _ : state) {
+    HashAggregate agg(&block);
+    if (vec) {
+      GOLA_CHECK_OK(agg.UpdateVectorized(chunk, nullptr));
+    } else {
+      GOLA_CHECK_OK(agg.Update(chunk, nullptr));
+    }
+    benchmark::DoNotOptimize(agg);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KernelGroupBy)
+    ->ArgsProduct({{1 << 16}, {0, 1}})
+    ->ArgNames({"rows", "vec"})
+    // Medians over a few repetitions: check_perf.py gates on the vec:1/vec:0
+    // ratio, and a single sample is too noisy on shared CI machines.
+    ->Repetitions(3);
+
+/// The online fold with B bootstrap replicates per aggregate — the G-OLA
+/// hot loop. Kernel path: one weight matrix per chunk + tiled flat-replicate
+/// sweeps; reference: per-tuple WeightsFor + B-length scalar passes. B = 0
+/// folds point states only (no replication).
+void BM_KernelReplicateUpdate(benchmark::State& state) {
+  constexpr int64_t kRows = 1 << 14;
+  Engine engine;
+  GOLA_CHECK_OK(engine.RegisterTable("t", MakeGroupedTable(kRows)));
+  auto query = engine.Compile("SELECT k, COUNT(*), SUM(x), AVG(y) FROM t GROUP BY k");
+  GOLA_CHECK_OK(query.status());
+  Table t = *(*engine.GetTable("t"));
+  Chunk chunk = ChunkWithSerials(t);
+  const BlockDef& block = query->root();
+
+  const int b = static_cast<int>(state.range(0));
+  const bool vec = state.range(1) != 0;
+  std::unique_ptr<PoissonWeights> weights;
+  if (b > 0) weights = std::make_unique<PoissonWeights>(b, 42);
+  for (auto _ : state) {
+    OnlineAggregate agg(&block, weights.get());
+    GOLA_CHECK_OK(agg.Update(chunk, nullptr, vec));
+    benchmark::DoNotOptimize(agg.num_groups());
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+BENCHMARK(BM_KernelReplicateUpdate)
+    ->ArgsProduct({{0, 100, 200}, {0, 1}})
+    ->ArgNames({"B", "vec"})
+    ->Repetitions(3);
+
+}  // namespace
+}  // namespace gola
+
+// Always emit a machine-readable summary (BENCH_kernels.json in the working
+// directory) unless the caller already passed --benchmark_out.
+int main(int argc, char** argv) {
+  gola::bench::TuneAllocator();
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  std::vector<char*> args(argv, argv + argc);
+  static char out_flag[] = "--benchmark_out=BENCH_kernels.json";
+  static char fmt_flag[] = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag);
+    args.push_back(fmt_flag);
+  }
+  int patched_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&patched_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(patched_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,2 +1,74 @@
-// Intentionally header-only; this file anchors the module in the build.
 #include "bootstrap/poisson.h"
+
+#include <algorithm>
+
+namespace gola {
+
+// Two-pass, row-blocked generation. A naive stage-then-count loop per row
+// stalls badly: the uniforms are written with scalar 16-bit stores and
+// immediately re-read by the counting pass's wide vector loads, which
+// cannot be store-forwarded. Staging a whole block of rows first puts
+// enough distance between the scalar stores and the vector loads that the
+// stores have drained by the time counting starts, roughly halving the
+// cost of the whole routine.
+void PoissonWeights::FillMatrix(const int64_t* serials, size_t n, int32_t* out,
+                                int32_t* col_sums) const {
+  const auto& jumps = internal_random::GetPoisson1Jumps();
+  const size_t b = static_cast<size_t>(num_replicates_);
+  if (col_sums != nullptr) std::fill(col_sums, col_sums + b, 0);
+  if (jumps.n == 0) {  // degenerate table: every weight is zero
+    std::fill(out, out + n * b, 0);
+    return;
+  }
+  constexpr size_t kRows = 16;    // uniforms staged per block: 16 KiB of stack
+  constexpr size_t kChunk = 512;  // replicates per chunk
+  uint16_t ubuf[kRows * kChunk];
+  uint16_t cnt[kChunk];
+  for (size_t i0 = 0; i0 < n; i0 += kRows) {
+    const size_t rn = n - i0 < kRows ? n - i0 : kRows;
+    for (size_t j0 = 0; j0 < b; j0 += kChunk) {
+      const size_t jn = b - j0 < kChunk ? b - j0 : kChunk;
+      // Pass 1: stage the 16-bit uniforms for the whole row block. One hash
+      // serves four replicates, and j0 is a multiple of four so quads never
+      // straddle chunks.
+      for (size_t r = 0; r < rn; ++r) {
+        uint16_t* u = ubuf + r * kChunk;
+        size_t j = 0;
+        for (; j + 4 <= jn; j += 4) {
+          uint64_t h = SplitMix64(
+              QuadKey(serials[i0 + r], static_cast<int>((j0 + j) / 4)));
+          u[j] = static_cast<uint16_t>(h);
+          u[j + 1] = static_cast<uint16_t>(h >> 16);
+          u[j + 2] = static_cast<uint16_t>(h >> 32);
+          u[j + 3] = static_cast<uint16_t>(h >> 48);
+        }
+        if (j < jn) {
+          uint64_t h = SplitMix64(
+              QuadKey(serials[i0 + r], static_cast<int>((j0 + j) / 4)));
+          for (size_t q = 0; q < 4 && j < jn; ++j, ++q, h >>= 16) {
+            u[j] = static_cast<uint16_t>(h);
+          }
+        }
+      }
+      // Pass 2: jump-point-major counting (all same-width u16 ops), then
+      // one widening store into the row-major output.
+      for (size_t r = 0; r < rn; ++r) {
+        const uint16_t* __restrict u = ubuf + r * kChunk;
+        int32_t* __restrict row = out + (i0 + r) * b + j0;
+        const uint16_t c0 = static_cast<uint16_t>(jumps.jump[0]);
+        for (size_t t = 0; t < jn; ++t) cnt[t] = (u[t] >= c0) ? 1 : 0;
+        for (int k = 1; k < jumps.n; ++k) {
+          const uint16_t ck = static_cast<uint16_t>(jumps.jump[k]);
+          for (size_t t = 0; t < jn; ++t) cnt[t] += (u[t] >= ck) ? 1 : 0;
+        }
+        for (size_t t = 0; t < jn; ++t) row[t] = cnt[t];
+        if (col_sums != nullptr) {
+          int32_t* __restrict cs = col_sums + j0;
+          for (size_t t = 0; t < jn; ++t) cs[t] += cnt[t];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace gola

@@ -14,6 +14,7 @@
 #ifndef GOLA_BOOTSTRAP_POISSON_H_
 #define GOLA_BOOTSTRAP_POISSON_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -35,6 +36,24 @@ class PoissonWeights {
     return quad[replicate % 4];
   }
 
+  /// Fills a whole morsel's weight matrix: `out` must hold
+  /// n × num_replicates() int32 slots and receives row-major weights —
+  /// out[i * B + j] is tuple serials[i]'s weight in replicate j. The values
+  /// are exactly what WeightsFor would produce per row, but computed by
+  /// counting the inverse-CDF jump points below each 16-bit uniform instead
+  /// of looking them up: a few branch-free compares per weight that the
+  /// compiler vectorizes across replicates, leaving the weight tables out
+  /// of the cache entirely. WeightsFor keeps the table-lookup path, so the
+  /// two implementations cross-check each other in the kernel tests.
+  /// When `col_sums` is non-null it receives the matrix's num_replicates()
+  /// column sums (col_sums[j] = Σ_i out[i * B + j]), accumulated while the
+  /// counts are still in registers — callers that need them (the tiled
+  /// replicate-update kernel) then avoid a second pass over the matrix.
+  /// Defined out of line (poisson.cc) so the hot loops pick up the kernel
+  /// translation units' vectorization flags.
+  void FillMatrix(const int64_t* serials, size_t n, int32_t* out,
+                  int32_t* col_sums = nullptr) const;
+
   /// All replicate weights of one tuple, written into `out` (resized to B).
   /// One hash serves four replicates (16 bits of uniform each).
   void WeightsFor(int64_t serial, std::vector<int32_t>* out) const {
@@ -50,7 +69,7 @@ class PoissonWeights {
     }
     if (j < num_replicates_) {
       StatelessPoisson1x4(QuadKey(serial, j / 4), quad);
-      for (int r = 0; j < num_replicates_; ++j, ++r) {
+      for (int r = 0; r < 4 && j < num_replicates_; ++j, ++r) {
         (*out)[static_cast<size_t>(j)] = quad[r];
       }
     }

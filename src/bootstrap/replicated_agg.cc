@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/logging.h"
 #include "storage/serde.h"
 
 namespace gola {
@@ -44,12 +45,11 @@ ReplicatedAgg::ReplicatedAgg(const AggregateFunction* fn, const PoissonWeights* 
   }
 }
 
-void ReplicatedAgg::UpdateNumericWeighted(double v, const std::vector<int32_t>& weights) {
+void ReplicatedAgg::UpdateNumericWeighted(double v, const int32_t* weights, size_t b) {
   main_->UpdateNumeric(v, 1.0);
   if (simple_ != SimpleAggKind::kNone) {
     // Weight 0 contributes nothing, so the loop can run unconditionally —
     // two contiguous FMA sweeps the compiler vectorizes.
-    size_t b = flat_sum_.size();
     for (size_t j = 0; j < b; ++j) {
       double w = static_cast<double>(weights[j]);
       flat_sum_[j] += v * w;
@@ -63,10 +63,15 @@ void ReplicatedAgg::UpdateNumericWeighted(double v, const std::vector<int32_t>& 
   }
 }
 
-void ReplicatedAgg::UpdateValueWeighted(const Value& v, const std::vector<int32_t>& weights) {
+void ReplicatedAgg::UpdateValueWeighted(const Value& v, const int32_t* weights, size_t b) {
   if (simple_ != SimpleAggKind::kNone) {
+    // A value that cannot widen to double (NULL, string) is skipped outright
+    // — the same behavior as the generic AggState path, whose default
+    // UpdateValue drops non-convertible observations. Folding it as 0.0
+    // would bias SUM/AVG replicates and inflate every replicate count.
     auto d = v.ToDouble();
-    UpdateNumericWeighted(d.ok() ? *d : 0.0, weights);
+    if (!d.ok()) return;
+    UpdateNumericWeighted(*d, weights, b);
     return;
   }
   main_->UpdateValue(v, 1.0);
@@ -74,6 +79,14 @@ void ReplicatedAgg::UpdateValueWeighted(const Value& v, const std::vector<int32_
     int32_t w = weights[j];
     if (w > 0) replicates_[j]->UpdateValue(v, static_cast<double>(w));
   }
+}
+
+void ReplicatedAgg::UpdateNumericWeighted(double v, const std::vector<int32_t>& weights) {
+  UpdateNumericWeighted(v, weights.data(), flat_sum_.size());
+}
+
+void ReplicatedAgg::UpdateValueWeighted(const Value& v, const std::vector<int32_t>& weights) {
+  UpdateValueWeighted(v, weights.data(), flat_sum_.size());
 }
 
 void ReplicatedAgg::UpdateNumeric(double v, int64_t serial) {
@@ -95,6 +108,12 @@ void ReplicatedAgg::UpdateValue(const Value& v, int64_t serial) {
 }
 
 void ReplicatedAgg::Merge(const ReplicatedAgg& other) {
+  // Partials merged here must come from the same (function, weights)
+  // configuration; a replicate-count mismatch would silently read past
+  // other's arrays. Fail loudly instead.
+  GOLA_CHECK(other.simple_ == simple_);
+  GOLA_CHECK(other.flat_sum_.size() == flat_sum_.size());
+  GOLA_CHECK(other.replicates_.size() == replicates_.size());
   main_->Merge(*other.main_);
   if (simple_ != SimpleAggKind::kNone) {
     for (size_t j = 0; j < flat_sum_.size(); ++j) {

@@ -43,6 +43,13 @@ class ReplicatedAgg {
   void UpdateNumericWeighted(double v, const std::vector<int32_t>& weights);
   void UpdateValueWeighted(const Value& v, const std::vector<int32_t>& weights);
 
+  /// Pointer forms for callers holding a row of a precomputed weight matrix
+  /// (the vectorized fold); `b` must equal num_replicates().
+  void UpdateNumericWeighted(double v, const int32_t* weights, size_t b);
+  void UpdateValueWeighted(const Value& v, const int32_t* weights, size_t b);
+
+  /// Merging partials built against a different replicate count would read
+  /// out of bounds; it is always a caller bug (checked).
   void Merge(const ReplicatedAgg& other);
 
   /// Deep copy (used to fold the uncertain set into a snapshot per batch).
@@ -70,6 +77,15 @@ class ReplicatedAgg {
   /// errors, not surprises.
   Status SaveTo(BinaryWriter* w) const;
   Status LoadFrom(BinaryReader* r);
+
+  // Vectorized-kernel access. The tiled replicate-update kernel accumulates
+  // straight into the flat arrays (and into main_ through its SimpleSlots),
+  // replaying the exact per-row add sequence UpdateNumericWeighted performs.
+  bool has_flat_replicates() const { return simple_ != SimpleAggKind::kNone; }
+  size_t num_flat_replicates() const { return flat_sum_.size(); }
+  double* flat_sum_data() { return flat_sum_.data(); }
+  double* flat_count_data() { return flat_count_.data(); }
+  AggState* main_state() { return main_.get(); }
 
  private:
   const AggregateFunction* fn_;

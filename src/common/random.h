@@ -178,6 +178,29 @@ inline const Poisson1Table& GetPoisson1Table() {
   return *table;
 }
 
+/// Ascending jump points of the Poisson(1) inverse-CDF table:
+/// table.value[u] == #{k : u >= jump[k]}. Derived by scanning the table
+/// itself, so counting jump points below a 16-bit uniform reproduces the
+/// table lookup exactly — but as a handful of branch-free integer compares
+/// the compiler vectorizes across replicates, with no table in the cache.
+struct Poisson1Jumps {
+  int32_t jump[16];
+  int n = 0;
+
+  Poisson1Jumps() {
+    const Poisson1Table& t = GetPoisson1Table();
+    int last = 0;  // t.value[0] == 0: a tiny uniform maps to k = 0
+    for (int i = 0; i < 65536; ++i) {
+      for (; last < t.value[i]; ++last) jump[n++] = i;
+    }
+  }
+};
+
+inline const Poisson1Jumps& GetPoisson1Jumps() {
+  static const Poisson1Jumps* jumps = new Poisson1Jumps();
+  return *jumps;
+}
+
 }  // namespace internal_random
 
 /// Four consecutive Poisson(1) samples from one 64-bit key (one hash, four

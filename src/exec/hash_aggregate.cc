@@ -1,6 +1,9 @@
 #include "exec/hash_aggregate.h"
 
 #include "common/logging.h"
+#include "exec/kernels/agg_kernels.h"
+#include "exec/kernels/group_ids.h"
+#include "obs/trace.h"
 
 namespace gola {
 
@@ -15,29 +18,37 @@ HashAggregate::StateVec HashAggregate::NewStates() const {
   return states;
 }
 
+Status HashAggregate::EvalInputs(const Chunk& input, const BroadcastEnv* env,
+                                 std::vector<Column>* key_cols,
+                                 std::vector<Column>* arg_cols,
+                                 std::vector<bool>* has_arg) const {
+  key_cols->reserve(block_->group_by.size());
+  for (const auto& g : block_->group_by) {
+    GOLA_ASSIGN_OR_RETURN(Column c, Evaluate(*g, input, env));
+    key_cols->push_back(std::move(c));
+  }
+  for (const auto& agg : block_->aggs) {
+    if (agg.call->children.empty()) {
+      arg_cols->emplace_back(TypeId::kFloat64);
+      has_arg->push_back(false);
+    } else {
+      GOLA_ASSIGN_OR_RETURN(Column c, Evaluate(*agg.call->children[0], input, env));
+      arg_cols->push_back(std::move(c));
+      has_arg->push_back(true);
+    }
+  }
+  return Status::OK();
+}
+
 Status HashAggregate::Update(const Chunk& input, const BroadcastEnv* env) {
   size_t n = input.num_rows();
   if (n == 0) return Status::OK();
 
   // Evaluate group keys and aggregate arguments vectorized.
   std::vector<Column> key_cols;
-  key_cols.reserve(block_->group_by.size());
-  for (const auto& g : block_->group_by) {
-    GOLA_ASSIGN_OR_RETURN(Column c, Evaluate(*g, input, env));
-    key_cols.push_back(std::move(c));
-  }
   std::vector<Column> arg_cols;
   std::vector<bool> has_arg;
-  for (const auto& agg : block_->aggs) {
-    if (agg.call->children.empty()) {
-      arg_cols.emplace_back(TypeId::kFloat64);
-      has_arg.push_back(false);
-    } else {
-      GOLA_ASSIGN_OR_RETURN(Column c, Evaluate(*agg.call->children[0], input, env));
-      arg_cols.push_back(std::move(c));
-      has_arg.push_back(true);
-    }
-  }
+  GOLA_RETURN_NOT_OK(EvalInputs(input, env, &key_cols, &arg_cols, &has_arg));
 
   GroupKey key;
   key.values.resize(key_cols.size());
@@ -58,6 +69,87 @@ Status HashAggregate::Update(const Chunk& input, const BroadcastEnv* env) {
         states[a]->UpdateNumeric(arg_cols[a].NumericAt(i), 1.0);
       } else {
         states[a]->UpdateValue(arg_cols[a].GetValue(i), 1.0);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status HashAggregate::UpdateVectorized(const Chunk& input, const BroadcastEnv* env) {
+  size_t n = input.num_rows();
+  if (n == 0) return Status::OK();
+  obs::TraceSpan span("kernel_agg", "rows", static_cast<int64_t>(n));
+
+  std::vector<Column> key_cols;
+  std::vector<Column> arg_cols;
+  std::vector<bool> has_arg;
+  GOLA_RETURN_NOT_OK(EvalInputs(input, env, &key_cols, &arg_cols, &has_arg));
+
+  kernels::GroupIds gids;
+  GOLA_RETURN_NOT_OK(kernels::ComputeGroupIds(key_cols, n, /*force_generic=*/false, &gids));
+  kernels::BuildGroupRows(&gids);
+
+  // Widen numeric argument columns once per chunk; the reference path widens
+  // per row via NumericAt, which produces the same doubles.
+  std::vector<std::vector<double>> widened(arg_cols.size());
+  std::vector<std::vector<uint8_t>> valid(arg_cols.size());
+  std::vector<bool> numeric(arg_cols.size(), false);
+  for (size_t a = 0; a < arg_cols.size(); ++a) {
+    if (!has_arg[a]) continue;
+    if (IsNumeric(arg_cols[a].type()) || arg_cols[a].type() == TypeId::kBool) {
+      numeric[a] = true;
+      GOLA_ASSIGN_OR_RETURN(
+          widened[a],
+          arg_cols[a].ToFloat64(arg_cols[a].has_nulls() ? &valid[a] : nullptr));
+    }
+  }
+
+  std::vector<uint32_t> nn_rows;  // scratch: null-filtered row list
+  for (size_t g = 0; g < gids.num_groups; ++g) {
+    const uint32_t* rows = gids.group_rows.data() + gids.group_offsets[g];
+    size_t cnt = gids.group_offsets[g + 1] - gids.group_offsets[g];
+    GroupKey key = kernels::GroupKeyAt(key_cols, gids.first_row[g]);
+    auto it = groups_.find(key);
+    if (it == groups_.end()) {
+      it = groups_.emplace(std::move(key), NewStates()).first;
+    }
+    StateVec& states = it->second;
+    for (size_t a = 0; a < states.size(); ++a) {
+      AggState::SimpleSlots slots = states[a]->simple_slots();
+      if (!has_arg[a]) {
+        // COUNT(*): every row counts.
+        if (slots.usable()) {
+          kernels::AccumulateSimpleMain(slots, nullptr, 1.0, rows, cnt);
+        } else {
+          for (size_t i = 0; i < cnt; ++i) states[a]->UpdateValue(Value::Int(1), 1.0);
+        }
+        continue;
+      }
+      const Column& col = arg_cols[a];
+      if (numeric[a]) {
+        const uint32_t* sel = rows;
+        size_t sel_n = cnt;
+        if (!valid[a].empty()) {
+          nn_rows.clear();
+          for (size_t i = 0; i < cnt; ++i) {
+            if (valid[a][rows[i]]) nn_rows.push_back(rows[i]);
+          }
+          sel = nn_rows.data();
+          sel_n = nn_rows.size();
+        }
+        if (slots.usable()) {
+          kernels::AccumulateSimpleMain(slots, widened[a].data(), 0.0, sel, sel_n);
+        } else {
+          for (size_t i = 0; i < sel_n; ++i) {
+            states[a]->UpdateNumeric(widened[a][sel[i]], 1.0);
+          }
+        }
+      } else {
+        for (size_t i = 0; i < cnt; ++i) {
+          uint32_t r = rows[i];
+          if (col.IsNull(r)) continue;
+          states[a]->UpdateValue(col.GetValue(r), 1.0);
+        }
       }
     }
   }

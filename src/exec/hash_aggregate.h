@@ -47,6 +47,12 @@ class HashAggregate {
   /// broadcast values when aggregate arguments reference subqueries.
   Status Update(const Chunk& input, const BroadcastEnv* env);
 
+  /// Chunk-at-a-time variant of Update: dense group ids via the flat
+  /// group-by kernel, one map probe per (group, chunk), and slot-based
+  /// accumulation for the SimpleAggKind states. Bit-identical to Update —
+  /// the row-at-a-time path remains the reference oracle.
+  Status UpdateVectorized(const Chunk& input, const BroadcastEnv* env);
+
   /// Merges a partial aggregation built over a disjoint partition.
   Status Merge(HashAggregate&& other);
 
@@ -60,6 +66,9 @@ class HashAggregate {
  private:
   using StateVec = std::vector<std::unique_ptr<AggState>>;
   StateVec NewStates() const;
+  Status EvalInputs(const Chunk& input, const BroadcastEnv* env,
+                    std::vector<Column>* key_cols, std::vector<Column>* arg_cols,
+                    std::vector<bool>* has_arg) const;
 
   const BlockDef* block_;
   std::unordered_map<GroupKey, StateVec, GroupKeyHash> groups_;

@@ -1,0 +1,201 @@
+#include "exec/kernels/agg_kernels.h"
+
+#include <cstring>
+
+namespace gola {
+namespace kernels {
+
+void AccumulateSimpleMain(AggState::SimpleSlots slots, const double* values,
+                          double constant_value, const uint32_t* rows,
+                          size_t num_rows) {
+  if (num_rows == 0) return;
+  double sum = slots.sum != nullptr ? *slots.sum : 0.0;
+  double count = slots.count != nullptr ? *slots.count : 0.0;
+  for (size_t i = 0; i < num_rows; ++i) {
+    double v = values != nullptr ? values[rows[i]] : constant_value;
+    sum += v;
+    count += 1.0;
+  }
+  if (slots.sum != nullptr) *slots.sum = sum;
+  if (slots.count != nullptr) *slots.count = count;
+  if (slots.any != nullptr) *slots.any = true;
+}
+
+namespace {
+
+// Column sums of the selected weight rows, accumulated in int32. Weights are
+// small Poisson counts, so a tile's column sum fits easily; the caller folds
+// the result into double accumulators with ApplyWeightColumnSums.
+void WeightColumnSums(const uint32_t* wrows, size_t num_rows,
+                      const int32_t* wtile, size_t stride, size_t jn,
+                      int32_t* __restrict dcount) {
+  std::memset(dcount, 0, jn * sizeof(int32_t));
+  for (size_t i = 0; i < num_rows; ++i) {
+    const int32_t* __restrict w =
+        wtile + (wrows != nullptr ? wrows[i] : i) * stride;
+    for (size_t j = 0; j < jn; ++j) dcount[j] += w[j];
+  }
+}
+
+void ApplyWeightColumnSums(const int32_t* dcount, double* __restrict acc,
+                           size_t b) {
+  for (size_t j = 0; j < b; ++j) acc[j] += static_cast<double>(dcount[j]);
+}
+
+// Per-row sum sweeps for 1..4 value streams. Each variant names its
+// accumulator rows individually so __restrict proves them disjoint and the
+// replicate loop vectorizes. Per accumulator, rows are added in ascending
+// row order — the reference op sequence.
+void SumSweep1(const ReplicateTarget& t0, const uint32_t* vrows,
+               const uint32_t* wrows, size_t num_rows, const int32_t* wtile,
+               size_t stride, size_t jn) {
+  double* __restrict s0 = t0.sums;
+  for (size_t i = 0; i < num_rows; ++i) {
+    double v0 = t0.values != nullptr ? t0.values[vrows[i]] : t0.constant_value;
+    const int32_t* __restrict w =
+        wtile + (wrows != nullptr ? wrows[i] : i) * stride;
+    for (size_t j = 0; j < jn; ++j) s0[j] += v0 * static_cast<double>(w[j]);
+  }
+}
+
+void SumSweep2(const ReplicateTarget& t0, const ReplicateTarget& t1,
+               const uint32_t* vrows, const uint32_t* wrows, size_t num_rows,
+               const int32_t* wtile, size_t stride, size_t jn) {
+  double* __restrict s0 = t0.sums;
+  double* __restrict s1 = t1.sums;
+  for (size_t i = 0; i < num_rows; ++i) {
+    double v0 = t0.values != nullptr ? t0.values[vrows[i]] : t0.constant_value;
+    double v1 = t1.values != nullptr ? t1.values[vrows[i]] : t1.constant_value;
+    const int32_t* __restrict w =
+        wtile + (wrows != nullptr ? wrows[i] : i) * stride;
+    for (size_t j = 0; j < jn; ++j) {
+      double wd = static_cast<double>(w[j]);
+      s0[j] += v0 * wd;
+      s1[j] += v1 * wd;
+    }
+  }
+}
+
+void SumSweep3(const ReplicateTarget& t0, const ReplicateTarget& t1,
+               const ReplicateTarget& t2, const uint32_t* vrows,
+               const uint32_t* wrows, size_t num_rows, const int32_t* wtile,
+               size_t stride, size_t jn) {
+  double* __restrict s0 = t0.sums;
+  double* __restrict s1 = t1.sums;
+  double* __restrict s2 = t2.sums;
+  for (size_t i = 0; i < num_rows; ++i) {
+    double v0 = t0.values != nullptr ? t0.values[vrows[i]] : t0.constant_value;
+    double v1 = t1.values != nullptr ? t1.values[vrows[i]] : t1.constant_value;
+    double v2 = t2.values != nullptr ? t2.values[vrows[i]] : t2.constant_value;
+    const int32_t* __restrict w =
+        wtile + (wrows != nullptr ? wrows[i] : i) * stride;
+    for (size_t j = 0; j < jn; ++j) {
+      double wd = static_cast<double>(w[j]);
+      s0[j] += v0 * wd;
+      s1[j] += v1 * wd;
+      s2[j] += v2 * wd;
+    }
+  }
+}
+
+void SumSweep4(const ReplicateTarget& t0, const ReplicateTarget& t1,
+               const ReplicateTarget& t2, const ReplicateTarget& t3,
+               const uint32_t* vrows, const uint32_t* wrows, size_t num_rows,
+               const int32_t* wtile, size_t stride, size_t jn) {
+  double* __restrict s0 = t0.sums;
+  double* __restrict s1 = t1.sums;
+  double* __restrict s2 = t2.sums;
+  double* __restrict s3 = t3.sums;
+  for (size_t i = 0; i < num_rows; ++i) {
+    double v0 = t0.values != nullptr ? t0.values[vrows[i]] : t0.constant_value;
+    double v1 = t1.values != nullptr ? t1.values[vrows[i]] : t1.constant_value;
+    double v2 = t2.values != nullptr ? t2.values[vrows[i]] : t2.constant_value;
+    double v3 = t3.values != nullptr ? t3.values[vrows[i]] : t3.constant_value;
+    const int32_t* __restrict w =
+        wtile + (wrows != nullptr ? wrows[i] : i) * stride;
+    for (size_t j = 0; j < jn; ++j) {
+      double wd = static_cast<double>(w[j]);
+      s0[j] += v0 * wd;
+      s1[j] += v1 * wd;
+      s2[j] += v2 * wd;
+      s3[j] += v3 * wd;
+    }
+  }
+}
+
+// A target whose every per-row contribution is exactly the weight itself:
+// COUNT(*) contributes 1.0 * w to its sum and w to its count, so both
+// streams collapse into the shared column-sum application.
+bool IsCountLike(const ReplicateTarget& t) {
+  return t.values == nullptr && t.constant_value == 1.0;
+}
+
+}  // namespace
+
+void TiledReplicateUpdate(const ReplicateTarget* targets, size_t num_targets,
+                          const uint32_t* vrows, const uint32_t* wrows,
+                          size_t num_rows, const int32_t* wtile, size_t b,
+                          const int32_t* col_sums) {
+  if (num_rows == 0 || b == 0 || num_targets == 0) return;
+  if (wrows != nullptr) col_sums = nullptr;  // precomputed sums cover rows 0..n-1
+  constexpr size_t kChunk = 512;  // replicate block: dcount stays on the stack
+  int32_t dcount[kChunk];
+  for (size_t j0 = 0; j0 < b; j0 += kChunk) {
+    const size_t jn = b - j0 < kChunk ? b - j0 : kChunk;
+    const int32_t* dc = dcount;
+    if (col_sums != nullptr) {
+      dc = col_sums + j0;
+    } else {
+      WeightColumnSums(wrows, num_rows, wtile + j0, b, jn, dcount);
+    }
+    // Per-row sum sweeps for the value-carrying targets, in blocks of up to
+    // four streams. Count-like targets have no per-row work at all.
+    const ReplicateTarget* vt[4];
+    size_t nv = 0;
+    auto flush = [&]() {
+      auto off = [&](const ReplicateTarget* t) {
+        ReplicateTarget shifted = *t;
+        shifted.sums += j0;
+        return shifted;
+      };
+      switch (nv) {
+        case 1:
+          SumSweep1(off(vt[0]), vrows, wrows, num_rows, wtile + j0, b, jn);
+          break;
+        case 2:
+          SumSweep2(off(vt[0]), off(vt[1]), vrows, wrows, num_rows, wtile + j0,
+                    b, jn);
+          break;
+        case 3:
+          SumSweep3(off(vt[0]), off(vt[1]), off(vt[2]), vrows, wrows, num_rows,
+                    wtile + j0, b, jn);
+          break;
+        case 4:
+          SumSweep4(off(vt[0]), off(vt[1]), off(vt[2]), off(vt[3]), vrows,
+                    wrows, num_rows, wtile + j0, b, jn);
+          break;
+        default:
+          break;
+      }
+      nv = 0;
+    };
+    for (size_t a = 0; a < num_targets; ++a) {
+      if (IsCountLike(targets[a])) continue;
+      vt[nv++] = &targets[a];
+      if (nv == 4) flush();
+    }
+    flush();
+    // Every target's count stream — and a count-like target's sum stream —
+    // receives exactly the integer column sums, folded in with one add per
+    // replicate (see the header for why this is bit-exact).
+    for (size_t a = 0; a < num_targets; ++a) {
+      ApplyWeightColumnSums(dc, targets[a].counts + j0, jn);
+      if (IsCountLike(targets[a])) {
+        ApplyWeightColumnSums(dc, targets[a].sums + j0, jn);
+      }
+    }
+  }
+}
+
+}  // namespace kernels
+}  // namespace gola

@@ -43,6 +43,7 @@ class CountState : public AggState {
     GOLA_ASSIGN_OR_RETURN(count_, vals[0].ToDouble());
     return Status::OK();
   }
+  SimpleSlots simple_slots() override { return {nullptr, &count_, nullptr}; }
 
  private:
   double count_ = 0;
@@ -77,6 +78,7 @@ class SumState : public AggState {
     any_ = !vals[1].is_null() && vals[1].AsBool();
     return Status::OK();
   }
+  SimpleSlots simple_slots() override { return {&sum_, nullptr, &any_}; }
 
  private:
   double sum_ = 0;
@@ -112,6 +114,7 @@ class AvgState : public AggState {
     GOLA_ASSIGN_OR_RETURN(count_, vals[1].ToDouble());
     return Status::OK();
   }
+  SimpleSlots simple_slots() override { return {&sum_, &count_, nullptr}; }
 
  private:
   double sum_ = 0;
@@ -319,7 +322,13 @@ class MinMaxFunction : public AggregateFunction {
  public:
   explicit MinMaxFunction(bool is_min) : is_min_(is_min) {}
   const char* name() const override { return is_min_ ? "MIN" : "MAX"; }
-  Result<TypeId> ResultType(TypeId input) const override { return input; }
+  Result<TypeId> ResultType(TypeId input) const override {
+    // Numeric (and bool) arguments are fed through UpdateNumeric, so the
+    // retained extremum is a FLOAT64 regardless of the input width; only
+    // non-numeric inputs (strings) keep their type.
+    if (IsNumeric(input) || input == TypeId::kBool) return TypeId::kFloat64;
+    return input;
+  }
   std::unique_ptr<AggState> CreateState() const override {
     return std::make_unique<MinMaxState>(is_min_);
   }

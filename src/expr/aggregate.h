@@ -40,6 +40,22 @@ class AggState {
   virtual Value Finalize(double scale) const = 0;
   virtual std::unique_ptr<AggState> Clone() const = 0;
 
+  /// Direct accumulator access for the vectorized kernels. States whose
+  /// UpdateNumeric(v, 1.0) is exactly "sum += v; count += 1; any = true"
+  /// over some subset of these slots expose them here; everything else
+  /// returns empty slots and goes through the virtual per-row path. A
+  /// kernel using the slots must replicate the per-row add sequence of
+  /// repeated UpdateNumeric calls (read slot, add rows in order, write
+  /// back) so vectorized and row-at-a-time execution stay bit-identical.
+  struct SimpleSlots {
+    double* sum = nullptr;
+    double* count = nullptr;
+    bool* any = nullptr;
+
+    bool usable() const { return sum != nullptr || count != nullptr; }
+  };
+  virtual SimpleSlots simple_slots() { return {}; }
+
   /// Checkpoint support: flattens the state's dynamic fields into Values
   /// (the checkpoint layer handles the wire encoding). LoadState runs on a
   /// freshly CreateState()'d object of the same function, so constructor

@@ -1,6 +1,7 @@
 #include "expr/evaluator.h"
 
 #include <cmath>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -317,6 +318,117 @@ Result<std::vector<uint8_t>> EvaluatePredicate(const Expr& expr, const Chunk& ch
   std::vector<uint8_t> out(n);
   for (size_t i = 0; i < n; ++i) out[i] = (!c.IsNull(i) && c.bools()[i] != 0) ? 1 : 0;
   return out;
+}
+
+namespace {
+
+// Recognizes <column cmp literal> (either side order) with a bound in-scope
+// column and a non-NULL literal — the shape the selection-vector fast path
+// handles. NULL literals and outer-scope references take the generic path so
+// their (error) semantics stay byte-for-byte those of EvalComparison.
+bool MatchColumnLiteralCmp(const Expr& expr, const Chunk& chunk, const Expr** col_out,
+                           const Value** lit_out, CmpOp* op_out) {
+  if (expr.kind != ExprKind::kComparison || expr.children.size() != 2) return false;
+  const Expr* a = expr.children[0].get();
+  const Expr* b = expr.children[1].get();
+  CmpOp op = expr.cmp_op;
+  if (a->kind == ExprKind::kLiteral && b->kind == ExprKind::kColumnRef) {
+    std::swap(a, b);
+    op = FlipCmp(op);
+  }
+  if (a->kind != ExprKind::kColumnRef || b->kind != ExprKind::kLiteral) return false;
+  if (a->from_outer_scope || a->column_index < 0 ||
+      static_cast<size_t>(a->column_index) >= chunk.num_columns()) {
+    return false;
+  }
+  if (b->literal.is_null()) return false;
+  *col_out = a;
+  *lit_out = &b->literal;
+  *op_out = op;
+  return true;
+}
+
+}  // namespace
+
+Status EvaluatePredicateInto(const Expr& expr, const Chunk& chunk,
+                             const BroadcastEnv* env, SelectionVector* sel) {
+  // An empty selection cannot grow back; skipping the remaining conjuncts is
+  // the point of carrying a selection vector in the first place.
+  if (sel->empty()) return Status::OK();
+
+  if (expr.kind == ExprKind::kLiteral && expr.literal.type() == TypeId::kBool) {
+    if (!expr.literal.AsBool()) sel->clear();
+    return Status::OK();
+  }
+
+  // AND refines in sequence: each conjunct only ever looks at survivors.
+  if (expr.kind == ExprKind::kLogical && expr.logical_op == LogicalOp::kAnd) {
+    GOLA_RETURN_NOT_OK(EvaluatePredicateInto(*expr.children[0], chunk, env, sel));
+    return EvaluatePredicateInto(*expr.children[1], chunk, env, sel);
+  }
+
+  const Expr* col_expr = nullptr;
+  const Value* lit = nullptr;
+  CmpOp op = CmpOp::kEq;
+  if (MatchColumnLiteralCmp(expr, chunk, &col_expr, &lit, &op)) {
+    const Column& col = chunk.column(static_cast<size_t>(col_expr->column_index));
+    size_t kept = 0;
+    if (col.type() == TypeId::kString || lit->type() == TypeId::kString) {
+      if (col.type() != lit->type()) {
+        return Status::TypeError("cannot compare STRING with non-STRING: " +
+                                 expr.ToString());
+      }
+      const auto& data = col.strings();
+      const std::string& s = lit->AsString();
+      for (uint32_t r : *sel) {
+        if (!col.IsNull(r) && CompareStrings(op, data[r], s)) (*sel)[kept++] = r;
+      }
+    } else {
+      // Numeric comparisons widen both sides to double, exactly like
+      // EvalComparison's NumericAt loop (int==int included).
+      double d = lit->ToDouble().value();
+      switch (col.type()) {
+        case TypeId::kInt64: {
+          const auto& data = col.ints();
+          for (uint32_t r : *sel) {
+            if (!col.IsNull(r) && CompareValues(op, static_cast<double>(data[r]), d)) {
+              (*sel)[kept++] = r;
+            }
+          }
+          break;
+        }
+        case TypeId::kFloat64: {
+          const auto& data = col.floats();
+          for (uint32_t r : *sel) {
+            if (!col.IsNull(r) && CompareValues(op, data[r], d)) (*sel)[kept++] = r;
+          }
+          break;
+        }
+        case TypeId::kBool: {
+          const auto& data = col.bools();
+          for (uint32_t r : *sel) {
+            if (!col.IsNull(r) && CompareValues(op, data[r] ? 1.0 : 0.0, d)) {
+              (*sel)[kept++] = r;
+            }
+          }
+          break;
+        }
+        default:
+          return Status::Internal("unexpected column type in predicate fast path");
+      }
+    }
+    sel->resize(kept);
+    return Status::OK();
+  }
+
+  // Generic shape: evaluate the full mask once and intersect.
+  GOLA_ASSIGN_OR_RETURN(std::vector<uint8_t> mask, EvaluatePredicate(expr, chunk, env));
+  size_t kept = 0;
+  for (uint32_t r : *sel) {
+    if (mask[r]) (*sel)[kept++] = r;
+  }
+  sel->resize(kept);
+  return Status::OK();
 }
 
 Result<Value> EvaluateScalar(const Expr& expr, const BroadcastEnv* env) {

@@ -70,6 +70,19 @@ Result<Column> Evaluate(const Expr& expr, const Chunk& chunk,
 Result<std::vector<uint8_t>> EvaluatePredicate(const Expr& expr, const Chunk& chunk,
                                                const BroadcastEnv* env = nullptr);
 
+/// A selection vector: indices of surviving rows, ascending. The unit the
+/// vectorized filter/group-by kernels exchange instead of boolean masks.
+using SelectionVector = std::vector<uint32_t>;
+
+/// Refines `sel` — candidate row indices of `chunk`, ascending — down to the
+/// rows where `expr` evaluates to (non-NULL) TRUE. <column cmp literal>
+/// shapes and AND-conjunctions take type-specialized paths that touch only
+/// the selected rows and materialize no boolean column; everything else
+/// falls back to EvaluatePredicate over the full chunk and intersects.
+/// Selects exactly the rows EvaluatePredicate's mask would.
+Status EvaluatePredicateInto(const Expr& expr, const Chunk& chunk,
+                             const BroadcastEnv* env, SelectionVector* sel);
+
 /// Evaluates an expression that references no columns (constant folding /
 /// single-row evaluation). Used for literals and subquery result exprs.
 Result<Value> EvaluateScalar(const Expr& expr, const BroadcastEnv* env = nullptr);

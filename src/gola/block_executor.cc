@@ -78,6 +78,7 @@ ExecContext OnlineBlockExec::MakeContext(double scale, OnlineEnv* env) {
   ctx.seed = options_->seed;
   ctx.env = &env->point_env();
   ctx.metrics = &metrics_;
+  ctx.vectorized = options_->vectorized;
   ctx.max_morsel_retries = options_->max_morsel_retries;
   ctx.retry_backoff_ms = options_->retry_backoff_ms;
   return ctx;
@@ -364,7 +365,7 @@ Status OnlineBlockExec::Emit(double scale, OnlineEnv* env) {
     }
     Chunk passing = uncertain_.Filter(mask);
     if (passing.num_rows() > 0) {
-      GOLA_RETURN_NOT_OK(overlay.Update(passing, point));
+      GOLA_RETURN_NOT_OK(overlay.Update(passing, point, options_->vectorized));
     }
   }
 

@@ -3,9 +3,66 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "exec/kernels/agg_kernels.h"
+#include "exec/kernels/group_ids.h"
+#include "obs/trace.h"
 #include "storage/serde.h"
 
 namespace gola {
+
+namespace {
+
+// Group-key and aggregate-argument columns for one fold input; shared by the
+// row-at-a-time and vectorized folds so both see identical values.
+Status EvalFoldInputs(const BlockDef& block, const Chunk& input, const BroadcastEnv* env,
+                      std::vector<Column>* key_cols, std::vector<Column>* arg_cols,
+                      std::vector<bool>* has_arg) {
+  key_cols->reserve(block.group_by.size());
+  for (const auto& g : block.group_by) {
+    GOLA_ASSIGN_OR_RETURN(Column c, Evaluate(*g, input, env));
+    key_cols->push_back(std::move(c));
+  }
+  for (const auto& agg : block.aggs) {
+    if (agg.call->children.empty()) {
+      arg_cols->emplace_back(TypeId::kFloat64);
+      has_arg->push_back(false);
+    } else {
+      GOLA_ASSIGN_OR_RETURN(Column c, Evaluate(*agg.call->children[0], input, env));
+      arg_cols->push_back(std::move(c));
+      has_arg->push_back(true);
+    }
+  }
+  return Status::OK();
+}
+
+GroupEntry NewGroupEntry(const BlockDef& block, const PoissonWeights* weights) {
+  GroupEntry entry;
+  entry.aggs.reserve(block.aggs.size());
+  for (const auto& agg : block.aggs) entry.aggs.emplace_back(agg.fn, weights);
+  return entry;
+}
+
+// Copy-on-write find-or-create shared by both folds: probe `map`, else clone
+// the group from `clone_source` if present there, else create fresh states.
+GroupMap::iterator FindOrCreateGroup(GroupMap* map, const GroupMap* clone_source,
+                                     const GroupKey& key, const BlockDef& block,
+                                     const PoissonWeights* weights) {
+  auto it = map->find(key);
+  if (it != map->end()) return it;
+  if (clone_source != nullptr) {
+    auto src = clone_source->find(key);
+    if (src != clone_source->end()) {
+      GroupEntry cloned;
+      cloned.rows = src->second.rows;
+      cloned.aggs.reserve(src->second.aggs.size());
+      for (const auto& s : src->second.aggs) cloned.aggs.push_back(s.Clone());
+      return map->emplace(key, std::move(cloned)).first;
+    }
+  }
+  return map->emplace(key, NewGroupEntry(block, weights)).first;
+}
+
+}  // namespace
 
 Chunk PostAggChunk::ReplicateChunk(size_t j, size_t num_group_cols) const {
   std::vector<Column> cols;
@@ -45,30 +102,9 @@ Status UpdateGroupMap(const BlockDef& block, const PoissonWeights* weights,
   }
 
   std::vector<Column> key_cols;
-  key_cols.reserve(block.group_by.size());
-  for (const auto& g : block.group_by) {
-    GOLA_ASSIGN_OR_RETURN(Column c, Evaluate(*g, input, env));
-    key_cols.push_back(std::move(c));
-  }
   std::vector<Column> arg_cols;
   std::vector<bool> has_arg;
-  for (const auto& agg : block.aggs) {
-    if (agg.call->children.empty()) {
-      arg_cols.emplace_back(TypeId::kFloat64);
-      has_arg.push_back(false);
-    } else {
-      GOLA_ASSIGN_OR_RETURN(Column c, Evaluate(*agg.call->children[0], input, env));
-      arg_cols.push_back(std::move(c));
-      has_arg.push_back(true);
-    }
-  }
-
-  auto new_states = [&]() {
-    GroupEntry entry;
-    entry.aggs.reserve(block.aggs.size());
-    for (const auto& agg : block.aggs) entry.aggs.emplace_back(agg.fn, weights);
-    return entry;
-  };
+  GOLA_RETURN_NOT_OK(EvalFoldInputs(block, input, env, &key_cols, &arg_cols, &has_arg));
 
   const auto& serials = input.serials();
   GroupKey key;
@@ -76,21 +112,7 @@ Status UpdateGroupMap(const BlockDef& block, const PoissonWeights* weights,
   std::vector<int32_t> row_weights;  // one replicate-weight vector per row
   for (size_t i = 0; i < n; ++i) {
     for (size_t k = 0; k < key_cols.size(); ++k) key.values[k] = key_cols[k].GetValue(i);
-    auto it = map->find(key);
-    if (it == map->end()) {
-      // Copy-on-write: clone from the base map if the group exists there.
-      if (clone_source != nullptr) {
-        auto src = clone_source->find(key);
-        if (src != clone_source->end()) {
-          GroupEntry cloned;
-          cloned.rows = src->second.rows;
-          cloned.aggs.reserve(src->second.aggs.size());
-          for (const auto& s : src->second.aggs) cloned.aggs.push_back(s.Clone());
-          it = map->emplace(key, std::move(cloned)).first;
-        }
-      }
-      if (it == map->end()) it = map->emplace(key, new_states()).first;
-    }
+    auto it = FindOrCreateGroup(map, clone_source, key, block, weights);
     GroupEntry& entry = it->second;
     ++entry.rows;
     if (weights != nullptr) weights->WeightsFor(serials[i], &row_weights);
@@ -110,12 +132,178 @@ Status UpdateGroupMap(const BlockDef& block, const PoissonWeights* weights,
   return Status::OK();
 }
 
+Status UpdateGroupMapVectorized(const BlockDef& block, const PoissonWeights* weights,
+                                const Chunk& input, const BroadcastEnv* env,
+                                GroupMap* map, const GroupMap* clone_source) {
+  size_t n = input.num_rows();
+  if (n == 0) return Status::OK();
+  if (!input.has_serials()) {
+    return Status::Internal("online aggregation requires row serials");
+  }
+  obs::TraceSpan span("kernel_fold", "rows", static_cast<int64_t>(n));
+
+  std::vector<Column> key_cols;
+  std::vector<Column> arg_cols;
+  std::vector<bool> has_arg;
+  GOLA_RETURN_NOT_OK(EvalFoldInputs(block, input, env, &key_cols, &arg_cols, &has_arg));
+
+  kernels::GroupIds gids;
+  GOLA_RETURN_NOT_OK(kernels::ComputeGroupIds(key_cols, n, /*force_generic=*/false, &gids));
+  kernels::BuildGroupRows(&gids);
+
+  // Widen numeric argument columns once per chunk (same doubles the reference
+  // path produces per row via NumericAt).
+  std::vector<std::vector<double>> widened(arg_cols.size());
+  std::vector<std::vector<uint8_t>> valid(arg_cols.size());
+  std::vector<bool> numeric(arg_cols.size(), false);
+  for (size_t a = 0; a < arg_cols.size(); ++a) {
+    if (!has_arg[a]) continue;
+    if (IsNumeric(arg_cols[a].type()) || arg_cols[a].type() == TypeId::kBool) {
+      numeric[a] = true;
+      GOLA_ASSIGN_OR_RETURN(
+          widened[a],
+          arg_cols[a].ToFloat64(arg_cols[a].has_nulls() ? &valid[a] : nullptr));
+    }
+  }
+
+  // Poisson weights are generated per row TILE, not for the whole chunk: a
+  // kRowTile x b matrix (<= ~100 KiB at B = 200) stays cache-resident across
+  // the fused replicate sweep, where a chunk-wide matrix would stream from
+  // memory. Tile row i equals WeightsFor(serial of the i-th selected row)
+  // element-for-element.
+  size_t b = weights != nullptr ? static_cast<size_t>(weights->num_replicates()) : 0;
+  constexpr size_t kRowTile = 128;
+  std::vector<int64_t> tile_serials;
+  std::vector<int32_t> wtile;
+  std::vector<int32_t> wcol_sums;  // per-tile weight column sums (int-exact)
+  if (b > 0) {
+    tile_serials.resize(kRowTile);
+    wtile.resize(kRowTile * b);
+    wcol_sums.resize(b);
+  }
+  const int64_t* serials = input.serials().data();
+
+  std::vector<uint32_t> nn_rows;   // scratch: null-filtered row list (chunk row ids)
+  std::vector<uint32_t> nn_wrows;  // parallel: their weight-tile row indices
+  std::vector<kernels::ReplicateTarget> fused;  // unfiltered flat targets per tile
+  std::vector<AggState::SimpleSlots> slots_vec;
+  std::vector<uint8_t> flat_vec;
+  for (size_t g = 0; g < gids.num_groups; ++g) {
+    const uint32_t* rows = gids.group_rows.data() + gids.group_offsets[g];
+    size_t cnt = gids.group_offsets[g + 1] - gids.group_offsets[g];
+    GroupKey key = kernels::GroupKeyAt(key_cols, gids.first_row[g]);
+    auto it = FindOrCreateGroup(map, clone_source, key, block, weights);
+    GroupEntry& entry = it->second;
+    entry.rows += static_cast<int64_t>(cnt);
+
+    const size_t num_aggs = entry.aggs.size();
+    slots_vec.assign(num_aggs, AggState::SimpleSlots{});
+    flat_vec.assign(num_aggs, 0);
+    for (size_t a = 0; a < num_aggs; ++a) {
+      if (entry.aggs[a].has_flat_replicates()) {
+        flat_vec[a] = 1;
+        slots_vec[a] = entry.aggs[a].main_state()->simple_slots();
+      }
+    }
+
+    for (size_t t0 = 0; t0 < cnt; t0 += kRowTile) {
+      const size_t tn = std::min(cnt - t0, kRowTile);
+      const uint32_t* trows = rows + t0;
+      if (b > 0) {
+        for (size_t i = 0; i < tn; ++i) tile_serials[i] = serials[trows[i]];
+        weights->FillMatrix(tile_serials.data(), tn, wtile.data(),
+                            wcol_sums.data());
+      }
+      auto weight_row = [&](size_t tile_i) -> const int32_t* {
+        return b > 0 ? wtile.data() + tile_i * b : nullptr;
+      };
+      // Fast-path aggregates whose row set is the whole tile are collected
+      // into one fused sweep over the weight tile; null-filtered ones sweep
+      // individually with their own selection. Interleavings across
+      // aggregates touch disjoint accumulators, so both stay bit-identical
+      // to the reference's per-row order.
+      fused.clear();
+      for (size_t a = 0; a < num_aggs; ++a) {
+        ReplicatedAgg& agg = entry.aggs[a];
+        const bool flat = flat_vec[a] != 0;
+        const AggState::SimpleSlots& slots = slots_vec[a];
+        if (!has_arg[a]) {
+          // COUNT(*): every row contributes v = 1.0.
+          if (flat && slots.usable()) {
+            kernels::AccumulateSimpleMain(slots, nullptr, 1.0, trows, tn);
+            fused.push_back({nullptr, 1.0, agg.flat_sum_data(), agg.flat_count_data()});
+          } else {
+            for (size_t i = 0; i < tn; ++i) {
+              agg.UpdateValueWeighted(Value::Int(1), weight_row(i), b);
+            }
+          }
+          continue;
+        }
+        const Column& col = arg_cols[a];
+        if (numeric[a]) {
+          const uint32_t* sel = trows;
+          const uint32_t* wsel = nullptr;  // identity: tile row i
+          size_t sel_n = tn;
+          if (!valid[a].empty()) {
+            nn_rows.clear();
+            nn_wrows.clear();
+            for (size_t i = 0; i < tn; ++i) {
+              if (valid[a][trows[i]]) {
+                nn_rows.push_back(trows[i]);
+                nn_wrows.push_back(static_cast<uint32_t>(i));
+              }
+            }
+            sel = nn_rows.data();
+            wsel = nn_wrows.data();
+            sel_n = nn_rows.size();
+          }
+          if (flat && slots.usable()) {
+            kernels::AccumulateSimpleMain(slots, widened[a].data(), 0.0, sel, sel_n);
+            if (wsel == nullptr) {
+              fused.push_back(
+                  {widened[a].data(), 0.0, agg.flat_sum_data(), agg.flat_count_data()});
+            } else {
+              kernels::ReplicateTarget one{widened[a].data(), 0.0, agg.flat_sum_data(),
+                                           agg.flat_count_data()};
+              kernels::TiledReplicateUpdate(&one, 1, sel, wsel, sel_n, wtile.data(), b);
+            }
+          } else {
+            for (size_t i = 0; i < sel_n; ++i) {
+              size_t tile_i = wsel != nullptr ? wsel[i] : i;
+              agg.UpdateNumericWeighted(widened[a][sel[i]], weight_row(tile_i), b);
+            }
+          }
+        } else if (flat) {
+          // Simple aggregate over a string argument: every non-null value
+          // fails to widen, so the fold is a no-op (matches the reference).
+        } else {
+          for (size_t i = 0; i < tn; ++i) {
+            uint32_t r = trows[i];
+            if (col.IsNull(r)) continue;
+            agg.UpdateValueWeighted(col.GetValue(r), weight_row(i), b);
+          }
+        }
+      }
+      if (!fused.empty() && b > 0) {
+        kernels::TiledReplicateUpdate(fused.data(), fused.size(), trows,
+                                      /*wrows=*/nullptr, tn, wtile.data(), b,
+                                      wcol_sums.data());
+      }
+    }
+  }
+  return Status::OK();
+}
+
 OnlineAggregate::OnlineAggregate(const BlockDef* block, const PoissonWeights* weights)
     : block_(block), weights_(weights) {
   GOLA_CHECK(block_->is_aggregate);
 }
 
-Status OnlineAggregate::Update(const Chunk& input, const BroadcastEnv* env) {
+Status OnlineAggregate::Update(const Chunk& input, const BroadcastEnv* env,
+                               bool vectorized) {
+  if (vectorized) {
+    return UpdateGroupMapVectorized(*block_, weights_, input, env, &groups_, nullptr);
+  }
   return UpdateGroupMap(*block_, weights_, input, env, &groups_, nullptr);
 }
 
@@ -194,7 +382,12 @@ GroupStates OnlineAggregate::NewStates() const {
   return entry;
 }
 
-Status AggOverlay::Update(const Chunk& input, const BroadcastEnv* env) {
+Status AggOverlay::Update(const Chunk& input, const BroadcastEnv* env,
+                          bool vectorized) {
+  if (vectorized) {
+    return UpdateGroupMapVectorized(*base_->block_, base_->weights_, input, env,
+                                    &delta_, &base_->groups_);
+  }
   return UpdateGroupMap(*base_->block_, base_->weights_, input, env, &delta_,
                         &base_->groups_);
 }

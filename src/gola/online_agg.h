@@ -54,7 +54,9 @@ class OnlineAggregate {
 
   /// Folds an input chunk (must carry serials) into the deterministic
   /// states. `env` supplies point broadcast values for group/agg exprs.
-  Status Update(const Chunk& input, const BroadcastEnv* env);
+  /// `vectorized` selects the chunk-at-a-time kernel fold; results are
+  /// bit-identical either way (the row path is the reference oracle).
+  Status Update(const Chunk& input, const BroadcastEnv* env, bool vectorized = true);
 
   /// Merges a partial GroupMap built over a disjoint morsel into the
   /// deterministic states. Callers merge partials in morsel order so the
@@ -95,7 +97,7 @@ class AggOverlay {
 
   /// Folds currently-passing uncertain tuples (chunk must carry serials);
   /// touched base groups are cloned on first touch.
-  Status Update(const Chunk& input, const BroadcastEnv* env);
+  Status Update(const Chunk& input, const BroadcastEnv* env, bool vectorized = true);
 
   /// Group states as visible through the overlay.
   const GroupStates* Find(const GroupKey& key) const;
@@ -112,10 +114,18 @@ class AggOverlay {
   GroupMap delta_;
 };
 
-/// Shared row-at-a-time fold used by both classes.
+/// Shared row-at-a-time fold used by both classes — the bit-identity
+/// reference for the vectorized kernel fold below.
 Status UpdateGroupMap(const BlockDef& block, const PoissonWeights* weights,
                       const Chunk& input, const BroadcastEnv* env, GroupMap* map,
                       const GroupMap* clone_source);
+
+/// Chunk-at-a-time kernel fold: dense group ids, one map probe per (group,
+/// chunk), a whole-chunk Poisson weight matrix, and tiled flat-replicate
+/// sweeps for the SimpleAggKind states. Bit-identical to UpdateGroupMap.
+Status UpdateGroupMapVectorized(const BlockDef& block, const PoissonWeights* weights,
+                                const Chunk& input, const BroadcastEnv* env,
+                                GroupMap* map, const GroupMap* clone_source);
 
 }  // namespace gola
 

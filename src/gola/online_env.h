@@ -37,6 +37,12 @@ struct GolaOptions {
   /// Pre-shuffle rows (the paper's shuffle preprocessing tool); false keeps
   /// only partition-wise randomness.
   bool row_shuffle = true;
+  /// Vectorized execution kernels: selection-vector filters, chunk-at-a-time
+  /// group-id computation, flat aggregate slots and tiled bootstrap-replicate
+  /// updates. false selects the row-at-a-time reference path. Results are
+  /// bit-identical either way — this is a performance switch, not a
+  /// semantics switch.
+  bool vectorized = true;
   /// Worker pool for the morsel-parallel delta pipelines (null → every
   /// batch runs on the calling thread). Results are bit-identical across
   /// pool sizes: the morsel plan and partial-merge order never depend on it.

@@ -143,8 +143,11 @@ Result<ClassifyStage::Split> OnlineClassifyStage::Classify(size_t morsel_index,
     }
   }
 
-  std::vector<uint8_t> det_true(n, 0);
-  std::vector<uint8_t> keep_uncertain(n, 0);
+  // Selection vectors, not boolean masks: each row lands in at most one of
+  // the two survivor lists, and the split is materialized with one gather
+  // per side instead of two full-width mask filters.
+  SelectionVector fold_sel;
+  SelectionVector uncertain_sel;
   for (size_t i = 0; i < n; ++i) {
     TriState combined = TriState::kTrue;
     for (size_t c = 0; c < block_->uncertain_conjuncts.size(); ++c) {
@@ -208,12 +211,14 @@ Result<ClassifyStage::Split> OnlineClassifyStage::Classify(size_t morsel_index,
       combined = CombineConjuncts(combined, t);
       if (combined == TriState::kFalse) break;
     }
-    if (combined == TriState::kTrue) det_true[i] = 1;
-    else if (combined == TriState::kUncertain) keep_uncertain[i] = 1;
+    if (combined == TriState::kTrue) fold_sel.push_back(static_cast<uint32_t>(i));
+    else if (combined == TriState::kUncertain) {
+      uncertain_sel.push_back(static_cast<uint32_t>(i));
+    }
   }
 
-  out.fold = in.Filter(det_true);
-  out.uncertain = in.Filter(keep_uncertain);
+  out.uncertain = in.Gather(uncertain_sel);
+  out.fold = fold_sel.size() == n ? std::move(in) : in.Gather(fold_sel);
   return out;
 }
 
@@ -322,8 +327,13 @@ Status OnlineFoldStage::Consume(size_t morsel_index, Chunk in, const ExecContext
   GroupMap local;
   GOLA_FAILPOINT_RETURN("bootstrap.replicate");
   if (in.num_rows() > 0) {
-    GOLA_RETURN_NOT_OK(UpdateGroupMap(*agg_->block(), agg_->weights(), in, ctx.env,
-                                      &local, nullptr));
+    if (ctx.vectorized) {
+      GOLA_RETURN_NOT_OK(UpdateGroupMapVectorized(*agg_->block(), agg_->weights(), in,
+                                                  ctx.env, &local, nullptr));
+    } else {
+      GOLA_RETURN_NOT_OK(UpdateGroupMap(*agg_->block(), agg_->weights(), in, ctx.env,
+                                        &local, nullptr));
+    }
   }
   partials_[morsel_index] = std::move(local);
   return Status::OK();

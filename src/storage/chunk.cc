@@ -47,6 +47,20 @@ Chunk Chunk::Take(const std::vector<int64_t>& indices) const {
   return out;
 }
 
+Chunk Chunk::Gather(const std::vector<uint32_t>& indices) const {
+  std::vector<Column> cols;
+  cols.reserve(columns_.size());
+  for (const auto& c : columns_) cols.push_back(c.Gather(indices.data(), indices.size()));
+  Chunk out(schema_, std::move(cols));
+  if (!serials_.empty()) {
+    std::vector<int64_t> s;
+    s.reserve(indices.size());
+    for (uint32_t idx : indices) s.push_back(serials_[idx]);
+    out.serials_ = std::move(s);
+  }
+  return out;
+}
+
 Chunk Chunk::Slice(size_t offset, size_t length) const {
   std::vector<Column> cols;
   cols.reserve(columns_.size());

@@ -37,6 +37,8 @@ class Chunk {
   /// Rows where sel[i] != 0; serials filtered alongside.
   Chunk Filter(const std::vector<uint8_t>& sel) const;
   Chunk Take(const std::vector<int64_t>& indices) const;
+  /// Gather by a selection vector; serials gathered alongside.
+  Chunk Gather(const std::vector<uint32_t>& indices) const;
   Chunk Slice(size_t offset, size_t length) const;
 
   /// Appends all rows of `other` (schemas must match).

@@ -179,6 +179,22 @@ Column Column::Take(const std::vector<int64_t>& indices) const {
   return out;
 }
 
+Column Column::Gather(const uint32_t* indices, size_t n) const {
+  Column out(type_);
+  std::visit(
+      [&](const auto& vec) {
+        auto& dst = std::get<std::decay_t<decltype(vec)>>(out.data_);
+        dst.reserve(n);
+        for (size_t i = 0; i < n; ++i) dst.push_back(vec[indices[i]]);
+      },
+      data_);
+  if (!nulls_.empty()) {
+    out.nulls_.reserve(n);
+    for (size_t i = 0; i < n; ++i) out.nulls_.push_back(nulls_[indices[i]]);
+  }
+  return out;
+}
+
 Column Column::Slice(size_t offset, size_t length) const {
   GOLA_CHECK(offset + length <= size());
   Column out(type_);

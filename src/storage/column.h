@@ -46,6 +46,8 @@ class Column {
   }
 
   bool IsNull(size_t i) const { return !nulls_.empty() && nulls_[i] != 0; }
+  /// Raw null mask; empty when the column has no nulls.
+  const std::vector<uint8_t>& nulls() const { return nulls_; }
   Value GetValue(size_t i) const;
 
   // Typed accessors; calling the wrong one is a programmer error.
@@ -70,6 +72,8 @@ class Column {
   Column Filter(const std::vector<uint8_t>& sel) const;
   /// Rows at the given indices (gather).
   Column Take(const std::vector<int64_t>& indices) const;
+  /// Gather by a selection vector (ascending or not; indices must be valid).
+  Column Gather(const uint32_t* indices, size_t n) const;
   Column Slice(size_t offset, size_t length) const;
   /// Appends all rows of `other` (same type required).
   Status AppendColumn(const Column& other);

@@ -1,0 +1,226 @@
+// Vectorized ↔ reference bit-identity: the kernel path (GolaOptions /
+// BatchExecOptions vectorized=true, the default) must produce results — point
+// estimates, bootstrap CIs, rsd columns — that are BIT-IDENTICAL to the
+// row-at-a-time reference path, across pool sizes, for every workload query
+// and for randomized group-by shapes (arity 0–3, mixed int/double/string/bool
+// keys, NULLs, every SimpleAggKind plus the generic aggregates).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "gola/gola.h"
+#include "workload/conviva_gen.h"
+#include "workload/queries.h"
+#include "workload/tpch_gen.h"
+
+namespace gola {
+namespace {
+
+// Bitwise table comparison; NaN cells must be NaN on both sides.
+void ExpectBitIdentical(const Table& a, const Table& b, const std::string& what) {
+  ASSERT_EQ(a.num_rows(), b.num_rows()) << what;
+  ASSERT_EQ(a.schema()->num_fields(), b.schema()->num_fields()) << what;
+  for (int64_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.schema()->num_fields(); ++c) {
+      Value va = a.At(r, static_cast<int>(c));
+      Value vb = b.At(r, static_cast<int>(c));
+      if (va.is_null() || vb.is_null()) {
+        EXPECT_TRUE(va.is_null() && vb.is_null())
+            << what << " row " << r << " col " << c;
+        continue;
+      }
+      if (va.type() == TypeId::kString) {
+        EXPECT_TRUE(va == vb) << what << " row " << r << " col " << c;
+        continue;
+      }
+      double da = va.ToDouble().ValueOr(1e100);
+      double db = vb.ToDouble().ValueOr(-1e100);
+      if (std::isnan(da) && std::isnan(db)) continue;
+      EXPECT_EQ(da, db) << what << " row " << r << " col " << c
+                        << " (" << a.schema()->field(c).name << ")";
+    }
+  }
+}
+
+class VectorizedEquivalenceTest : public ::testing::TestWithParam<NamedQuery> {
+ protected:
+  static Engine* engine() {
+    static Engine* instance = [] {
+      auto* e = new Engine();
+      ConvivaGenOptions conviva;
+      conviva.num_rows = 5000;
+      conviva.num_ads = 12;
+      conviva.num_contents = 150;
+      GOLA_CHECK_OK(e->RegisterTable("conviva", GenerateConviva(conviva)));
+      TpchGenOptions tpch;
+      tpch.num_rows = 5000;
+      tpch.num_parts = 50;
+      tpch.num_suppliers = 12;
+      GOLA_CHECK_OK(e->RegisterTable("tpch", GenerateTpch(tpch)));
+      return e;
+    }();
+    return instance;
+  }
+
+  /// Drains the online engine; the returned table carries the point columns
+  /// plus their `_lo`/`_hi`/`_rsd` companions, so comparing it compares the
+  /// estimates, the bootstrap CIs and the relative errors all at once.
+  static Table DrainOnline(const NamedQuery& q, bool vectorized, ThreadPool* pool) {
+    GolaOptions opts;
+    opts.num_batches = 6;
+    opts.bootstrap_replicates = 50;
+    opts.seed = 7;
+    opts.pool = pool;
+    opts.vectorized = vectorized;
+    auto online = engine()->ExecuteOnline(q.sql, opts);
+    GOLA_CHECK_OK(online.status());
+    auto last = (*online)->Run();
+    GOLA_CHECK_OK(last.status());
+    return last->result;
+  }
+};
+
+TEST_P(VectorizedEquivalenceTest, OnlineBitIdenticalToReference) {
+  const NamedQuery& q = GetParam();
+  Table reference = DrainOnline(q, /*vectorized=*/false, nullptr);
+  ThreadPool four(4);
+  // Vectorized serial, vectorized parallel, reference parallel: all four
+  // (vectorized × pool) cells must coincide bitwise.
+  for (bool vec : {true, false}) {
+    for (ThreadPool* pool : {static_cast<ThreadPool*>(nullptr), &four}) {
+      if (!vec && pool == nullptr) continue;  // that's `reference`
+      Table t = DrainOnline(q, vec, pool);
+      ExpectBitIdentical(reference, t,
+                         q.name + (vec ? " vectorized" : " reference") +
+                             (pool ? " pool=4" : " serial"));
+    }
+  }
+}
+
+TEST_P(VectorizedEquivalenceTest, BatchBitIdenticalToReference) {
+  const NamedQuery& q = GetParam();
+  BatchExecOptions ref_opts;
+  ref_opts.vectorized = false;
+  auto reference = engine()->ExecuteBatch(q.sql, ref_opts);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  ThreadPool four(4);
+  for (ThreadPool* pool : {static_cast<ThreadPool*>(nullptr), &four}) {
+    BatchExecOptions opts;
+    opts.vectorized = true;
+    opts.pool = pool;
+    auto vec = engine()->ExecuteBatch(q.sql, opts);
+    ASSERT_TRUE(vec.ok()) << vec.status().ToString();
+    ExpectBitIdentical(*reference, *vec, q.name);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPaperQueries, VectorizedEquivalenceTest,
+                         ::testing::ValuesIn(AllQueries()),
+                         [](const ::testing::TestParamInfo<NamedQuery>& info) {
+                           return info.param.name;
+                         });
+
+// ------------------------------------------------------ randomized shapes --
+
+/// A table exercising every key-column type the group-id kernel specializes:
+/// int, double, string and bool keys (all nullable) plus nullable numeric
+/// and string measure columns.
+Table RandomizedTable(uint64_t seed, int64_t rows) {
+  auto schema = std::make_shared<Schema>(std::vector<Field>{
+      {"ki", TypeId::kInt64},
+      {"kf", TypeId::kFloat64},
+      {"ks", TypeId::kString},
+      {"kb", TypeId::kBool},
+      {"v", TypeId::kFloat64},
+      {"w", TypeId::kInt64},
+      {"name", TypeId::kString},
+  });
+  TableBuilder builder(schema, 512);
+  Rng rng(seed);
+  for (int64_t i = 0; i < rows; ++i) {
+    std::vector<Value> row;
+    row.push_back(rng.UniformInt(0, 12) == 0 ? Value::Null()
+                                             : Value::Int(rng.UniformInt(-3, 3)));
+    row.push_back(rng.UniformInt(0, 12) == 0
+                      ? Value::Null()
+                      : Value::Float(static_cast<double>(rng.UniformInt(-4, 4)) / 2.0));
+    row.push_back(rng.UniformInt(0, 12) == 0
+                      ? Value::Null()
+                      : Value::String(std::string(1, static_cast<char>('a' + rng.UniformInt(0, 3)))));
+    row.push_back(rng.UniformInt(0, 12) == 0 ? Value::Null()
+                                             : Value::Bool(rng.UniformInt(0, 1) == 1));
+    row.push_back(rng.UniformInt(0, 15) == 0 ? Value::Null()
+                                             : Value::Float(rng.Normal(50, 20)));
+    row.push_back(rng.UniformInt(0, 15) == 0 ? Value::Null()
+                                             : Value::Int(rng.UniformInt(0, 1000)));
+    row.push_back(Value::String(std::string(1, static_cast<char>('p' + rng.UniformInt(0, 2)))));
+    builder.AppendRow(row);
+  }
+  return builder.Finish();
+}
+
+TEST(VectorizedRandomizedTest, GroupByShapesBitIdentical) {
+  Engine engine;
+  GOLA_CHECK_OK(engine.RegisterTable("t", RandomizedTable(11, 3000)));
+
+  // Group-by arity 0–3 over mixed key types; every SimpleAggKind fast path
+  // (COUNT(*)/COUNT/SUM/AVG) plus the generic per-state aggregates
+  // (MIN/MAX/VAR/STDDEV) and a string-typed aggregate argument.
+  const std::vector<std::string> queries = {
+      "SELECT COUNT(*), SUM(v), AVG(v), MIN(v), MAX(v) FROM t",
+      "SELECT ki, COUNT(*), SUM(v), AVG(w) FROM t GROUP BY ki",
+      "SELECT kf, COUNT(v), SUM(w), VAR(v) FROM t GROUP BY kf",
+      "SELECT ks, kb, AVG(v), COUNT(*), STDDEV(v) FROM t GROUP BY ks, kb",
+      "SELECT ki, kf, ks, SUM(v), COUNT(w), MIN(w), MAX(v) FROM t "
+      "GROUP BY ki, kf, ks",
+      "SELECT kb, COUNT(name), COUNT(*) FROM t GROUP BY kb",
+  };
+
+  ThreadPool four(4);
+  for (const std::string& sql : queries) {
+    SCOPED_TRACE(sql);
+    // Online: drained result incl. CI/rsd companions, across the
+    // vectorized × pool grid.
+    Table reference;
+    bool have_reference = false;
+    for (bool vec : {false, true}) {
+      for (ThreadPool* pool : {static_cast<ThreadPool*>(nullptr), &four}) {
+        GolaOptions opts;
+        opts.num_batches = 5;
+        opts.bootstrap_replicates = 40;
+        opts.seed = 23;
+        opts.pool = pool;
+        opts.vectorized = vec;
+        auto online = engine.ExecuteOnline(sql, opts);
+        ASSERT_TRUE(online.ok()) << sql << ": " << online.status().ToString();
+        auto last = (*online)->Run();
+        ASSERT_TRUE(last.ok()) << sql << ": " << last.status().ToString();
+        if (!have_reference) {
+          reference = last->result;
+          have_reference = true;
+        } else {
+          ExpectBitIdentical(reference, last->result,
+                             sql + (vec ? " [vec" : " [ref") +
+                                 (pool ? ",pool]" : ",serial]"));
+        }
+      }
+    }
+
+    // Batch: exact answers must also be bit-identical across the switch.
+    BatchExecOptions ref_opts;
+    ref_opts.vectorized = false;
+    auto exact_ref = engine.ExecuteBatch(sql, ref_opts);
+    ASSERT_TRUE(exact_ref.ok()) << sql << ": " << exact_ref.status().ToString();
+    BatchExecOptions vec_opts;
+    vec_opts.vectorized = true;
+    vec_opts.pool = &four;
+    auto exact_vec = engine.ExecuteBatch(sql, vec_opts);
+    ASSERT_TRUE(exact_vec.ok()) << sql << ": " << exact_vec.status().ToString();
+    ExpectBitIdentical(*exact_ref, *exact_vec, sql + " [batch]");
+  }
+}
+
+}  // namespace
+}  // namespace gola
