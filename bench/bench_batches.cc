@@ -12,7 +12,8 @@ namespace {
 int Main(int argc, char** argv) {
   int64_t rows = bench::RowsFromArgs(argc, argv, 200'000);
   bench::PrintHeader("Abl-batch: mini-batch granularity sweep (SBI)", rows, 0, 60);
-  Engine engine = bench::MakeEngine(rows);
+  std::unique_ptr<Engine> engine_ptr = bench::MakeEngine(rows);
+  Engine& engine = *engine_ptr;
   std::string sql = SbiQuery();
 
   std::printf("%10s %14s %16s %12s %14s\n", "batches", "first(s)", "cadence(ms)",

@@ -14,7 +14,8 @@ int Main(int argc, char** argv) {
   const int kBatches = 50;
   bench::PrintHeader("Abl-eps: slack multiplier vs recomputes vs uncertain-set size",
                      rows, kBatches, 60);
-  Engine engine = bench::MakeEngine(rows);
+  std::unique_ptr<Engine> engine_ptr = bench::MakeEngine(rows);
+  Engine& engine = *engine_ptr;
   std::string sql = SbiQuery();
 
   std::printf("%10s %12s %12s %12s %12s\n", "eps_mult", "recomputes", "max|U|",

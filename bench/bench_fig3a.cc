@@ -17,7 +17,8 @@ int Main(int argc, char** argv) {
   bench::PrintHeader("Figure 3(a): RSD vs query time, TPC-H Q17", rows, kBatches,
                      kReplicates);
 
-  Engine engine = bench::MakeEngine(rows);
+  std::unique_ptr<Engine> engine_ptr = bench::MakeEngine(rows);
+  Engine& engine = *engine_ptr;
   std::string sql = Q17Query();
 
   // Reference: the traditional blocking engine.

@@ -19,7 +19,8 @@ int Main(int argc, char** argv) {
   bench::PrintHeader("Figure 3(b): CDM / G-OLA per-batch time ratio", rows, kBatches,
                      kReplicates);
 
-  Engine engine = bench::MakeEngine(rows);
+  std::unique_ptr<Engine> engine_ptr = bench::MakeEngine(rows);
+  Engine& engine = *engine_ptr;
 
   std::vector<NamedQuery> queries;
   for (const auto& q : AllQueries()) {

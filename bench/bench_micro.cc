@@ -137,7 +137,8 @@ void BM_MiniBatchPartition(benchmark::State& state) {
 BENCHMARK(BM_MiniBatchPartition)->Arg(1 << 16);
 
 void BM_CompileQ17(benchmark::State& state) {
-  Engine engine = bench::MakeEngine(1000);
+  std::unique_ptr<Engine> engine_ptr = bench::MakeEngine(1000);
+  Engine& engine = *engine_ptr;
   std::string sql = Q17Query();
   for (auto _ : state) {
     auto compiled = engine.Compile(sql);
@@ -151,7 +152,7 @@ void BM_OnlineDrainSbi(benchmark::State& state) {
   // Full online drain of SBI on the Conviva workload through the delta
   // pipeline; Arg = pool threads (0 → serial). The 0-vs-4 ratio is the
   // morsel-parallel speedup; results are bit-identical across args.
-  static Engine* engine = new Engine(bench::MakeEngine(1 << 17));
+  static Engine* engine = bench::MakeEngine(1 << 17).release();
   std::unique_ptr<ThreadPool> pool;
   if (state.range(0) > 0) pool = std::make_unique<ThreadPool>(state.range(0));
   GolaOptions opts;

@@ -43,7 +43,8 @@ int Main(int argc, char** argv) {
   int64_t rows = bench::RowsFromArgs(argc, argv, 1'000'000);
   bench::PrintHeader("S5-overhead: G-OLA vs batch engine (paper: +60%, 10x to 2% RSD)",
                      rows, 100, 100);
-  Engine engine = bench::MakeEngine(rows);
+  std::unique_ptr<Engine> engine_ptr = bench::MakeEngine(rows);
+  Engine& engine = *engine_ptr;
   for (const auto& q : AllQueries()) {
     if (q.name == "Q17" || q.name == "SBI") RunOne(engine, q, rows);
   }

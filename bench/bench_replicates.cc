@@ -12,7 +12,8 @@ int Main(int argc, char** argv) {
   int64_t rows = bench::RowsFromArgs(argc, argv, 200'000);
   const int kBatches = 25;
   bench::PrintHeader("Abl-B: bootstrap replicate budget (SBI)", rows, kBatches, 0);
-  Engine engine = bench::MakeEngine(rows);
+  std::unique_ptr<Engine> engine_ptr = bench::MakeEngine(rows);
+  Engine& engine = *engine_ptr;
   std::string sql = SbiQuery();
 
   Stopwatch timer;

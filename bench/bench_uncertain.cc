@@ -17,7 +17,8 @@ int Main(int argc, char** argv) {
   const int kBatches = 20;
   bench::PrintHeader("S5-uncertain: uncertain-set sizes and per-batch times", rows,
                      kBatches, 60);
-  Engine engine = bench::MakeEngine(rows);
+  std::unique_ptr<Engine> engine_ptr = bench::MakeEngine(rows);
+  Engine& engine = *engine_ptr;
   int64_t batch_rows = rows / kBatches;
 
   std::printf("%-5s %12s %12s %14s %16s %10s\n", "query", "max|U|", "avg|U|",

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -43,10 +44,13 @@ inline void TuneAllocator() {
 #endif
 }
 
-/// Registers "conviva" and "tpch" tables of the requested size.
-inline Engine MakeEngine(int64_t rows) {
+/// Registers "conviva" and "tpch" tables of the requested size. Returned
+/// by pointer: Engine owns mutexes (thread-safe catalog, lazy session
+/// dispatcher) and is neither copyable nor movable.
+inline std::unique_ptr<Engine> MakeEngine(int64_t rows) {
   TuneAllocator();
-  Engine engine;
+  auto engine_ptr = std::make_unique<Engine>();
+  Engine& engine = *engine_ptr;
   ConvivaGenOptions conviva;
   conviva.num_rows = rows;
   conviva.num_ads = 64;
@@ -60,7 +64,7 @@ inline Engine MakeEngine(int64_t rows) {
   tpch.num_parts = std::clamp<int64_t>(rows / 500, 200, 2000);
   tpch.num_suppliers = 200;
   GOLA_CHECK_OK(engine.RegisterTable("tpch", GenerateTpch(tpch)));
-  return engine;
+  return engine_ptr;
 }
 
 inline void PrintHeader(const std::string& title, int64_t rows, int batches,

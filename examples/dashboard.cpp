@@ -3,12 +3,27 @@
 // online query whose error bars tighten as mini-batches stream in — the
 // text-mode equivalent of the paper's Figure 4 web dashboard, with the
 // traditional batch engine's latency shown for contrast.
+//
+// Two modes:
+//   ./dashboard                 the classic single-process panel demo
+//   ./dashboard --serve         multi-client server: every dashboard panel
+//                               becomes a POST /query Server-Sent-Events
+//                               stream, and concurrent panels over the same
+//                               table share one mini-batch scan. Try:
+//       curl -sN -X POST --data 'SELECT AVG(play_time) FROM conviva'
+//            'http://127.0.0.1:8080/query?batches=30'
+//   flags: --port=N (default 8080), --rows=N (default 200000)
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "common/stopwatch.h"
 #include "gola/gola.h"
+#include "obs/http_server.h"
+#include "server/http_service.h"
 #include "workload/conviva_gen.h"
 #include "workload/queries.h"
 
@@ -29,16 +44,73 @@ std::string Bar(double lo, double hi, double full_lo, double full_hi) {
   return bar;
 }
 
+/// --serve mode: the engine behind an HTTP front end, blocking until
+/// SIGINT/SIGTERM. Multiple curl clients POSTing /query concurrently get
+/// independent converging answers while same-table queries share one scan.
+int RunServer(gola::Engine& engine, int port) {
+  using namespace gola;
+
+  // Block the shutdown signals before any thread spawns, so they land in
+  // the sigwait below instead of killing a worker mid-batch.
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGINT);
+  sigaddset(&set, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+
+  obs::HttpServer http;
+  server::QueryService service(&engine);
+  service.AttachTo(&http);
+  http.Route("/", [] {
+    obs::HttpServer::Response r;
+    r.body =
+        "gola dashboard server\n"
+        "  POST /query          SQL body -> SSE stream of converging answers\n"
+        "                       ?batches= &replicates= &seed= &deadline_ms=\n"
+        "                       &share=0|1 &stream=sse|none &label=\n"
+        "  GET  /sessions       all sessions (JSON)\n"
+        "  GET  /sessions/<id>  one session with its latest estimate\n"
+        "  GET  /statusz        live introspection incl. sessions\n";
+    return r;
+  });
+  Status st = http.Start(port);
+  if (!st.ok()) {
+    std::fprintf(stderr, "cannot serve: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("SERVING http://127.0.0.1:%d (POST /query; Ctrl-C stops)\n",
+              http.port());
+  std::fflush(stdout);
+
+  int sig = 0;
+  sigwait(&set, &sig);
+  std::printf("signal %d: draining\n", sig);
+  http.Stop();                   // joins in-flight SSE streams
+  engine.sessions().Shutdown();  // cancels + joins live sessions
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gola;
+
+  bool serve = false;
+  int port = 8080;
+  long long rows = 200'000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--serve") == 0) serve = true;
+    else if (std::strncmp(argv[i], "--port=", 7) == 0) port = std::atoi(argv[i] + 7);
+    else if (std::strncmp(argv[i], "--rows=", 7) == 0) rows = std::atoll(argv[i] + 7);
+  }
 
   Engine engine;
   ConvivaGenOptions gen;
-  gen.num_rows = 500'000;
+  gen.num_rows = rows;
   gen.num_ads = 16;
   GOLA_CHECK_OK(engine.RegisterTable("conviva", GenerateConviva(gen)));
+
+  if (serve) return RunServer(engine, port);
 
   struct Panel {
     std::string title;

@@ -13,6 +13,7 @@ const char* StatusCodeToString(StatusCode code) {
     case StatusCode::kPlanError: return "Plan error";
     case StatusCode::kExecutionError: return "Execution error";
     case StatusCode::kIoError: return "IO error";
+    case StatusCode::kUnavailable: return "Unavailable";
     case StatusCode::kInternal: return "Internal error";
   }
   return "Unknown";

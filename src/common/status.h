@@ -23,6 +23,7 @@ enum class StatusCode {
   kPlanError,        // query could not be planned / bound
   kExecutionError,   // runtime failure during execution
   kIoError,
+  kUnavailable,      // transient overload / shutting down — retry later
   kInternal,
 };
 
@@ -66,6 +67,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

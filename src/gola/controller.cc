@@ -29,10 +29,11 @@ OnlineQueryExecutor::OnlineQueryExecutor(const Catalog* catalog, CompiledQuery q
     : catalog_(catalog), query_(std::move(query)), options_(options) {}
 
 Result<std::unique_ptr<OnlineQueryExecutor>> OnlineQueryExecutor::Create(
-    const Catalog* catalog, CompiledQuery query, const GolaOptions& options) {
+    const Catalog* catalog, CompiledQuery query, const GolaOptions& options,
+    std::shared_ptr<const MiniBatchPartitioner> shared_scan) {
   std::unique_ptr<OnlineQueryExecutor> exec(
       new OnlineQueryExecutor(catalog, std::move(query), options));
-  GOLA_RETURN_NOT_OK(exec->Prepare());
+  GOLA_RETURN_NOT_OK(exec->Prepare(std::move(shared_scan)));
   return exec;
 }
 
@@ -74,7 +75,8 @@ Status ValidateOptions(const GolaOptions& o) {
 
 }  // namespace
 
-Status OnlineQueryExecutor::Prepare() {
+Status OnlineQueryExecutor::Prepare(
+    std::shared_ptr<const MiniBatchPartitioner> shared_scan) {
   // One-time, process-wide arming of failpoints from GOLA_FAILPOINTS (a bad
   // spec is a warning, not a query failure — fault injection is a test rig).
   static const Status env_status = fail::ConfigureFromEnv();
@@ -99,11 +101,31 @@ Status OnlineQueryExecutor::Prepare() {
 
   weights_ = std::make_unique<PoissonWeights>(options_.bootstrap_replicates,
                                               SplitMix64(options_.seed ^ 0xB00757AAULL));
-  MiniBatchOptions part_opts;
-  part_opts.num_batches = options_.num_batches;
-  part_opts.row_shuffle = options_.row_shuffle;
-  part_opts.seed = options_.seed;
-  partitioner_ = std::make_unique<MiniBatchPartitioner>(*table, part_opts);
+  // Attach to a shared mini-batch scan when the session layer provides one
+  // and it demonstrably partitions *this* table under *these* options;
+  // anything off falls back to a private partitioner (correctness never
+  // rides on the cache being right).
+  if (shared_scan != nullptr &&
+      shared_scan->total_rows() == table->num_rows() &&
+      (shared_scan->num_batches() == options_.num_batches ||
+       // Tiny tables: the partitioner clamps to >=1-row batches, so fewer
+       // batches than requested is the legitimate shared shape too.
+       (table->num_rows() < options_.num_batches &&
+        shared_scan->num_batches() ==
+            static_cast<int>(std::max<int64_t>(1, table->num_rows()))))) {
+    partitioner_ = std::move(shared_scan);
+    scan_shared_ = true;
+  } else {
+    if (shared_scan != nullptr) {
+      GOLA_LOG(Warn) << "shared scan rejected (rows/batches mismatch); "
+                        "building a private partitioner";
+    }
+    MiniBatchOptions part_opts;
+    part_opts.num_batches = options_.num_batches;
+    part_opts.row_shuffle = options_.row_shuffle;
+    part_opts.seed = options_.seed;
+    partitioner_ = std::make_shared<MiniBatchPartitioner>(*table, part_opts);
+  }
 
   blocks_.reserve(query_.blocks.size());
   for (const auto& block : query_.blocks) {

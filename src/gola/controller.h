@@ -74,9 +74,18 @@ class OnlineQueryExecutor {
  public:
   /// Validates and prepares the query: every block must stream the same
   /// table (dimension joins are fine) and must aggregate.
-  static Result<std::unique_ptr<OnlineQueryExecutor>> Create(const Catalog* catalog,
-                                                             CompiledQuery query,
-                                                             const GolaOptions& options);
+  ///
+  /// `shared_scan` (optional) is a mini-batch partitioning of the streamed
+  /// table produced by the scan-share layer (server/scan_share.h): N
+  /// queries over the same table attach to one partitioner instead of each
+  /// paying the shuffle + batch-gather cost. The partitioner is validated
+  /// against the table and options (batch count, row count); on mismatch
+  /// the executor silently builds its own — sharing is an optimization,
+  /// never a correctness dependency. A shared scan is bit-identical to a
+  /// private one: the partitioning is a pure function of (table, options).
+  static Result<std::unique_ptr<OnlineQueryExecutor>> Create(
+      const Catalog* catalog, CompiledQuery query, const GolaOptions& options,
+      std::shared_ptr<const MiniBatchPartitioner> shared_scan = nullptr);
 
   /// Deregisters the query from the live /statusz registry (its final
   /// status stays visible in the recently-finished history).
@@ -93,6 +102,9 @@ class OnlineQueryExecutor {
   /// True when the deadline controller ended the query before every batch.
   bool stopped_early() const { return stopped_early_; }
   const CompiledQuery& query() const { return query_; }
+  /// True when this executor attached to a shared mini-batch scan instead
+  /// of building its own partitioner.
+  bool scan_shared() const { return scan_shared_; }
 
   /// Processes the next mini-batch and returns the refined answer.
   Result<OnlineUpdate> Step();
@@ -123,7 +135,7 @@ class OnlineQueryExecutor {
   OnlineQueryExecutor(const Catalog* catalog, CompiledQuery query,
                       const GolaOptions& options);
 
-  Status Prepare();
+  Status Prepare(std::shared_ptr<const MiniBatchPartitioner> shared_scan);
 
   /// Raises the degradation rung to match deadline progress (monotone; only
   /// called after ≥1 batch, so a well-formed query always yields an answer).
@@ -143,7 +155,11 @@ class OnlineQueryExecutor {
   CompiledQuery query_;
   GolaOptions options_;
   std::unique_ptr<PoissonWeights> weights_;
-  std::unique_ptr<MiniBatchPartitioner> partitioner_;
+  /// Shared with other executors when scan sharing attached this query to
+  /// an existing sweep; const either way — a partitioner is immutable after
+  /// construction, which is what makes sharing race-free.
+  std::shared_ptr<const MiniBatchPartitioner> partitioner_;
+  bool scan_shared_ = false;
   std::vector<std::unique_ptr<OnlineBlockExec>> blocks_;
   OnlineEnv env_;
   int next_batch_ = 0;

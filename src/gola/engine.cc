@@ -7,6 +7,32 @@ namespace gola {
 Engine::Engine(GolaOptions default_options)
     : default_options_(std::move(default_options)) {}
 
+Engine::~Engine() {
+  // Cancel and join any live sessions before the catalog they read dies.
+  if (dispatcher_ != nullptr) dispatcher_->Shutdown();
+}
+
+server::Dispatcher& Engine::sessions() { return sessions({}); }
+
+server::Dispatcher& Engine::sessions(const server::DispatcherOptions& options) {
+  std::lock_guard<std::mutex> lock(dispatcher_mu_);
+  if (dispatcher_ == nullptr) {
+    dispatcher_ = std::make_unique<server::Dispatcher>(&catalog_, options);
+  }
+  return *dispatcher_;
+}
+
+Result<server::SessionPtr> Engine::SubmitOnline(const std::string& sql) {
+  server::SessionOptions options;
+  options.gola = default_options_;
+  return SubmitOnline(sql, std::move(options));
+}
+
+Result<server::SessionPtr> Engine::SubmitOnline(const std::string& sql,
+                                                server::SessionOptions options) {
+  return sessions().Submit(sql, std::move(options));
+}
+
 Status Engine::RegisterTable(const std::string& name, Table table) {
   catalog_.RegisterTable(name, std::make_shared<Table>(std::move(table)));
   return Status::OK();

@@ -16,19 +16,26 @@
 #define GOLA_GOLA_ENGINE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "exec/batch_executor.h"
 #include "gola/controller.h"
 #include "plan/binder.h"
+#include "server/dispatcher.h"
 
 namespace gola {
 
 class Engine {
  public:
   explicit Engine(GolaOptions default_options = {});
+  ~Engine();
 
   /// Registers (or replaces) a table under a case-insensitive name.
+  /// Thread-safe against concurrent ExecuteOnline / session reads:
+  /// replacing a name swaps the shared_ptr binding — queries already
+  /// running keep streaming the snapshot they resolved, new queries see
+  /// the replacement (see Catalog in plan/binder.h).
   Status RegisterTable(const std::string& name, Table table);
   Status RegisterTable(const std::string& name, TablePtr table);
   Result<TablePtr> GetTable(const std::string& name) const;
@@ -64,9 +71,30 @@ class Engine {
 
   GolaOptions& default_options() { return default_options_; }
 
+  // --- concurrent sessions (DESIGN.md §12) -------------------------------
+
+  /// The engine's session dispatcher — admission control plus the shared
+  /// mini-batch sweep that lets concurrent same-table queries piggyback on
+  /// one scan. Lazily constructed on first use (an engine that never runs
+  /// sessions pays nothing); thread-safe.
+  server::Dispatcher& sessions();
+  /// Same dispatcher with custom limits; must be the first sessions() call
+  /// (later calls return the existing dispatcher and ignore `options`).
+  server::Dispatcher& sessions(const server::DispatcherOptions& options);
+
+  /// Submits `sql` as a concurrent session (admission-controlled; updates
+  /// stream through the returned session's cursor). Unset engine options
+  /// fields in `options.gola` are the caller's responsibility — the
+  /// convenience overload without options uses default_options().
+  Result<server::SessionPtr> SubmitOnline(const std::string& sql);
+  Result<server::SessionPtr> SubmitOnline(const std::string& sql,
+                                          server::SessionOptions options);
+
  private:
   Catalog catalog_;
   GolaOptions default_options_;
+  std::mutex dispatcher_mu_;
+  std::unique_ptr<server::Dispatcher> dispatcher_;  // after catalog_: dies first
 };
 
 }  // namespace gola

@@ -6,8 +6,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cstring>
-#include <mutex>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -21,24 +22,33 @@ namespace obs {
 
 namespace {
 
+constexpr size_t kMaxHeadBytes = 16 * 1024;
+constexpr size_t kMaxBodyBytes = 4 * 1024 * 1024;
+
 const char* StatusText(int status) {
   switch (status) {
     case 200: return "OK";
+    case 202: return "Accepted";
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
     case 503: return "Service Unavailable";
     default: return "Internal Server Error";
   }
 }
 
-void SendAll(int fd, const std::string& data) {
+bool SendAll(int fd, std::string_view data) {
   size_t sent = 0;
   while (sent < data.size()) {
     ssize_t n = send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) return;  // peer went away; nothing useful to do
+    if (n <= 0) return false;  // peer went away; nothing useful to do
     sent += static_cast<size_t>(n);
   }
+  return true;
 }
 
 void SendResponse(int fd, const HttpServer::Response& r) {
@@ -50,12 +60,138 @@ void SendResponse(int fd, const HttpServer::Response& r) {
   SendAll(fd, out);
 }
 
+void SendPlain(int fd, int status, const std::string& body) {
+  SendResponse(fd, {status, "text/plain; charset=utf-8", body});
+}
+
+int HexVal(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string UrlDecode(std::string_view in) {
+  std::string out;
+  out.reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    if (in[i] == '+') {
+      out += ' ';
+    } else if (in[i] == '%' && i + 2 < in.size() && HexVal(in[i + 1]) >= 0 &&
+               HexVal(in[i + 2]) >= 0) {
+      out += static_cast<char>(HexVal(in[i + 1]) * 16 + HexVal(in[i + 2]));
+      i += 2;
+    } else {
+      out += in[i];
+    }
+  }
+  return out;
+}
+
+void ParseQueryString(std::string_view qs,
+                      std::map<std::string, std::string>* params) {
+  size_t pos = 0;
+  while (pos < qs.size()) {
+    size_t amp = qs.find('&', pos);
+    std::string_view pair =
+        qs.substr(pos, amp == std::string_view::npos ? amp : amp - pos);
+    if (!pair.empty()) {
+      size_t eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        (*params)[UrlDecode(pair)] = "";
+      } else {
+        (*params)[UrlDecode(pair.substr(0, eq))] = UrlDecode(pair.substr(eq + 1));
+      }
+    }
+    if (amp == std::string_view::npos) break;
+    pos = amp + 1;
+  }
+}
+
+/// Case-insensitive header lookup in the raw head (after the request line).
+/// Returns false when absent; `value` gets the trimmed field value.
+bool FindHeader(const std::string& head, const std::string& name,
+                std::string* value) {
+  std::string lower_head = ToLower(head);
+  std::string needle = "\r\n" + ToLower(name) + ":";
+  size_t pos = lower_head.find(needle);
+  if (pos == std::string::npos) return false;
+  size_t start = pos + needle.size();
+  size_t end = head.find("\r\n", start);
+  if (end == std::string::npos) end = head.size();
+  std::string v = head.substr(start, end - start);
+  size_t b = v.find_first_not_of(" \t");
+  size_t e = v.find_last_not_of(" \t");
+  *value = (b == std::string::npos) ? "" : v.substr(b, e - b + 1);
+  return true;
+}
+
 }  // namespace
+
+// ----------------------------------------------------------- ChunkWriter --
+
+bool HttpServer::ChunkWriter::Write(std::string_view data) {
+  if (!ok_) return false;
+  if (server_->stopping()) {
+    ok_ = false;
+    return false;
+  }
+  if (!head_sent_) {
+    std::string head =
+        Format("HTTP/1.1 %d %s\r\n", status_, StatusText(status_));
+    head += "Content-Type: " + content_type_ + "\r\n";
+    head += "Transfer-Encoding: chunked\r\n";
+    head += "Cache-Control: no-cache\r\n";
+    head += "Connection: close\r\n\r\n";
+    if (!SendAll(fd_, head)) {
+      ok_ = false;
+      return false;
+    }
+    head_sent_ = true;
+  }
+  if (data.empty()) return true;
+  std::string chunk = Format("%zx\r\n", data.size());
+  chunk.append(data.data(), data.size());
+  chunk += "\r\n";
+  ok_ = SendAll(fd_, chunk);
+  return ok_;
+}
+
+void HttpServer::ChunkWriter::End() {
+  if (!head_sent_) {
+    // Handler never produced output: send an honest empty response instead
+    // of leaving the client with a headerless close.
+    if (ok_) SendResponse(fd_, {status_, content_type_, ""});
+    return;
+  }
+  if (ok_) SendAll(fd_, "0\r\n\r\n");
+}
+
+// ------------------------------------------------------------ HttpServer --
 
 HttpServer::~HttpServer() { Stop(); }
 
 void HttpServer::Route(const std::string& path, Handler handler) {
+  std::lock_guard<std::mutex> lock(routes_mu_);
   routes_[path] = std::move(handler);
+}
+
+void HttpServer::Route(const std::string& path,
+                       std::function<Response()> handler) {
+  Route(path, Handler([handler = std::move(handler)](const Request&) {
+          return handler();
+        }));
+}
+
+void HttpServer::RoutePrefix(const std::string& prefix, Handler handler) {
+  std::lock_guard<std::mutex> lock(routes_mu_);
+  prefix_routes_[prefix] = std::move(handler);
+}
+
+void HttpServer::RouteStream(const std::string& path, std::string content_type,
+                             StreamHandler handler) {
+  std::lock_guard<std::mutex> lock(routes_mu_);
+  stream_routes_[path] = {std::move(content_type), std::move(handler)};
 }
 
 Status HttpServer::Start(int port) {
@@ -77,7 +213,7 @@ Status HttpServer::Start(int port) {
     return Status::IoError(
         Format("http server: cannot bind loopback port %d", port));
   }
-  if (listen(fd, 16) < 0) {
+  if (listen(fd, 64) < 0) {
     close(fd);
     return Status::IoError("http server: listen() failed");
   }
@@ -97,18 +233,24 @@ Status HttpServer::Start(int port) {
 
 void HttpServer::Stop() {
   // Drain before tearing the socket down: a request racing the shutdown is
-  // answered with 503 instead of dispatching into handlers mid-teardown.
+  // answered with 503 instead of dispatching into handlers mid-teardown,
+  // and in-flight streams see Write() fail and wind down.
   BeginDrain();
-  if (!running_.exchange(false, std::memory_order_acq_rel)) {
-    if (thread_.joinable()) thread_.join();
-    return;
+  if (running_.exchange(false, std::memory_order_acq_rel)) {
+    // Knock the accept loop out of its blocking accept(2): shutdown makes a
+    // pending accept return, and close releases the port. The fd member is
+    // only reset after the join — the serve thread still reads it.
+    shutdown(listen_fd_, SHUT_RDWR);
+    close(listen_fd_);
   }
-  // Knock the accept loop out of its blocking accept(2): shutdown makes a
-  // pending accept return, and close releases the port. The fd member is
-  // only reset after the join — the serve thread still reads it.
-  shutdown(listen_fd_, SHUT_RDWR);
-  close(listen_fd_);
   if (thread_.joinable()) thread_.join();
+  // Force any connection still blocked in recv/send to fail, then wait for
+  // every connection thread to finish (they close their own fds).
+  {
+    std::unique_lock<std::mutex> lock(conns_mu_);
+    for (int fd : open_fds_) shutdown(fd, SHUT_RDWR);
+    conns_cv_.wait(lock, [this] { return live_connections_ == 0; });
+  }
   listen_fd_ = -1;
   port_ = 0;
 }
@@ -120,60 +262,167 @@ void HttpServer::Serve() {
       if (!running()) break;  // Stop() closed the socket under us
       continue;               // transient (EINTR, aborted connection)
     }
-    // One connection at a time: introspection scrapes are tiny and rare,
-    // and serial handling keeps the server to a single thread.
+    // Bounded patience for slow request writers; streaming *responses* are
+    // unaffected (they only send).
     timeval tv{2, 0};
     setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-    HandleConnection(conn);
-    close(conn);
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      open_fds_.insert(conn);
+      ++live_connections_;
+    }
+    // One thread per connection: an SSE stream can stay open for the whole
+    // life of a query without blocking scrapes or other clients. Threads
+    // are tracked through live_connections_ (joined logically in Stop).
+    std::thread([this, conn] { ConnectionThread(conn); }).detach();
   }
 }
 
+void HttpServer::ConnectionThread(int fd) {
+  HandleConnection(fd);
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  close(fd);
+  open_fds_.erase(fd);
+  if (--live_connections_ == 0) conns_cv_.notify_all();
+}
+
 void HttpServer::HandleConnection(int fd) {
-  // Read until the end of the request head (or a sane cap — we never use
-  // bodies, so anything past the blank line is ignored).
-  std::string request;
-  char buf[2048];
-  while (request.size() < 16 * 1024 &&
-         request.find("\r\n\r\n") == std::string::npos) {
+  // Read the request head (request line + headers) up to a sane cap.
+  std::string raw;
+  char buf[4096];
+  size_t head_end = std::string::npos;
+  while (raw.size() < kMaxHeadBytes) {
+    head_end = raw.find("\r\n\r\n");
+    if (head_end != std::string::npos) break;
     ssize_t n = recv(fd, buf, sizeof(buf), 0);
     if (n <= 0) break;
-    request.append(buf, static_cast<size_t>(n));
+    raw.append(buf, static_cast<size_t>(n));
   }
-
-  size_t line_end = request.find("\r\n");
-  if (line_end == std::string::npos) {
-    SendResponse(fd, {400, "text/plain; charset=utf-8", "malformed request\n"});
+  if (head_end == std::string::npos) head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    if (raw.empty()) return;  // connect-and-close probe; nothing to answer
+    SendPlain(fd, 400, "malformed request: missing header terminator\n");
     return;
   }
-  std::vector<std::string> parts = Split(request.substr(0, line_end), ' ');
+  const std::string head = raw.substr(0, head_end);
+
+  size_t line_end = head.find("\r\n");
+  if (line_end == std::string::npos) line_end = head.size();
+  std::vector<std::string> parts = Split(head.substr(0, line_end), ' ');
   if (parts.size() < 2) {
-    SendResponse(fd, {400, "text/plain; charset=utf-8", "malformed request\n"});
+    SendPlain(fd, 400, "malformed request line\n");
     return;
   }
-  const std::string& method = parts[0];
-  std::string path = parts[1];
-  size_t query = path.find('?');
-  if (query != std::string::npos) path.resize(query);
 
-  if (method != "GET") {
-    SendResponse(fd, {405, "text/plain; charset=utf-8",
-                      "only GET is supported\n"});
+  Request req;
+  req.method = parts[0];
+  for (char& c : req.method) c = static_cast<char>(std::toupper(c));
+  req.path = parts[1];
+  size_t query = req.path.find('?');
+  if (query != std::string::npos) {
+    ParseQueryString(std::string_view(req.path).substr(query + 1), &req.params);
+    req.path.resize(query);
+  }
+  req.path = UrlDecode(req.path);
+  if (req.path.empty() || req.path[0] != '/') {
+    SendPlain(fd, 400, "malformed request target\n");
     return;
   }
-  if (stopping_.load(std::memory_order_acquire)) {
-    SendResponse(fd, {503, "text/plain; charset=utf-8",
-                      "shutting down; retry later\n"});
+  if (req.method != "GET" && req.method != "POST" && req.method != "HEAD" &&
+      req.method != "DELETE") {
+    SendPlain(fd, 405, "method not supported\n");
     return;
   }
-  auto it = routes_.find(path);
-  if (it == routes_.end()) {
-    std::string body = "not found: " + path + "\nroutes:\n";
-    for (const auto& [route, handler] : routes_) body += "  " + route + "\n";
-    SendResponse(fd, {404, "text/plain; charset=utf-8", body});
+
+  // Body: strictly Content-Length framed (no chunked uploads — the clients
+  // here are curl and test harnesses). A declared body that never arrives
+  // is a malformed request, answered as such rather than dropped.
+  std::string cl;
+  if (FindHeader(head, "Content-Length", &cl)) {
+    size_t length = 0;
+    bool numeric = !cl.empty() && cl.size() <= 10;  // > 9,999,999,999 → 400
+    for (char c : cl) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        numeric = false;
+        break;
+      }
+    }
+    if (numeric) length = static_cast<size_t>(std::stoull(cl));
+    if (!numeric) {
+      SendPlain(fd, 400, "malformed Content-Length\n");
+      return;
+    }
+    if (length > kMaxBodyBytes) {
+      SendPlain(fd, 413, "request body too large\n");
+      return;
+    }
+    req.body = raw.substr(head_end + 4);
+    while (req.body.size() < length) {
+      ssize_t n = recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        SendPlain(fd, 400, "truncated request body\n");
+        return;
+      }
+      req.body.append(buf, static_cast<size_t>(n));
+    }
+    req.body.resize(length);
+  } else if (req.method == "POST" && raw.size() > head_end + 4) {
+    SendPlain(fd, 400, "POST body requires Content-Length\n");
     return;
   }
-  SendResponse(fd, it->second());
+
+  if (stopping()) {
+    SendPlain(fd, 503, "shutting down; retry later\n");
+    return;
+  }
+
+  // Dispatch: streaming route, then exact route, then longest prefix.
+  StreamHandler stream;
+  std::string stream_type;
+  Handler handler;
+  std::string index;
+  {
+    std::lock_guard<std::mutex> lock(routes_mu_);
+    auto sit = stream_routes_.find(req.path);
+    if (sit != stream_routes_.end()) {
+      stream_type = sit->second.first;
+      stream = sit->second.second;
+    } else {
+      auto it = routes_.find(req.path);
+      if (it != routes_.end()) {
+        handler = it->second;
+      } else {
+        size_t best = 0;
+        for (const auto& [prefix, h] : prefix_routes_) {
+          if (prefix.size() >= best && req.path.size() > prefix.size() &&
+              req.path.compare(0, prefix.size(), prefix) == 0) {
+            best = prefix.size();
+            handler = h;
+          }
+        }
+      }
+    }
+    if (!stream && !handler) {
+      index = "not found: " + req.path + "\nroutes:\n";
+      for (const auto& [route, h] : routes_) index += "  " + route + "\n";
+      for (const auto& [route, h] : stream_routes_)
+        index += "  " + route + " (stream)\n";
+      for (const auto& [route, h] : prefix_routes_)
+        index += "  " + route + "... (prefix)\n";
+    }
+  }
+
+  if (stream) {
+    ChunkWriter writer(this, fd, stream_type);
+    stream(req, writer);
+    writer.End();
+    return;
+  }
+  if (handler) {
+    SendResponse(fd, handler(req));
+    return;
+  }
+  SendResponse(fd, {404, "text/plain; charset=utf-8", index});
 }
 
 // ------------------------------------------- process-wide introspection --
@@ -187,7 +436,7 @@ Status g_server_status = Status::OK();
 
 HttpServer* BuildIntrospectionServer() {
   auto* server = new HttpServer();
-  server->Route("/", [server] {
+  server->Route("/", [] {
     HttpServer::Response r;
     r.body =
         "gola live introspection\n"

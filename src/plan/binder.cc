@@ -1,6 +1,8 @@
 #include "plan/binder.h"
 
 #include <algorithm>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_set>
 
 #include "common/logging.h"
@@ -12,10 +14,13 @@ namespace gola {
 // ------------------------------------------------------------- Catalog --
 
 void Catalog::RegisterTable(const std::string& name, TablePtr table) {
+  std::unique_lock lock(mu_);
+  ++version_;
   tables_[ToLower(name)] = std::move(table);
 }
 
 Result<TablePtr> Catalog::GetTable(const std::string& name) const {
+  std::shared_lock lock(mu_);
   auto it = tables_.find(ToLower(name));
   if (it == tables_.end()) return Status::KeyError("unknown table: " + name);
   return it->second;
@@ -27,15 +32,22 @@ Result<SchemaPtr> Catalog::GetSchema(const std::string& name) const {
 }
 
 bool Catalog::HasTable(const std::string& name) const {
+  std::shared_lock lock(mu_);
   return tables_.count(ToLower(name)) > 0;
 }
 
 std::vector<std::string> Catalog::ListTables() const {
+  std::shared_lock lock(mu_);
   std::vector<std::string> out;
   out.reserve(tables_.size());
   for (const auto& [name, _] : tables_) out.push_back(name);
   std::sort(out.begin(), out.end());
   return out;
+}
+
+uint64_t Catalog::version() const {
+  std::shared_lock lock(mu_);
+  return version_;
 }
 
 namespace {

@@ -7,7 +7,9 @@
 #ifndef GOLA_PLAN_BINDER_H_
 #define GOLA_PLAN_BINDER_H_
 
+#include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -19,7 +21,16 @@
 
 namespace gola {
 
-/// Name → table registry shared by the engines.
+/// Name → table registry shared by the engines. Thread-safe: concurrent
+/// sessions resolve tables (shared lock) while RegisterTable replaces
+/// entries under an exclusive lock.
+///
+/// Replace-while-running semantics: tables are handed out as shared_ptr
+/// snapshots. A query that already resolved a table (at bind/Prepare time)
+/// keeps streaming the version it saw — replacing a name never mutates data
+/// under a running query, it only changes what *new* queries resolve. The
+/// scan-share layer keys shared mini-batch partitioners by table identity,
+/// so sessions over the old and the new version never mix batch streams.
 class Catalog {
  public:
   void RegisterTable(const std::string& name, TablePtr table);
@@ -27,8 +38,13 @@ class Catalog {
   Result<SchemaPtr> GetSchema(const std::string& name) const;
   bool HasTable(const std::string& name) const;
   std::vector<std::string> ListTables() const;
+  /// Monotone counter bumped by every RegisterTable — lets caches (e.g.
+  /// scan sharing) cheaply detect that some binding changed.
+  uint64_t version() const;
 
  private:
+  mutable std::shared_mutex mu_;
+  uint64_t version_ = 0;
   std::unordered_map<std::string, TablePtr> tables_;  // lower-cased names
 };
 

@@ -1,0 +1,223 @@
+#include "server/session.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace gola {
+namespace server {
+
+const char* SessionStateName(SessionState s) {
+  switch (s) {
+    case SessionState::kQueued: return "queued";
+    case SessionState::kRunning: return "running";
+    case SessionState::kDone: return "done";
+    case SessionState::kFailed: return "failed";
+    case SessionState::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+QuerySession::QuerySession(uint64_t id, std::string sql, std::string table,
+                           CompiledQuery query, SessionOptions options)
+    : id_(id),
+      sql_(std::move(sql)),
+      table_(std::move(table)),
+      label_(options.label.empty() ? sql_.substr(0, 96) : options.label),
+      options_(std::move(options)),
+      query_(std::move(query)),
+      submit_time_(std::chrono::steady_clock::now()) {
+  if (options_.max_pending_updates < 1) options_.max_pending_updates = 1;
+}
+
+QuerySession::~QuerySession() = default;
+
+SessionState QuerySession::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+Status QuerySession::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return error_;
+}
+
+bool QuerySession::scan_shared() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return scan_shared_;
+}
+
+bool QuerySession::Next(OnlineUpdate* out, std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, timeout, [&] {
+    return !pending_.empty() || state_ >= SessionState::kDone;
+  });
+  if (pending_.empty()) return false;
+  *out = std::move(pending_.front());
+  pending_.pop_front();
+  return true;
+}
+
+std::optional<OnlineUpdate> QuerySession::Latest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return latest_;
+}
+
+Result<OnlineUpdate> QuerySession::Await() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return state_ >= SessionState::kDone; });
+  if (state_ == SessionState::kDone && final_.has_value()) return *final_;
+  if (state_ == SessionState::kCancelled) {
+    return Status::ExecutionError("session cancelled");
+  }
+  return error_.ok() ? Status::ExecutionError("session ended without a result")
+                     : error_;
+}
+
+void QuerySession::Cancel() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ >= SessionState::kDone) return;
+  cancel_requested_ = true;
+  cv_.notify_all();
+}
+
+Status QuerySession::Checkpoint(const std::string& path) {
+  std::lock_guard<std::mutex> step_lock(step_mu_);
+  if (exec_ == nullptr) {
+    return Status::ExecutionError(
+        "session is not running (checkpoint needs a live executor)");
+  }
+  return exec_->Checkpoint(path);
+}
+
+int QuerySession::batches_done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batches_done_;
+}
+
+int QuerySession::total_batches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_batches_;
+}
+
+int64_t QuerySession::updates_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+double QuerySession::seconds_to_first_update() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return first_update_seconds_;
+}
+
+double QuerySession::seconds_to_done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_seconds_;
+}
+
+Degradation QuerySession::degradation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return degradation_;
+}
+
+void QuerySession::Start(
+    const Catalog* catalog,
+    std::shared_ptr<const MiniBatchPartitioner> shared_scan) {
+  std::lock_guard<std::mutex> step_lock(step_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cancel_requested_) {
+      // Cancelled while queued: never build an executor.
+      state_ = SessionState::kCancelled;
+      done_seconds_ = SecondsSince(submit_time_);
+      cv_.notify_all();
+      return;
+    }
+  }
+  auto exec = OnlineQueryExecutor::Create(catalog, std::move(query_),
+                                          options_.gola, std::move(shared_scan));
+  if (!exec.ok()) {
+    Finish(SessionState::kFailed, exec.status());
+    return;
+  }
+  exec_ = std::move(*exec);
+  std::lock_guard<std::mutex> lock(mu_);
+  state_ = SessionState::kRunning;
+  scan_shared_ = exec_->scan_shared();
+  total_batches_ = exec_->total_batches();
+  cv_.notify_all();
+}
+
+bool QuerySession::StepOnce() {
+  std::lock_guard<std::mutex> step_lock(step_mu_);
+  if (exec_ == nullptr) return false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ != SessionState::kRunning) return false;
+    if (cancel_requested_) {
+      state_ = SessionState::kCancelled;
+      done_seconds_ = SecondsSince(submit_time_);
+      cv_.notify_all();
+      exec_.reset();  // releases the shared scan reference
+      return false;
+    }
+  }
+
+  Result<OnlineUpdate> update = exec_->Step();
+  if (!update.ok()) {
+    Finish(SessionState::kFailed, update.status());
+    exec_.reset();
+    return false;
+  }
+  const bool final = exec_->done();
+  Publish(std::move(*update), final);
+  if (final) {
+    Finish(SessionState::kDone, Status::OK());
+    exec_.reset();
+    return false;
+  }
+  return true;
+}
+
+void QuerySession::Publish(OnlineUpdate update, bool final) {
+  std::lock_guard<std::mutex> lock(mu_);
+  batches_done_ = update.batch_index;
+  degradation_ = update.degradation;
+  if (first_update_seconds_ < 0) {
+    first_update_seconds_ = SecondsSince(submit_time_);
+  }
+  latest_ = update;
+  if (final) final_ = update;
+  // Slow consumer: shed the oldest pending update rather than stalling the
+  // shared sweep — a dashboard wants the freshest estimate. The final
+  // update cannot be shed: nothing is published after it, so it is always
+  // the newest element.
+  while (pending_.size() >=
+         static_cast<size_t>(options_.max_pending_updates)) {
+    pending_.pop_front();
+    ++dropped_;
+  }
+  pending_.push_back(std::move(update));
+  cv_.notify_all();
+}
+
+void QuerySession::Finish(SessionState terminal, Status status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ >= SessionState::kDone) return;
+  state_ = terminal;
+  error_ = std::move(status);
+  done_seconds_ = SecondsSince(submit_time_);
+  cv_.notify_all();
+}
+
+}  // namespace server
+}  // namespace gola
