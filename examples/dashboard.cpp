@@ -70,7 +70,10 @@ int RunServer(gola::Engine& engine, int port) {
         "                       &share=0|1 &stream=sse|none &label=\n"
         "  GET  /sessions       all sessions (JSON)\n"
         "  GET  /sessions/<id>  one session with its latest estimate\n"
-        "  GET  /statusz        live introspection incl. sessions\n";
+        "  GET  /statusz        live introspection incl. sessions\n"
+        "  GET  /metrics        Prometheus text incl. per-session families\n"
+        "  GET  /timez          convergence time series (JSON; ?session=)\n"
+        "  GET  /timez/stream   time-series samples as SSE\n";
     return r;
   });
   Status st = http.Start(port);

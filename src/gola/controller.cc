@@ -154,6 +154,42 @@ Status OnlineQueryExecutor::Prepare(
       Format("%s (%d blocks, %d batches)", streamed.c_str(),
              static_cast<int>(query_.blocks.size()), options_.num_batches));
 
+  // Per-session telemetry. The labeled /metrics families only exist when
+  // the caller (session layer) supplied a session_id — cardinality stays
+  // bounded by the session retention policy. The time-series store has its
+  // own eviction, so every query gets convergence series there; solo
+  // queries are keyed by their registry id.
+  labels_ = options_.metrics_labels;
+  if (labels_.table.empty()) labels_.table = streamed;
+  if (obs::MetricsEnabled() && !labels_.session_id.empty()) {
+    auto& reg = obs::MetricsRegistry::Global();
+    obs::MetricLabels session_labels;
+    session_labels.session_id = labels_.session_id;
+    session_labels.table = labels_.table;
+    batches_labeled_ = reg.GetCounter("gola_online_batches_total", session_labels);
+    batch_us_labeled_ = reg.GetHistogram("gola_online_batch_us", session_labels);
+    static const char* kPhases[5] = {"envelope", "delta", "emit", "rebuild",
+                                     "materialize"};
+    for (int p = 0; p < 5; ++p) {
+      obs::MetricLabels phase_labels = session_labels;
+      phase_labels.phase = kPhases[p];
+      phase_us_labeled_[p] = reg.GetHistogram("gola_online_phase_us", phase_labels);
+    }
+  }
+  if (obs::MetricsEnabled()) {
+    obs::MetricLabels ts_labels;
+    ts_labels.session_id = labels_.session_id.empty()
+                               ? Format("q%llu", static_cast<unsigned long long>(
+                                                     registry_id_))
+                               : labels_.session_id;
+    ts_labels.table = labels_.table;
+    auto& ts = obs::TimeSeriesStore::Global();
+    ts_max_rsd_ = ts.Register("gola_query_max_rsd", ts_labels);
+    ts_half_width_ = ts.Register("gola_query_ci_halfwidth", ts_labels);
+    ts_fraction_ = ts.Register("gola_query_fraction_processed", ts_labels);
+    ts_uncertain_ = ts.Register("gola_query_uncertain_tuples", ts_labels);
+  }
+
   if (!options_.convergence_path.empty()) {
     convergence_ =
         std::make_unique<obs::ConvergenceRecorder>(options_.convergence_path);
@@ -180,6 +216,11 @@ Status OnlineQueryExecutor::Prepare(
 
 OnlineQueryExecutor::~OnlineQueryExecutor() {
   if (registry_id_ != 0) obs::QueryRegistry::Global().Deregister(registry_id_);
+  auto& ts = obs::TimeSeriesStore::Global();
+  ts.Retire(ts_max_rsd_);
+  ts.Retire(ts_half_width_);
+  ts.Retire(ts_fraction_);
+  ts.Retire(ts_uncertain_);
 }
 
 Result<OnlineUpdate> OnlineQueryExecutor::Step() {
@@ -314,10 +355,53 @@ Result<OnlineUpdate> OnlineQueryExecutor::Step() {
     batch_us->Record(static_cast<int64_t>(update.batch_seconds * 1e6));
     uncertain_tuples->Set(update.uncertain_tuples);
     uncertain_groups->Set(update.uncertain_groups);
+
+    // Per-session labeled families (only wired up when the session layer
+    // set a session_id).
+    if (batches_labeled_ != nullptr) {
+      batches_labeled_->Add(1);
+      batch_us_labeled_->Record(static_cast<int64_t>(update.batch_seconds * 1e6));
+      const double phase_seconds[5] = {
+          update.stats.envelope_check_seconds, update.stats.delta_exec_seconds,
+          update.stats.emit_seconds, update.stats.rebuild_seconds,
+          update.stats.materialize_seconds};
+      for (int p = 0; p < 5; ++p) {
+        phase_us_labeled_[p]->Record(static_cast<int64_t>(phase_seconds[p] * 1e6));
+      }
+    }
+  }
+
+  // Headline cell drives the convergence time series, the accuracy-SLO
+  // tracker and (via RecordConvergence) the convergence JSONL — extracted
+  // once from the root emission, which is populated even when
+  // materialize_results is off.
+  const HeadlineCell headline =
+      ExtractHeadline(blocks_.back()->root_emission().result);
+  if (obs::MetricsEnabled()) {
+    auto& ts = obs::TimeSeriesStore::Global();
+    ts.Append(ts_max_rsd_, update.max_rsd);
+    ts.Append(ts_half_width_, headline.half_width());
+    ts.Append(ts_fraction_, update.fraction_processed);
+    ts.Append(ts_uncertain_, static_cast<double>(update.uncertain_tuples));
+  }
+
+  // SLO crossings are tracked unconditionally (the wide-event query log
+  // consumes them even with metrics off); only the histogram export is
+  // gated.
+  const std::vector<size_t> newly_met = slo_.Observe(
+      update.elapsed_seconds, update.max_rsd, headline.has_estimate);
+  if (obs::MetricsEnabled()) {
+    for (size_t idx : newly_met) {
+      const obs::SloCrossing& c = slo_.crossings()[idx];
+      obs::MetricsRegistry::Global()
+          .GetHistogram(Format("gola_slo_time_to_rsd_us{table=\"%s\",target=\"%g%%\"}",
+                               labels_.table.c_str(), c.target_rsd * 100))
+          ->Record(static_cast<int64_t>(c.seconds * 1e6));
+    }
   }
 
   PublishStatus(update);
-  RecordConvergence(update);
+  RecordConvergence(update, headline);
 
   // Last batch drained: flush the query timeline for Perfetto (§ tracing).
   if (done() && !options_.trace_path.empty() && !trace_written_) {
@@ -384,7 +468,32 @@ void OnlineQueryExecutor::PublishStatus(const OnlineUpdate& update) {
   obs::QueryRegistry::Global().Update(registry_id_, status);
 }
 
-void OnlineQueryExecutor::RecordConvergence(const OnlineUpdate& update) {
+HeadlineCell ExtractHeadline(const Table& result) {
+  // First aggregate-bearing column, first row, located via its `<col>_lo`
+  // companion (CI columns are emitted as `<col>_lo`/`_hi`/`_rsd`).
+  HeadlineCell cell;
+  if (result.num_rows() == 0) return cell;
+  const Schema& schema = *result.schema();
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    const std::string& name = schema.field(c).name;
+    if (name.size() <= 3 || name.substr(name.size() - 3) != "_lo") continue;
+    auto value_col = schema.FieldIndex(name.substr(0, name.size() - 3));
+    auto rsd_col = schema.FieldIndex(name.substr(0, name.size() - 3) + "_rsd");
+    if (!value_col.ok()) continue;
+    cell.has_estimate = true;
+    cell.estimate = result.At(0, *value_col).ToDouble().ValueOr(0);
+    cell.ci_lo = result.At(0, static_cast<int>(c)).ToDouble().ValueOr(0);
+    cell.ci_hi = result.At(0, static_cast<int>(c) + 1).ToDouble().ValueOr(0);
+    if (rsd_col.ok()) {
+      cell.rsd = result.At(0, *rsd_col).ToDouble().ValueOr(0);
+    }
+    break;
+  }
+  return cell;
+}
+
+void OnlineQueryExecutor::RecordConvergence(const OnlineUpdate& update,
+                                            const HeadlineCell& headline) {
   if (!convergence_) return;
   obs::ConvergenceRecord rec;
   rec.batch_index = update.batch_index;
@@ -397,30 +506,12 @@ void OnlineQueryExecutor::RecordConvergence(const OnlineUpdate& update) {
   rec.batch_seconds = update.batch_seconds;
   rec.elapsed_seconds = update.elapsed_seconds;
   rec.stats = update.stats;
-
-  // Headline cell from the root emission (not update.result, which is
-  // empty when materialize_results is off): first aggregate-bearing
-  // column, first row, located via its `<col>_lo` companion.
-  const Table& result = blocks_.back()->root_emission().result;
-  rec.result_rows = result.num_rows();
-  if (result.num_rows() > 0) {
-    const Schema& schema = *result.schema();
-    for (size_t c = 0; c < schema.num_fields(); ++c) {
-      const std::string& name = schema.field(c).name;
-      if (name.size() <= 3 || name.substr(name.size() - 3) != "_lo") continue;
-      auto value_col = schema.FieldIndex(name.substr(0, name.size() - 3));
-      auto rsd_col = schema.FieldIndex(name.substr(0, name.size() - 3) + "_rsd");
-      if (!value_col.ok()) continue;
-      rec.has_estimate = true;
-      rec.estimate = result.At(0, *value_col).ToDouble().ValueOr(0);
-      rec.ci_lo = result.At(0, static_cast<int>(c)).ToDouble().ValueOr(0);
-      rec.ci_hi = result.At(0, static_cast<int>(c) + 1).ToDouble().ValueOr(0);
-      if (rsd_col.ok()) {
-        rec.rsd = result.At(0, *rsd_col).ToDouble().ValueOr(0);
-      }
-      break;
-    }
-  }
+  rec.result_rows = blocks_.back()->root_emission().result.num_rows();
+  rec.has_estimate = headline.has_estimate;
+  rec.estimate = headline.estimate;
+  rec.ci_lo = headline.ci_lo;
+  rec.ci_hi = headline.ci_hi;
+  if (headline.rsd >= 0) rec.rsd = headline.rsd;
   convergence_->Append(rec);
 }
 

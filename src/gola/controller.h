@@ -14,6 +14,8 @@
 #include "gola/block_executor.h"
 #include "obs/convergence.h"
 #include "obs/query_stats.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 #include "plan/binder.h"
 #include "storage/partitioner.h"
 
@@ -35,6 +37,27 @@ enum class Degradation : uint8_t {
 
 /// Stable label ("none", "skip_materialize", ...) for metrics and logs.
 const char* DegradationName(Degradation d);
+
+/// The headline aggregate cell of a running answer: the first
+/// CI-carrying column's row-0 estimate with its bootstrap CI bounds and
+/// RSD — the single number a convergence plot, the accuracy-SLO tracker
+/// and the wide-event query log all watch.
+struct HeadlineCell {
+  bool has_estimate = false;
+  double estimate = 0;
+  double ci_lo = 0;
+  double ci_hi = 0;
+  double rsd = -1;
+  /// CI half-width (hi − lo)/2; 0 without an estimate.
+  double half_width() const {
+    return has_estimate ? (ci_hi - ci_lo) / 2 : 0;
+  }
+};
+
+/// Locates the headline cell in a result table via its `<col>_lo`
+/// companion column (first aggregate-bearing column, first row). Returns
+/// has_estimate=false for empty results or plain tables.
+HeadlineCell ExtractHeadline(const Table& result);
 
 /// The running answer after one mini-batch — what a dashboard would render.
 struct OnlineUpdate {
@@ -105,6 +128,10 @@ class OnlineQueryExecutor {
   /// True when this executor attached to a shared mini-batch scan instead
   /// of building its own partitioner.
   bool scan_shared() const { return scan_shared_; }
+  /// Accuracy-SLO crossings recorded so far (wall time to RSD ≤ 5/2/1%).
+  /// The session layer harvests these for /sessions JSON and the
+  /// wide-event query log before the executor is torn down.
+  const obs::AccuracySloTracker& slo() const { return slo_; }
 
   /// Processes the next mini-batch and returns the refined answer.
   Result<OnlineUpdate> Step();
@@ -146,10 +173,11 @@ class OnlineQueryExecutor {
 
   /// Publishes `update` into the process-wide query registry (/statusz).
   void PublishStatus(const OnlineUpdate& update);
-  /// Appends `update` to the convergence JSONL recorder, extracting the
-  /// headline aggregate cell from the root emission (so recording works
-  /// even when materialize_results is off).
-  void RecordConvergence(const OnlineUpdate& update);
+  /// Appends `update` to the convergence JSONL recorder. `headline` is the
+  /// cell extracted from the root emission (so recording works even when
+  /// materialize_results is off).
+  void RecordConvergence(const OnlineUpdate& update,
+                         const HeadlineCell& headline);
 
   const Catalog* catalog_;
   CompiledQuery query_;
@@ -186,6 +214,23 @@ class OnlineQueryExecutor {
   uint64_t registry_id_ = 0;
   std::unique_ptr<obs::ConvergenceRecorder> convergence_;
   std::string flight_path_;
+
+  // Per-session telemetry (DESIGN.md §13). Labeled handles exist only when
+  // the session layer set metrics_labels.session_id (bounded cardinality);
+  // time-series and SLO tracking run for every query.
+  obs::MetricLabels labels_;  // table defaulted to the streamed table
+  obs::Counter* batches_labeled_ = nullptr;
+  obs::Histogram* batch_us_labeled_ = nullptr;
+  obs::Histogram* phase_us_labeled_[5] = {};  // envelope..materialize
+  obs::AccuracySloTracker slo_;
+  obs::TimeSeriesStore::SeriesId ts_max_rsd_ =
+      obs::TimeSeriesStore::kInvalidSeries;
+  obs::TimeSeriesStore::SeriesId ts_half_width_ =
+      obs::TimeSeriesStore::kInvalidSeries;
+  obs::TimeSeriesStore::SeriesId ts_fraction_ =
+      obs::TimeSeriesStore::kInvalidSeries;
+  obs::TimeSeriesStore::SeriesId ts_uncertain_ =
+      obs::TimeSeriesStore::kInvalidSeries;
 };
 
 }  // namespace gola

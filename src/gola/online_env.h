@@ -13,6 +13,7 @@
 #include "common/thread_pool.h"
 #include "expr/evaluator.h"
 #include "gola/uncertain.h"
+#include "obs/metrics.h"
 
 namespace gola {
 
@@ -97,6 +98,12 @@ struct GolaOptions {
   /// of bootstrap_replicates). Lowered by the deadline controller; never
   /// affects classification or envelope checks.
   int active_replicates = -1;
+  /// Label set attached to this query's metric series (DESIGN.md §13). The
+  /// session layer fills session_id and table; when session_id is set, the
+  /// controller additionally records into per-session labeled families
+  /// (`gola_online_batch_us{session_id=...}`, per-phase histograms) on top
+  /// of the global unlabeled ones. Leave empty for zero extra cost.
+  obs::MetricLabels metrics_labels;
 };
 
 /// Per-batch broadcast of a scalar subquery: point estimate plus the core

@@ -7,14 +7,19 @@
 #include <unistd.h>
 
 #include <cctype>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
+
+#include <chrono>
+#include <thread>
 
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/query_registry.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace gola {
@@ -425,6 +430,59 @@ void HttpServer::HandleConnection(int fd) {
   SendResponse(fd, {404, "text/plain; charset=utf-8", index});
 }
 
+// ------------------------------------------------------- /timez routes --
+
+namespace {
+
+int64_t ParamInt64(const HttpServer::Request& req, const std::string& key) {
+  auto it = req.params.find(key);
+  if (it == req.params.end() || it->second.empty()) return 0;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+std::string ParamStr(const HttpServer::Request& req, const std::string& key) {
+  auto it = req.params.find(key);
+  return it == req.params.end() ? "" : it->second;
+}
+
+}  // namespace
+
+void AttachTimezRoutes(HttpServer* server) {
+  server->Route("/timez", [](const HttpServer::Request& req) {
+    HttpServer::Response r;
+    r.content_type = "application/json";
+    r.body = TimeSeriesStore::Global().ToJson(ParamStr(req, "name"),
+                                              ParamStr(req, "session"),
+                                              ParamInt64(req, "since_ms"));
+    return r;
+  });
+  // SSE: one `sample` event per sampling period carrying every sample that
+  // arrived since the previous event (same JSON shape as /timez). The
+  // cursor is the store's latest sample timestamp, so a dashboard that
+  // connects mid-run starts from "now" and never replays history it can
+  // fetch from /timez in one shot.
+  server->RouteStream(
+      "/timez/stream", "text/event-stream",
+      [](const HttpServer::Request& req, HttpServer::ChunkWriter& writer) {
+        TimeSeriesStore& store = TimeSeriesStore::Global();
+        const std::string name = ParamStr(req, "name");
+        const std::string session = ParamStr(req, "session");
+        int64_t cursor = store.LatestSampleMs();
+        if (!writer.Write(Format("event: hello\ndata: {\"period_ms\": %d}\n\n",
+                                 store.options().sample_period_ms))) {
+          return;
+        }
+        while (writer.ok()) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(store.options().sample_period_ms));
+          std::string payload = store.ToJson(name, session, cursor);
+          const int64_t latest = store.LatestSampleMs();
+          if (latest > cursor) cursor = latest;
+          if (!writer.Write("event: sample\ndata: " + payload + "\n\n")) break;
+        }
+      });
+}
+
 // ------------------------------------------- process-wide introspection --
 
 namespace {
@@ -440,10 +498,13 @@ HttpServer* BuildIntrospectionServer() {
     HttpServer::Response r;
     r.body =
         "gola live introspection\n"
-        "  /metrics   Prometheus text exposition\n"
-        "  /statusz   active online queries (JSON)\n"
-        "  /tracez    most recent trace spans (Chrome trace JSON)\n"
-        "  /flightz   flight-recorder ring (text)\n";
+        "  /metrics        Prometheus text exposition\n"
+        "  /statusz        active online queries (JSON)\n"
+        "  /timez          in-process time series (JSON; ?name= ?session= "
+        "?since_ms=)\n"
+        "  /timez/stream   time-series samples as SSE\n"
+        "  /tracez         most recent trace spans (Chrome trace JSON)\n"
+        "  /flightz        flight-recorder ring (text)\n";
     return r;
   });
   server->Route("/metrics", [] {
@@ -469,6 +530,7 @@ HttpServer* BuildIntrospectionServer() {
     r.body = FlightRecorder::Global().ToText();
     return r;
   });
+  AttachTimezRoutes(server);
   return server;
 }
 

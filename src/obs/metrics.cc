@@ -113,6 +113,79 @@ void Histogram::Reset() {
   sum_.store(0, std::memory_order_relaxed);
 }
 
+// ----------------------------------------------------------- MetricLabels --
+
+namespace {
+
+/// Escapes a label value for Prometheus exposition (`\` and `"`).
+std::string EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void AppendLabel(std::string* out, const char* key, const std::string& value) {
+  if (value.empty()) return;
+  if (!out->empty()) *out += ',';
+  *out += key;
+  *out += "=\"";
+  *out += EscapeLabelValue(value);
+  *out += '"';
+}
+
+}  // namespace
+
+std::string MetricLabels::Render() const {
+  std::string out;
+  AppendLabel(&out, "session_id", session_id);
+  AppendLabel(&out, "table", table);
+  AppendLabel(&out, "phase", phase);
+  return out;
+}
+
+std::string LabeledName(const std::string& base, const MetricLabels& labels) {
+  if (labels.empty()) return base;
+  return base + "{" + labels.Render() + "}";
+}
+
+bool ParseSeriesName(const std::string& full, std::string* base,
+                     std::map<std::string, std::string>* labels) {
+  labels->clear();
+  size_t brace = full.find('{');
+  if (brace == std::string::npos) {
+    *base = full;
+    return true;
+  }
+  if (full.back() != '}') return false;
+  *base = full.substr(0, brace);
+  size_t i = brace + 1;
+  const size_t end = full.size() - 1;  // position of '}'
+  while (i < end) {
+    size_t eq = full.find('=', i);
+    if (eq == std::string::npos || eq >= end) return false;
+    std::string key = full.substr(i, eq - i);
+    if (key.empty() || eq + 1 >= end || full[eq + 1] != '"') return false;
+    std::string value;
+    size_t j = eq + 2;
+    for (; j < end && full[j] != '"'; ++j) {
+      if (full[j] == '\\' && j + 1 < end) ++j;  // escaped `\"` or `\\`
+      value += full[j];
+    }
+    if (j >= end) return false;  // unterminated value
+    (*labels)[key] = value;
+    i = j + 1;
+    if (i < end) {
+      if (full[i] != ',') return false;
+      ++i;
+    }
+  }
+  return true;
+}
+
 // -------------------------------------------------------- MetricsRegistry --
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
@@ -134,6 +207,21 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return slot.get();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const MetricLabels& labels) {
+  return GetCounter(LabeledName(name, labels));
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const MetricLabels& labels) {
+  return GetGauge(LabeledName(name, labels));
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const MetricLabels& labels) {
+  return GetHistogram(LabeledName(name, labels));
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {

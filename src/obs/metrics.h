@@ -111,6 +111,36 @@ class Histogram {
   std::atomic<int64_t> sum_{0};
 };
 
+/// The fixed label vocabulary of the session-aware metric families
+/// (DESIGN.md §13): which client session, which streamed table, which
+/// engine phase a sample belongs to. Unset (empty) fields are omitted from
+/// the rendered series name; the field order is fixed, so equal label sets
+/// always canonicalize to the same series and therefore the same handle.
+struct MetricLabels {
+  std::string session_id;
+  std::string table;
+  std::string phase;
+
+  bool empty() const {
+    return session_id.empty() && table.empty() && phase.empty();
+  }
+  /// Inner Prometheus label text, e.g. `session_id="7",table="conviva"`.
+  /// Values are escaped (`\` and `"`), so ParseSeriesName inverts this.
+  std::string Render() const;
+};
+
+/// Canonical full series name: `base{labels}` (or `base` when no label is
+/// set). This string keys the registry, so one (base, labels) pair always
+/// resolves to one metric.
+std::string LabeledName(const std::string& base, const MetricLabels& labels);
+
+/// Splits a full series name `base{k="v",...}` back into its base name and
+/// label pairs (unescaping values) — the inverse of LabeledName for any
+/// label keys. Returns false on malformed label text; a name without
+/// braces parses as (name, {}).
+bool ParseSeriesName(const std::string& full, std::string* base,
+                     std::map<std::string, std::string>* labels);
+
 struct CounterSample {
   std::string name;
   int64_t value = 0;
@@ -149,6 +179,15 @@ class MetricsRegistry {
   Counter* GetCounter(const std::string& name);
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
+
+  /// Labeled-family variants: find-or-create the child of `name` keyed by
+  /// `labels` (canonicalized via LabeledName, so the same label set always
+  /// returns the same handle). Look the child up once per (query, family)
+  /// and record through the pointer — creation takes the registry lock,
+  /// recording never does.
+  Counter* GetCounter(const std::string& name, const MetricLabels& labels);
+  Gauge* GetGauge(const std::string& name, const MetricLabels& labels);
+  Histogram* GetHistogram(const std::string& name, const MetricLabels& labels);
 
   MetricsSnapshot Snapshot() const;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "obs/metrics.h"
 #include "parser/parser.h"
@@ -40,6 +41,15 @@ Dispatcher::Dispatcher(const Catalog* catalog, DispatcherOptions options)
     : catalog_(catalog), options_(options) {
   pool_ = std::make_unique<ThreadPool>(
       options_.step_threads < 0 ? 1 : static_cast<size_t>(options_.step_threads));
+  if (obs::MetricsEnabled()) {
+    auto& ts = obs::TimeSeriesStore::Global();
+    ts_queue_depth_ = ts.RegisterSampled(
+        "gola_server_queue_depth", {},
+        [this] { return static_cast<double>(queued_sessions()); });
+    ts_active_ = ts.RegisterSampled(
+        "gola_server_active_sessions", {},
+        [this] { return static_cast<double>(active_sessions()); });
+  }
   scheduler_ = std::thread([this] { SchedulerLoop(); });
 }
 
@@ -55,6 +65,11 @@ Result<SessionPtr> Dispatcher::Submit(const std::string& sql,
   std::unique_lock<std::mutex> lock(mu_);
   if (shutdown_) return Status::Unavailable("dispatcher is shut down");
   if (static_cast<int>(queued_.size()) >= options_.max_queued_sessions) {
+    if (obs::MetricsEnabled()) {
+      obs::MetricsRegistry::Global()
+          .GetCounter("gola_server_admission_rejected_total")
+          ->Increment();
+    }
     return Status::Unavailable(
         Format("admission queue full (%d queued, %d running); retry later",
                static_cast<int>(queued_.size()),
@@ -64,9 +79,13 @@ Result<SessionPtr> Dispatcher::Submit(const std::string& sql,
                                       std::move(options)));
   queued_.push_back(session);
   if (obs::MetricsEnabled()) {
-    obs::MetricsRegistry::Global()
-        .GetCounter("gola_server_sessions_submitted_total")
-        ->Increment();
+    auto& reg = obs::MetricsRegistry::Global();
+    reg.GetCounter("gola_server_sessions_submitted_total")->Increment();
+    obs::MetricLabels labels;
+    labels.table = table;
+    reg.GetCounter("gola_server_sessions_submitted_total", labels)->Increment();
+    reg.GetGauge("gola_server_queue_depth")
+        ->Set(static_cast<int64_t>(queued_.size()));
   }
   cv_.notify_all();
   return session;
@@ -120,6 +139,12 @@ void Dispatcher::Shutdown() {
     cv_.notify_all();
   }
   if (scheduler_.joinable()) scheduler_.join();
+  // Retire the pull-based series before any member state goes away: Retire
+  // synchronizes with the store's sampler, so the queue-depth callbacks
+  // never fire on a dead dispatcher.
+  auto& ts = obs::TimeSeriesStore::Global();
+  ts.Retire(ts_queue_depth_);
+  ts.Retire(ts_active_);
   // The scheduler is gone: finalize whatever it left behind so no Await
   // ever hangs on a session the sweep will not touch again.
   std::vector<SessionPtr> leftovers;
@@ -190,11 +215,17 @@ void Dispatcher::SchedulerLoop() {
     // Sessions are independent (own executor, own replicate state); the
     // only shared input is the immutable partitioner, so the fan-out is
     // race-free and each session's batch order stays sequential.
+    Stopwatch sweep_timer;
     if (round.size() == 1) {
       round[0]->StepOnce();
     } else {
       pool_->ParallelFor(round.size(),
                          [&](size_t i) { round[i]->StepOnce(); });
+    }
+    if (obs::MetricsEnabled()) {
+      obs::MetricsRegistry::Global()
+          .GetHistogram("gola_server_sweep_us")
+          ->Record(static_cast<int64_t>(sweep_timer.ElapsedSeconds() * 1e6));
     }
     lock.lock();
 
@@ -207,6 +238,13 @@ void Dispatcher::SchedulerLoop() {
         });
     running_.erase(it, running_.end());
     while (recent_.size() > kRecentCap) recent_.pop_front();
+    if (obs::MetricsEnabled()) {
+      auto& reg = obs::MetricsRegistry::Global();
+      reg.GetGauge("gola_server_active_sessions")
+          ->Set(static_cast<int64_t>(running_.size()));
+      reg.GetGauge("gola_server_queue_depth")
+          ->Set(static_cast<int64_t>(queued_.size()));
+    }
   }
 }
 

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "obs/timeseries.h"
 #include "plan/binder.h"
 #include "server/scan_share.h"
 #include "server/session.h"
@@ -106,6 +107,13 @@ class Dispatcher {
   std::deque<SessionPtr> recent_;  // terminal sessions, most recent last
 
   std::thread scheduler_;
+
+  // Pull-based /timez series (queue depth, active sessions), fed by the
+  // store's sampler thread; retired in Shutdown before members go away.
+  obs::TimeSeriesStore::SeriesId ts_queue_depth_ =
+      obs::TimeSeriesStore::kInvalidSeries;
+  obs::TimeSeriesStore::SeriesId ts_active_ =
+      obs::TimeSeriesStore::kInvalidSeries;
 };
 
 }  // namespace server

@@ -9,7 +9,9 @@
 
 #include "common/string_util.h"
 #include "gola/engine.h"
+#include "obs/metrics.h"
 #include "obs/query_registry.h"
+#include "obs/timeseries.h"
 
 namespace gola {
 namespace server {
@@ -163,6 +165,27 @@ std::string QueryService::SessionJson(const QuerySession& session,
       static_cast<long long>(session.updates_dropped()),
       session.seconds_to_first_update(), session.seconds_to_done(),
       DegradationName(session.degradation()));
+  out += Format(", \"pending_updates\": %d", session.pending_updates());
+  // Accuracy-SLO crossings (wall time until the estimate first reached each
+  // RSD target; -1 unmet) and lifecycle events — the live view of what the
+  // wide-event query log records at the end.
+  out += ", \"slo\": [";
+  bool first_slo = true;
+  for (const obs::SloCrossing& c : session.slo_crossings()) {
+    if (!first_slo) out += ", ";
+    first_slo = false;
+    out += Format("{\"target_rsd\": %.6g, \"met\": %s, \"seconds\": %.6g}",
+                  c.target_rsd, c.met ? "true" : "false", c.seconds);
+  }
+  out += "], \"events\": [";
+  bool first_event = true;
+  for (const obs::QueryLogEvent& e : session.events()) {
+    if (!first_event) out += ", ";
+    first_event = false;
+    out += Format("{\"seconds\": %.6g, \"name\": \"%s\"}", e.seconds,
+                  JsonEscape(e.name).c_str());
+  }
+  out += "]";
   if (state == SessionState::kFailed) {
     out += ", \"error\": \"" + JsonEscape(session.status().ToString()) + "\"";
   }
@@ -346,6 +369,18 @@ void QueryService::AttachTo(obs::HttpServer* server) {
         }
         return r;
       }));
+
+  // /metrics and /timez on the service port too, so a front end scraping
+  // only this server still gets the labeled families and the convergence
+  // time series without the introspection port.
+  server->Route("/metrics", obs::HttpServer::Handler([](
+                                const obs::HttpServer::Request&) {
+    obs::HttpServer::Response r;
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    r.body = obs::MetricsRegistry::Global().RenderText();
+    return r;
+  }));
+  obs::AttachTimezRoutes(server);
 }
 
 }  // namespace server

@@ -1,5 +1,7 @@
 #include "server/scan_share.h"
 
+#include "obs/metrics.h"
+
 namespace gola {
 namespace server {
 
@@ -35,8 +37,15 @@ std::shared_ptr<const MiniBatchPartitioner> ScanShare::GetOrCreate(
   std::shared_ptr<const Table> cached_table = slot->table.lock();
   std::shared_ptr<const MiniBatchPartitioner> scan = slot->scan.lock();
   if (scan != nullptr && cached_table == table) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.hits;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.hits;
+    }
+    if (obs::MetricsEnabled()) {
+      obs::MetricsRegistry::Global()
+          .GetCounter("gola_server_scan_share_hits_total")
+          ->Increment();
+    }
     return scan;
   }
 
@@ -50,6 +59,11 @@ std::shared_ptr<const MiniBatchPartitioner> ScanShare::GetOrCreate(
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.misses;
+  }
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("gola_server_scan_share_misses_total")
+        ->Increment();
   }
   return scan;
 }

@@ -1,8 +1,11 @@
 #include "server/session.h"
 
+#include <string>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace gola {
 namespace server {
@@ -37,6 +40,12 @@ QuerySession::QuerySession(uint64_t id, std::string sql, std::string table,
       query_(std::move(query)),
       submit_time_(std::chrono::steady_clock::now()) {
   if (options_.max_pending_updates < 1) options_.max_pending_updates = 1;
+  // Stamp the engine's metric labels with this session's identity: the
+  // controller then records per-session labeled families (batch/phase
+  // timings) next to the global ones, and the time-series store keys this
+  // query's convergence series by the session id clients see in /sessions.
+  options_.gola.metrics_labels.session_id = std::to_string(id_);
+  options_.gola.metrics_labels.table = table_;
 }
 
 QuerySession::~QuerySession() = default;
@@ -86,6 +95,7 @@ Result<OnlineUpdate> QuerySession::Await() {
 void QuerySession::Cancel() {
   std::lock_guard<std::mutex> lock(mu_);
   if (state_ >= SessionState::kDone) return;
+  if (!cancel_requested_) NoteEventLocked("cancel_requested");
   cancel_requested_ = true;
   cv_.notify_all();
 }
@@ -96,7 +106,12 @@ Status QuerySession::Checkpoint(const std::string& path) {
     return Status::ExecutionError(
         "session is not running (checkpoint needs a live executor)");
   }
-  return exec_->Checkpoint(path);
+  Status st = exec_->Checkpoint(path);
+  if (st.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    NoteEventLocked("checkpoint");
+  }
+  return st;
 }
 
 int QuerySession::batches_done() const {
@@ -129,19 +144,35 @@ Degradation QuerySession::degradation() const {
   return degradation_;
 }
 
+int QuerySession::pending_updates() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(pending_.size());
+}
+
+std::vector<obs::SloCrossing> QuerySession::slo_crossings() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slo_crossings_;
+}
+
+std::vector<obs::QueryLogEvent> QuerySession::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
 void QuerySession::Start(
     const Catalog* catalog,
     std::shared_ptr<const MiniBatchPartitioner> shared_scan) {
   std::lock_guard<std::mutex> step_lock(step_mu_);
+  bool cancelled;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (cancel_requested_) {
-      // Cancelled while queued: never build an executor.
-      state_ = SessionState::kCancelled;
-      done_seconds_ = SecondsSince(submit_time_);
-      cv_.notify_all();
-      return;
-    }
+    cancelled = cancel_requested_;
+  }
+  if (cancelled) {
+    // Cancelled while queued: never build an executor. Finish still runs so
+    // the wide-event log records the stillborn session.
+    Finish(SessionState::kCancelled, Status::OK());
+    return;
   }
   auto exec = OnlineQueryExecutor::Create(catalog, std::move(query_),
                                           options_.gola, std::move(shared_scan));
@@ -154,25 +185,28 @@ void QuerySession::Start(
   state_ = SessionState::kRunning;
   scan_shared_ = exec_->scan_shared();
   total_batches_ = exec_->total_batches();
+  if (scan_shared_) NoteEventLocked("scan_attach");
   cv_.notify_all();
 }
 
 bool QuerySession::StepOnce() {
   std::lock_guard<std::mutex> step_lock(step_mu_);
   if (exec_ == nullptr) return false;
+  bool cancelled;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (state_ != SessionState::kRunning) return false;
-    if (cancel_requested_) {
-      state_ = SessionState::kCancelled;
-      done_seconds_ = SecondsSince(submit_time_);
-      cv_.notify_all();
-      exec_.reset();  // releases the shared scan reference
-      return false;
-    }
+    cancelled = cancel_requested_;
+  }
+  if (cancelled) {
+    HarvestExecutorTelemetry();
+    Finish(SessionState::kCancelled, Status::OK());
+    exec_.reset();  // releases the shared scan reference
+    return false;
   }
 
   Result<OnlineUpdate> update = exec_->Step();
+  HarvestExecutorTelemetry();
   if (!update.ok()) {
     Finish(SessionState::kFailed, update.status());
     exec_.reset();
@@ -191,10 +225,38 @@ bool QuerySession::StepOnce() {
 void QuerySession::Publish(OnlineUpdate update, bool final) {
   std::lock_guard<std::mutex> lock(mu_);
   batches_done_ = update.batch_index;
+  if (update.degradation > degradation_) {
+    NoteEventLocked(std::string("degrade:") +
+                    DegradationName(update.degradation));
+  }
   degradation_ = update.degradation;
+  recomputes_ = update.recomputes_so_far;
   if (first_update_seconds_ < 0) {
     first_update_seconds_ = SecondsSince(submit_time_);
+    // Time-to-first-estimate, the latency clients actually feel. The
+    // labeled family is what bench_server reads its ttfe percentiles from.
+    if (obs::MetricsEnabled()) {
+      obs::MetricLabels labels;
+      labels.table = table_;
+      obs::MetricsRegistry::Global()
+          .GetHistogram("gola_server_ttfe_us", labels)
+          ->Record(static_cast<int64_t>(first_update_seconds_ * 1e6));
+    }
   }
+  // Cumulative QueryStats for the wide event (per-batch deltas summed).
+  stats_total_.envelope_check_seconds += update.stats.envelope_check_seconds;
+  stats_total_.delta_exec_seconds += update.stats.delta_exec_seconds;
+  stats_total_.emit_seconds += update.stats.emit_seconds;
+  stats_total_.rebuild_seconds += update.stats.rebuild_seconds;
+  stats_total_.materialize_seconds += update.stats.materialize_seconds;
+  stats_total_.morsels += update.stats.morsels;
+  stats_total_.rows_in += update.stats.rows_in;
+  stats_total_.rows_folded += update.stats.rows_folded;
+  stats_total_.rows_uncertain += update.stats.rows_uncertain;
+  // Track the freshest extractable headline (intermediate updates may skip
+  // materialization; the final one never does).
+  HeadlineCell cell = ExtractHeadline(update.result);
+  if (cell.has_estimate) headline_ = cell;
   latest_ = update;
   if (final) final_ = update;
   // Slow consumer: shed the oldest pending update rather than stalling the
@@ -211,12 +273,85 @@ void QuerySession::Publish(OnlineUpdate update, bool final) {
 }
 
 void QuerySession::Finish(SessionState terminal, Status status) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ >= SessionState::kDone) return;
+    state_ = terminal;
+    error_ = std::move(status);
+    done_seconds_ = SecondsSince(submit_time_);
+    cv_.notify_all();
+  }
+  // Terminal side effects run outside mu_ (the wide-event serialization and
+  // counter flush must not block cursor readers). Exactly once: the early
+  // return above means only the first terminal transition reaches here.
+  if (obs::MetricsEnabled()) {
+    auto& reg = obs::MetricsRegistry::Global();
+    obs::MetricLabels labels;
+    labels.table = table_;
+    reg.GetCounter(Format("gola_server_sessions_finished_total{state=\"%s\"}",
+                          SessionStateName(terminal)))
+        ->Increment();
+    int64_t dropped;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      dropped = dropped_;
+    }
+    if (dropped > 0) {
+      obs::MetricLabels drop_labels = labels;
+      drop_labels.session_id = std::to_string(id_);
+      reg.GetCounter("gola_server_updates_dropped_total", drop_labels)
+          ->Add(dropped);
+    }
+  }
+  EmitWideEvent();
+}
+
+void QuerySession::NoteEventLocked(std::string name) {
+  events_.push_back({SecondsSince(submit_time_), std::move(name)});
+}
+
+void QuerySession::HarvestExecutorTelemetry() {
+  if (exec_ == nullptr) return;
+  const obs::AccuracySloTracker& slo = exec_->slo();
   std::lock_guard<std::mutex> lock(mu_);
-  if (state_ >= SessionState::kDone) return;
-  state_ = terminal;
-  error_ = std::move(status);
-  done_seconds_ = SecondsSince(submit_time_);
-  cv_.notify_all();
+  slo_crossings_ = slo.crossings();
+}
+
+void QuerySession::EmitWideEvent() {
+  obs::QueryLog& log = obs::QueryLog::Global();
+  if (!log.enabled()) return;
+  obs::QueryLogRecord rec;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rec.session_id = std::to_string(id_);
+    rec.label = label_;
+    rec.table = table_;
+    rec.sql = sql_;
+    rec.state = SessionStateName(state_);
+    if (!error_.ok()) rec.error = error_.ToString();
+    rec.degradation = DegradationName(degradation_);
+    rec.num_batches = options_.gola.num_batches;
+    rec.bootstrap_replicates = options_.gola.bootstrap_replicates;
+    rec.seed = options_.gola.seed;
+    rec.deadline_ms = static_cast<int64_t>(options_.gola.deadline_ms);
+    rec.share_scan_requested = options_.share_scan;
+    rec.scan_shared = scan_shared_;
+    rec.batches_done = batches_done_;
+    rec.total_batches = total_batches_;
+    rec.recomputes = recomputes_;
+    rec.updates_dropped = dropped_;
+    rec.seconds_to_first_update = first_update_seconds_;
+    rec.seconds_to_done = done_seconds_;
+    rec.slo = slo_crossings_;
+    rec.stats = stats_total_;
+    rec.events = events_;
+    rec.has_estimate = headline_.has_estimate;
+    rec.estimate = headline_.estimate;
+    rec.ci_lo = headline_.ci_lo;
+    rec.ci_hi = headline_.ci_hi;
+    if (latest_.has_value()) rec.max_rsd = latest_->max_rsd;
+  }
+  log.Append(rec);
 }
 
 }  // namespace server

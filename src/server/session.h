@@ -24,7 +24,10 @@
 #include <optional>
 #include <string>
 
+#include <vector>
+
 #include "gola/controller.h"
+#include "obs/query_log.h"
 
 namespace gola {
 namespace server {
@@ -104,6 +107,14 @@ class QuerySession {
   /// Seconds from Submit to reaching a terminal state; <0 before.
   double seconds_to_done() const;
   Degradation degradation() const;
+  /// Updates currently waiting in the cursor.
+  int pending_updates() const;
+  /// Accuracy-SLO crossings harvested from the executor (wall time to
+  /// RSD ≤ 5/2/1%); empty while queued.
+  std::vector<obs::SloCrossing> slo_crossings() const;
+  /// Timestamped lifecycle events (scan_attach, degrade:<rung>,
+  /// cancel_requested, checkpoint) in submit order.
+  std::vector<obs::QueryLogEvent> events() const;
 
  private:
   friend class Dispatcher;
@@ -119,7 +130,20 @@ class QuerySession {
   bool StepOnce();
   /// Push an update into the cursor (drop-oldest on overflow).
   void Publish(OnlineUpdate update, bool final);
+  /// Terminal transition (idempotent: the first caller wins). Also emits
+  /// the wide-event query-log record and flushes the per-session counters,
+  /// so every outcome — done, failed, cancelled — leaves exactly one
+  /// record.
   void Finish(SessionState terminal, Status status);
+  /// Appends a lifecycle event stamped with seconds-since-submit. Caller
+  /// must hold mu_.
+  void NoteEventLocked(std::string name);
+  /// Copies telemetry that lives inside the executor (SLO crossings) into
+  /// session state. Caller must hold step_mu_; called before every
+  /// exec_.reset() so the wide event survives executor teardown.
+  void HarvestExecutorTelemetry();
+  /// Builds and appends the wide-event record (no locks held on entry).
+  void EmitWideEvent();
 
   const uint64_t id_;
   const std::string sql_;
@@ -148,6 +172,16 @@ class QuerySession {
   std::chrono::steady_clock::time_point submit_time_;
   double first_update_seconds_ = -1;
   double done_seconds_ = -1;
+
+  // Wide-event accumulation (guarded by mu_): cumulative QueryStats over
+  // every published batch, the latest extractable headline cell, SLO
+  // crossings harvested from the executor, and timestamped lifecycle
+  // events.
+  obs::QueryStats stats_total_;
+  HeadlineCell headline_;
+  int recomputes_ = 0;
+  std::vector<obs::SloCrossing> slo_crossings_;
+  std::vector<obs::QueryLogEvent> events_;
 };
 
 using SessionPtr = std::shared_ptr<QuerySession>;

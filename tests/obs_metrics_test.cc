@@ -173,6 +173,74 @@ TEST(RegistryTest, RenderTextExposesAllKinds) {
   EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
 }
 
+TEST(LabeledMetricsTest, RenderAndCanonicalName) {
+  MetricLabels none;
+  EXPECT_TRUE(none.empty());
+  EXPECT_EQ(LabeledName("gola_x_total", none), "gola_x_total");
+
+  MetricLabels labels;
+  labels.session_id = "7";
+  labels.table = "conviva";
+  EXPECT_FALSE(labels.empty());
+  EXPECT_EQ(labels.Render(), "session_id=\"7\",table=\"conviva\"");
+  EXPECT_EQ(LabeledName("gola_x_total", labels),
+            "gola_x_total{session_id=\"7\",table=\"conviva\"}");
+
+  // Fixed field order: the same label set always canonicalizes to the same
+  // series name, whatever order the fields were assigned in.
+  MetricLabels phase_only;
+  phase_only.phase = "delta";
+  EXPECT_EQ(LabeledName("gola_y_us", phase_only),
+            "gola_y_us{phase=\"delta\"}");
+}
+
+TEST(LabeledMetricsTest, ParseSeriesNameRoundTrips) {
+  MetricLabels labels;
+  labels.session_id = "12";
+  labels.table = "a \"quoted\\name";
+  labels.phase = "emit";
+  std::string full = LabeledName("gola_z_us", labels);
+
+  std::string base;
+  std::map<std::string, std::string> parsed;
+  ASSERT_TRUE(ParseSeriesName(full, &base, &parsed));
+  EXPECT_EQ(base, "gola_z_us");
+  EXPECT_EQ(parsed["session_id"], "12");
+  EXPECT_EQ(parsed["table"], "a \"quoted\\name");  // escaping inverted
+  EXPECT_EQ(parsed["phase"], "emit");
+
+  // Bare name parses as (name, {}).
+  ASSERT_TRUE(ParseSeriesName("gola_plain_total", &base, &parsed));
+  EXPECT_EQ(base, "gola_plain_total");
+  EXPECT_TRUE(parsed.empty());
+
+  // Malformed label text is rejected, not mis-parsed.
+  EXPECT_FALSE(ParseSeriesName("gola_bad{unterminated", &base, &parsed));
+  EXPECT_FALSE(ParseSeriesName("gola_bad{k=\"v}", &base, &parsed));
+}
+
+TEST(LabeledMetricsTest, LabeledHandlesAreStableAndDistinct) {
+  MetricsRegistry reg;
+  MetricLabels a;
+  a.session_id = "1";
+  MetricLabels b;
+  b.session_id = "2";
+  Counter* ca = reg.GetCounter("gola_fleet_total", a);
+  Counter* cb = reg.GetCounter("gola_fleet_total", b);
+  EXPECT_NE(ca, cb);  // different label sets → different children
+  EXPECT_EQ(reg.GetCounter("gola_fleet_total", a), ca);  // same set → same
+  // The labeled child is the same metric as the inline-labeled name.
+  EXPECT_EQ(reg.GetCounter("gola_fleet_total{session_id=\"1\"}"), ca);
+
+  ca->Add(3);
+  cb->Add(5);
+  std::string text = reg.RenderText();
+  EXPECT_NE(text.find("gola_fleet_total{session_id=\"1\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("gola_fleet_total{session_id=\"2\"} 5"),
+            std::string::npos);
+}
+
 TEST(RegistryTest, ResetZeroesButKeepsHandles) {
   MetricsRegistry reg;
   Counter* c = reg.GetCounter("c_total");

@@ -1,0 +1,93 @@
+// AccuracySloTracker unit tests: first-crossing semantics (a later RSD
+// regression never un-meets a target), monotone elapsed clamping, gating on
+// has_estimate, and the newly-met indexes contract that makes histogram
+// export exactly-once.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "obs/slo.h"
+
+namespace gola {
+namespace obs {
+namespace {
+
+TEST(SloTrackerTest, DefaultsSortedLoosestFirst) {
+  AccuracySloTracker tracker;
+  const auto& crossings = tracker.crossings();
+  ASSERT_EQ(crossings.size(), 3u);
+  EXPECT_DOUBLE_EQ(crossings[0].target_rsd, 0.05);
+  EXPECT_DOUBLE_EQ(crossings[1].target_rsd, 0.02);
+  EXPECT_DOUBLE_EQ(crossings[2].target_rsd, 0.01);
+  for (const SloCrossing& c : crossings) {
+    EXPECT_FALSE(c.met);
+    EXPECT_DOUBLE_EQ(c.seconds, -1);
+  }
+  EXPECT_FALSE(tracker.all_met());
+  EXPECT_DOUBLE_EQ(tracker.seconds_to_rsd(0.05), -1);  // unmet → -1
+  EXPECT_DOUBLE_EQ(tracker.seconds_to_rsd(0.5), -1);   // untracked → -1
+}
+
+TEST(SloTrackerTest, TargetsDedupedAndNonPositiveDropped) {
+  AccuracySloTracker tracker({0.02, 0.05, 0.02, 0, -1});
+  ASSERT_EQ(tracker.crossings().size(), 2u);
+  EXPECT_DOUBLE_EQ(tracker.crossings()[0].target_rsd, 0.05);
+  EXPECT_DOUBLE_EQ(tracker.crossings()[1].target_rsd, 0.02);
+}
+
+TEST(SloTrackerTest, CrossingRecordedOnceAndSurvivesRegression) {
+  AccuracySloTracker tracker;
+  // Converging: RSD 10% at t=1 meets nothing.
+  EXPECT_TRUE(tracker.Observe(1.0, 0.10, true).empty());
+  // RSD 3% at t=2 meets the 5% target only.
+  std::vector<size_t> met = tracker.Observe(2.0, 0.03, true);
+  ASSERT_EQ(met.size(), 1u);
+  EXPECT_EQ(met[0], 0u);
+  EXPECT_DOUBLE_EQ(tracker.seconds_to_rsd(0.05), 2.0);
+
+  // A recompute pushes RSD back above 5%: the recorded crossing is
+  // first-crossing wall time and must not move or un-meet.
+  EXPECT_TRUE(tracker.Observe(3.0, 0.08, true).empty());
+  EXPECT_TRUE(tracker.crossings()[0].met);
+  EXPECT_DOUBLE_EQ(tracker.seconds_to_rsd(0.05), 2.0);
+
+  // Tightening to 0.5% meets 2% and 1% together, each exactly once.
+  met = tracker.Observe(4.0, 0.005, true);
+  ASSERT_EQ(met.size(), 2u);
+  EXPECT_EQ(met[0], 1u);
+  EXPECT_EQ(met[1], 2u);
+  EXPECT_DOUBLE_EQ(tracker.seconds_to_rsd(0.02), 4.0);
+  EXPECT_DOUBLE_EQ(tracker.seconds_to_rsd(0.01), 4.0);
+  EXPECT_TRUE(tracker.all_met());
+
+  // Every target already met: nothing is ever newly met again.
+  EXPECT_TRUE(tracker.Observe(5.0, 0.001, true).empty());
+}
+
+TEST(SloTrackerTest, NoEstimateNeverMeets) {
+  AccuracySloTracker tracker;
+  // max_rsd can be 0 while the result is still empty (no aggregate cell
+  // yet); has_estimate=false must gate recording.
+  EXPECT_TRUE(tracker.Observe(1.0, 0.0, false).empty());
+  EXPECT_FALSE(tracker.crossings()[0].met);
+  std::vector<size_t> met = tracker.Observe(2.0, 0.0, true);
+  EXPECT_EQ(met.size(), 3u);
+}
+
+TEST(SloTrackerTest, ElapsedClampedMonotone) {
+  AccuracySloTracker tracker({0.05, 0.02});
+  EXPECT_TRUE(tracker.Observe(5.0, 0.10, true).empty());
+  // A caller mixing clock bases reports t=3 after t=5: the crossing time
+  // must still be nondecreasing (clamped up to 5).
+  std::vector<size_t> met = tracker.Observe(3.0, 0.03, true);
+  ASSERT_EQ(met.size(), 1u);
+  EXPECT_DOUBLE_EQ(tracker.seconds_to_rsd(0.05), 5.0);
+  // And a later, legitimate later time is used as-is.
+  met = tracker.Observe(7.0, 0.01, true);
+  ASSERT_EQ(met.size(), 1u);
+  EXPECT_DOUBLE_EQ(tracker.seconds_to_rsd(0.02), 7.0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace gola

@@ -1,0 +1,244 @@
+// TimeSeriesStore unit tests: ring compaction (log-time downsampling) made
+// deterministic via AppendAt, bounded memory under unbounded appends,
+// retired-series eviction, filtering/JSON shape, pull-based sampling, and
+// concurrent writers + snapshotters (the TSan CI job runs this).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/timeseries.h"
+
+namespace gola {
+namespace obs {
+namespace {
+
+TimeSeriesOptions SmallRing(int capacity) {
+  TimeSeriesOptions options;
+  options.ring_capacity = capacity;
+  options.sample_period_ms = 5;
+  return options;
+}
+
+TEST(TimeSeriesTest, AppendAndSnapshot) {
+  TimeSeriesStore store(SmallRing(16));
+  MetricLabels labels;
+  labels.session_id = "1";
+  labels.table = "conviva";
+  auto id = store.Register("gola_query_max_rsd", labels);
+  ASSERT_NE(id, TimeSeriesStore::kInvalidSeries);
+  store.AppendAt(id, 100, 0.5);
+  store.AppendAt(id, 200, 0.25);
+
+  auto snaps = store.Snapshot();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_EQ(snaps[0].name, "gola_query_max_rsd");
+  EXPECT_EQ(snaps[0].labels.session_id, "1");
+  EXPECT_FALSE(snaps[0].retired);
+  ASSERT_EQ(snaps[0].samples.size(), 2u);
+  EXPECT_EQ(snaps[0].samples[0].t_ms, 100);
+  EXPECT_DOUBLE_EQ(snaps[0].samples[1].value, 0.25);
+  EXPECT_EQ(store.LatestSampleMs(), 200);
+}
+
+TEST(TimeSeriesTest, CompactionKeepsNewestHalfExact) {
+  const int kCap = 16;
+  TimeSeriesStore store(SmallRing(kCap));
+  auto id = store.Register("s", {});
+  // Fill to exactly capacity: the 16th append triggers one compaction.
+  for (int i = 0; i < kCap; ++i) {
+    store.AppendAt(id, 1000 + i * 10, static_cast<double>(i));
+  }
+  auto snaps = store.Snapshot();
+  ASSERT_EQ(snaps.size(), 1u);
+  const auto& s = snaps[0].samples;
+  // Oldest half (8 weight-1 samples) pair-merged to 4 weight-2 samples;
+  // newest half kept verbatim.
+  ASSERT_EQ(s.size(), 12u);
+  // First merged sample averages samples 0 and 1: t=(1000+1010)/2, v=0.5.
+  EXPECT_EQ(s[0].t_ms, 1005);
+  EXPECT_DOUBLE_EQ(s[0].value, 0.5);
+  EXPECT_EQ(s[0].weight, 2);
+  EXPECT_DOUBLE_EQ(s[3].value, 6.5);  // avg of values 6 and 7
+  // Newest 8 samples are exact.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(s[4 + static_cast<size_t>(i)].t_ms, 1000 + (8 + i) * 10);
+    EXPECT_DOUBLE_EQ(s[4 + static_cast<size_t>(i)].value, 8.0 + i);
+    EXPECT_EQ(s[4 + static_cast<size_t>(i)].weight, 1);
+  }
+  // Timestamps stay sorted through any number of compactions.
+  for (size_t i = 1; i < s.size(); ++i) {
+    EXPECT_LE(s[i - 1].t_ms, s[i].t_ms);
+  }
+}
+
+TEST(TimeSeriesTest, UnboundedAppendsStayBounded) {
+  const int kCap = 32;
+  TimeSeriesStore store(SmallRing(kCap));
+  auto id = store.Register("s", {});
+  for (int i = 0; i < 100000; ++i) {
+    store.AppendAt(id, i, static_cast<double>(i));
+  }
+  auto snaps = store.Snapshot();
+  ASSERT_EQ(snaps.size(), 1u);
+  const auto& s = snaps[0].samples;
+  EXPECT_LT(s.size(), static_cast<size_t>(kCap));
+  ASSERT_GE(s.size(), static_cast<size_t>(kCap) / 2);
+  // The whole run is covered: weights sum to the exact append count (no
+  // history was dropped, only coarsened)…
+  int64_t total_weight = 0;
+  for (const auto& sample : s) total_weight += sample.weight;
+  EXPECT_EQ(total_weight, 100000);
+  // …the oldest surviving sample is a heavy aggregate whose mean sits in
+  // the older half of the run, and the newest is raw and exact.
+  EXPECT_GT(s.front().weight, 1000);
+  EXPECT_LT(s.front().t_ms, 100000 / 2);
+  EXPECT_EQ(s.back().t_ms, 99999);
+  EXPECT_DOUBLE_EQ(s.back().value, 99999.0);
+  EXPECT_EQ(s.back().weight, 1);
+  for (size_t i = 1; i < s.size(); ++i) {
+    EXPECT_LE(s[i - 1].t_ms, s[i].t_ms);
+    // Resolution decays with age: weights never increase toward now.
+    EXPECT_GE(s[i - 1].weight, s[i].weight);
+  }
+}
+
+TEST(TimeSeriesTest, RetiredSeriesEvictedOldestFirst) {
+  TimeSeriesOptions options = SmallRing(8);
+  options.max_series = 2;
+  TimeSeriesStore store(options);
+  auto a = store.Register("a", {});
+  auto b = store.Register("b", {});
+  EXPECT_EQ(store.series_count(), 2);
+  // Both live: the cap cannot evict, so a third registration overflows.
+  auto c = store.Register("c", {});
+  EXPECT_EQ(store.series_count(), 3);
+  store.Retire(a);
+  store.Retire(b);
+  // Now registration evicts the oldest retired series (a, then b).
+  auto d = store.Register("d", {});
+  EXPECT_EQ(store.series_count(), 2);  // c and d remain
+  ASSERT_NE(d, TimeSeriesStore::kInvalidSeries);
+  store.AppendAt(a, 1, 1.0);  // evicted id: silently ignored
+  store.AppendAt(c, 1, 1.0);
+  auto snaps = store.Snapshot();
+  ASSERT_EQ(snaps.size(), 2u);
+  EXPECT_EQ(snaps[0].name, "c");
+  EXPECT_EQ(snaps[1].name, "d");
+}
+
+TEST(TimeSeriesTest, FiltersAndJson) {
+  TimeSeriesStore store(SmallRing(8));
+  MetricLabels q1;
+  q1.session_id = "1";
+  MetricLabels q2;
+  q2.session_id = "2";
+  auto a = store.Register("gola_query_max_rsd", q1);
+  auto b = store.Register("gola_query_max_rsd", q2);
+  auto c = store.Register("gola_server_queue_depth", {});
+  store.AppendAt(a, 10, 0.5);
+  store.AppendAt(b, 20, 0.4);
+  store.AppendAt(c, 30, 3);
+
+  EXPECT_EQ(store.Snapshot("max_rsd").size(), 2u);
+  EXPECT_EQ(store.Snapshot("", "2").size(), 1u);
+  EXPECT_EQ(store.Snapshot("queue", "2").size(), 0u);
+  // since_ms keeps strictly newer samples only.
+  auto since = store.Snapshot("", "", 10);
+  ASSERT_EQ(since.size(), 3u);
+  EXPECT_TRUE(since[0].samples.empty());
+  ASSERT_EQ(since[1].samples.size(), 1u);
+
+  std::string json = store.ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"period_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"gola_server_queue_depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"session_id\": \"2\""), std::string::npos);
+  EXPECT_NE(json.find("[10, 0.5]"), std::string::npos);
+}
+
+TEST(TimeSeriesTest, DisabledStoreRejectsEverything) {
+  TimeSeriesOptions options;
+  options.enabled = false;
+  TimeSeriesStore store(options);
+  auto id = store.Register("s", {});
+  EXPECT_EQ(id, TimeSeriesStore::kInvalidSeries);
+  auto sampled =
+      store.RegisterSampled("t", {}, [] { return 1.0; });
+  EXPECT_EQ(sampled, TimeSeriesStore::kInvalidSeries);
+  store.Append(id, 1.0);  // no-op, no crash
+  EXPECT_EQ(store.series_count(), 0);
+}
+
+TEST(TimeSeriesTest, SampledSeriesCollectsAndRetireStops) {
+  TimeSeriesStore store(SmallRing(64));
+  std::atomic<int> calls{0};
+  auto id = store.RegisterSampled("gola_server_active_sessions", {},
+                                  [&] { return static_cast<double>(++calls); });
+  ASSERT_NE(id, TimeSeriesStore::kInvalidSeries);
+  // Sampler runs every 5ms; wait until it demonstrably sampled.
+  for (int i = 0; i < 400 && calls.load() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(calls.load(), 2);
+  store.Retire(id);
+  // Retire synchronizes with the sampler: once it returns, the callback
+  // never runs again.
+  const int after = calls.load();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(calls.load(), after);
+  auto snaps = store.Snapshot();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_TRUE(snaps[0].retired);
+  EXPECT_GE(snaps[0].samples.size(), 1u);
+}
+
+TEST(TimeSeriesTest, ConcurrentWritersAndSnapshotters) {
+  TimeSeriesStore store(SmallRing(64));
+  constexpr int kWriters = 4;
+  constexpr int kAppendsPerWriter = 5000;
+  std::vector<TimeSeriesStore::SeriesId> ids;
+  for (int w = 0; w < kWriters; ++w) {
+    MetricLabels labels;
+    labels.session_id = std::to_string(w);
+    ids.push_back(store.Register("gola_query_max_rsd", labels));
+  }
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&] {
+    while (!stop.load()) {
+      auto snaps = store.Snapshot();
+      for (const auto& s : snaps) {
+        for (size_t i = 1; i < s.samples.size(); ++i) {
+          // Readers must never see a ring mid-compaction.
+          ASSERT_LE(s.samples[i - 1].t_ms, s.samples[i].t_ms);
+        }
+      }
+      (void)store.ToJson();
+      (void)store.LatestSampleMs();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kAppendsPerWriter; ++i) {
+        store.AppendAt(ids[static_cast<size_t>(w)], i, static_cast<double>(i));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  snapshotter.join();
+  auto snaps = store.Snapshot();
+  ASSERT_EQ(snaps.size(), static_cast<size_t>(kWriters));
+  for (const auto& s : snaps) {
+    EXPECT_FALSE(s.samples.empty());
+    EXPECT_EQ(s.samples.back().t_ms, kAppendsPerWriter - 1);
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace gola

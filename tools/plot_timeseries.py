@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Render a /timez capture — the engine's in-process time-series store —
+into per-metric charts: one panel per metric name, one line per series
+(labeled by session_id), so concurrent queries' convergence curves and the
+server's queue depth sit on a shared wall-clock axis. Emits CSV and a
+self-contained SVG; standard library only, so it runs anywhere CI does.
+
+Usage:
+  curl -s http://127.0.0.1:8080/timez > timez.json
+  python3 tools/plot_timeseries.py timez.json [-o out_prefix]
+  python3 tools/plot_timeseries.py timez.json --metric gola_query_max_rsd
+
+Writes <out_prefix>.csv and <out_prefix>.svg (default: the input path
+minus its extension).
+"""
+
+import argparse
+import csv
+import json
+import sys
+
+PALETTE = ["#1a5fb4", "#c01c28", "#26a269", "#e5a50a", "#613583",
+           "#a51d2d", "#63452c", "#000000"]
+
+
+def load_capture(path):
+    with open(path, "r", encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            sys.exit(f"{path}: malformed /timez JSON: {e}")
+    series = doc.get("series", [])
+    series = [s for s in series if s.get("samples")]
+    if not series:
+        sys.exit(f"{path}: no series with samples")
+    return doc, series
+
+
+def series_label(s):
+    labels = s.get("labels", {})
+    parts = [f"{k}={v}" for k, v in sorted(labels.items()) if v]
+    return ", ".join(parts) or "(global)"
+
+
+def write_csv(series, path):
+    with open(path, "w", newline="", encoding="utf-8") as f:
+        writer = csv.writer(f)
+        writer.writerow(["name", "labels", "t_ms", "value"])
+        for s in series:
+            label = series_label(s)
+            for t_ms, value in s["samples"]:
+                writer.writerow([s["name"], label, t_ms, value])
+
+
+def scale(lo, hi, out_lo, out_hi):
+    span = (hi - lo) or 1.0
+    return lambda v: out_lo + (v - lo) / span * (out_hi - out_lo)
+
+
+def axis_ticks(lo, hi, n=5):
+    span = (hi - lo) or 1.0
+    return [lo + span * i / (n - 1) for i in range(n)]
+
+
+def fmt(v):
+    a = abs(v)
+    if a != 0 and (a >= 1e5 or a < 1e-3):
+        return f"{v:.1e}"
+    return f"{v:.3g}"
+
+
+def panel(out, x0, y0, w, h, t0, t1, group, title):
+    """One chart panel: every series of one metric name over [t0, t1]."""
+    values = [v for s in group for _, v in s["samples"]]
+    y_lo, y_hi = min(values), max(values)
+    pad = (y_hi - y_lo) * 0.08 or abs(y_hi) * 0.08 or 1.0
+    y_lo, y_hi = y_lo - pad, y_hi + pad
+    sx = scale(t0, t1, x0, x0 + w)
+    sy = scale(y_lo, y_hi, y0 + h, y0)  # SVG y grows downward
+
+    out.append(f'<rect x="{x0}" y="{y0}" width="{w}" height="{h}" '
+               'fill="white" stroke="#888"/>')
+    out.append(f'<text x="{x0}" y="{y0 - 8}" font-weight="bold">'
+               f'{title}</text>')
+    for t in axis_ticks(y_lo, y_hi):
+        y = sy(t)
+        out.append(f'<line x1="{x0}" y1="{y:.2f}" x2="{x0 + w}" y2="{y:.2f}" '
+                   'stroke="#ddd"/>')
+        out.append(f'<text x="{x0 - 6}" y="{y + 4:.2f}" text-anchor="end" '
+                   f'font-size="11">{fmt(t)}</text>')
+    for t in axis_ticks(t0, t1):
+        x = sx(t)
+        out.append(f'<text x="{x:.2f}" y="{y0 + h + 16}" text-anchor="middle" '
+                   f'font-size="11">{fmt((t - t0) / 1000.0)}</text>')
+
+    for i, s in enumerate(group):
+        color = PALETTE[i % len(PALETTE)]
+        pts = " ".join(f"{sx(t):.2f},{sy(v):.2f}" for t, v in s["samples"])
+        out.append(f'<polyline points="{pts}" fill="none" stroke="{color}" '
+                   'stroke-width="1.5"/>')
+        out.append(f'<text x="{x0 + w + 8}" y="{y0 + 14 + 15 * i}" '
+                   f'font-size="11" fill="{color}">{series_label(s)}</text>')
+
+
+def write_svg(series, path):
+    # Group by metric name; each group gets its own panel on a shared
+    # wall-clock axis, so cross-metric correlation (queue depth spiking as
+    # RSD curves flatten) is visible at a glance.
+    groups = {}
+    for s in series:
+        groups.setdefault(s["name"], []).append(s)
+    t0 = min(s["samples"][0][0] for s in series)
+    t1 = max(s["samples"][-1][0] for s in series)
+
+    panel_h, gap, top, bottom = 170, 60, 40, 40
+    W = 900
+    H = top + len(groups) * (panel_h + gap) + bottom
+    out = [f'<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" '
+           f'viewBox="0 0 {W} {H}" font-family="sans-serif" font-size="13">',
+           f'<rect width="{W}" height="{H}" fill="#fafafa"/>']
+    y = top
+    for name in sorted(groups):
+        panel(out, 80, y, W - 320, panel_h, t0, t1, groups[name], name)
+        y += panel_h + gap
+    out.append(f'<text x="{(W - 240) / 2 + 80}" y="{H - 12}" '
+               'text-anchor="middle" font-size="12">time since capture start '
+               '(s)</text>')
+    out.append("</svg>")
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("\n".join(out) + "\n")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json", help="/timez capture (JSON)")
+    parser.add_argument("-o", "--out", help="output prefix (default: input "
+                        "path without extension)")
+    parser.add_argument("--metric", help="only series whose name contains "
+                        "this substring")
+    parser.add_argument("--session", help="only series with this session_id "
+                        "label")
+    args = parser.parse_args()
+
+    _, series = load_capture(args.json)
+    if args.metric:
+        series = [s for s in series if args.metric in s["name"]]
+    if args.session:
+        series = [s for s in series
+                  if s.get("labels", {}).get("session_id") == args.session]
+    if not series:
+        sys.exit("no series left after filtering")
+
+    prefix = args.out or args.json.rsplit(".", 1)[0]
+    write_csv(series, prefix + ".csv")
+    write_svg(series, prefix + ".svg")
+    names = len({s["name"] for s in series})
+    print(f"wrote {prefix}.csv and {prefix}.svg "
+          f"({len(series)} series, {names} metrics)")
+
+
+if __name__ == "__main__":
+    main()
