@@ -1,0 +1,92 @@
+// CI calibration audit over the seed workloads (DESIGN.md §14): batch
+// ground truth vs. many seeded online replays, per-update/per-cell coverage
+// of the nominal 95% CI. Emits BENCH_calibration.json (one report per
+// workload: overall / final-update / by-update / by-group-size-decile
+// coverage), gated in CI by tools/check_calibration.py and rendered by
+// tools/plot_calibration.py.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "obs/calibration.h"
+
+namespace gola {
+namespace {
+
+int Main(int argc, char** argv) {
+  const int64_t rows = bench::RowsFromArgs(argc, argv, 200'000);
+  const int seeds = [] {
+    if (const char* env = std::getenv("GOLA_CALIBRATION_SEEDS")) {
+      const int v = std::atoi(env);
+      if (v > 0) return v;
+    }
+    return 20;
+  }();
+  bench::PrintHeader("CI calibration: empirical vs nominal coverage", rows, 10,
+                     60);
+  std::unique_ptr<Engine> engine = bench::MakeEngine(rows);
+
+  std::vector<obs::CalibrationSpec> specs;
+  {
+    obs::CalibrationSpec scalar;
+    scalar.name = "avg_play_time_scalar";
+    scalar.sql = "SELECT AVG(play_time) AS apt FROM conviva";
+    scalar.seeds = seeds;
+    specs.push_back(scalar);
+
+    obs::CalibrationSpec by_geo;
+    by_geo.name = "avg_buffer_by_geo";
+    by_geo.sql =
+        "SELECT geo, AVG(buffer_time) AS bt FROM conviva GROUP BY geo";
+    by_geo.count_sql =
+        "SELECT geo, COUNT(*) AS n FROM conviva GROUP BY geo";
+    by_geo.seeds = seeds;
+    specs.push_back(by_geo);
+
+    // 64 ad groups: wide enough that group-size deciles separate, small
+    // enough that per-group counts stay in bootstrap-friendly territory.
+    obs::CalibrationSpec by_ad;
+    by_ad.name = "avg_bitrate_by_ad";
+    by_ad.sql =
+        "SELECT ad_id, AVG(bitrate_kbps) AS br FROM conviva GROUP BY ad_id";
+    by_ad.count_sql =
+        "SELECT ad_id, COUNT(*) AS n FROM conviva GROUP BY ad_id";
+    by_ad.seeds = seeds;
+    specs.push_back(by_ad);
+  }
+
+  std::string json = "[";
+  for (size_t i = 0; i < specs.size(); ++i) {
+    auto report = obs::RunCalibration(engine.get(), specs[i]);
+    GOLA_CHECK_OK(report.status());
+    std::printf(
+        "%-22s overall %6lld/%-6lld = %.3f | final %5lld/%-5lld = %.3f | "
+        "missing truth: %lld\n",
+        report->name.c_str(), static_cast<long long>(report->overall.covered),
+        static_cast<long long>(report->overall.total), report->overall.rate(),
+        static_cast<long long>(report->final_update.covered),
+        static_cast<long long>(report->final_update.total),
+        report->final_update.rate(),
+        static_cast<long long>(report->cells_missing_truth));
+    if (i) json += ",\n";
+    json += report->ToJson();
+  }
+  json += "]\n";
+
+  const char* path = "BENCH_calibration.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("\ncalibration report: %s\n", path);
+  return 0;
+}
+
+}  // namespace
+}  // namespace gola
+
+int main(int argc, char** argv) { return gola::Main(argc, argv); }

@@ -188,6 +188,28 @@ Status OnlineQueryExecutor::Prepare(
     ts_half_width_ = ts.Register("gola_query_ci_halfwidth", ts_labels);
     ts_fraction_ = ts.Register("gola_query_fraction_processed", ts_labels);
     ts_uncertain_ = ts.Register("gola_query_uncertain_tuples", ts_labels);
+    // Estimator-quality series (DESIGN.md §14): the worst cell's CI
+    // half-width (grouped queries converge on their worst group, not the
+    // headline scalar) and the top-ranked per-group RSDs. Rank labels are
+    // part of the series name — same inline-label idiom as the SLO
+    // histograms; /timez JSON-escapes names, so the quotes are safe.
+    if (options_.group_top_k > 0) {
+      ts_half_width_worst_ = ts.Register("gola_query_ci_halfwidth_worst", ts_labels);
+      for (int r = 0; r < kGroupRsdRanks; ++r) {
+        ts_group_rsd_[r] =
+            ts.Register(Format("gola_group_rsd{rank=\"%d\"}", r + 1), ts_labels);
+      }
+    }
+  }
+  // Per-group telemetry and the convergence watchdog ride the same
+  // MetricsEnabled() gate as every other recording path, so the CI overhead
+  // guard's GOLA_METRICS A/B measures their cost too.
+  if (obs::MetricsEnabled() && options_.group_top_k > 0) {
+    group_tracker_ =
+        std::make_unique<obs::GroupTelemetryTracker>(options_.group_top_k);
+  }
+  if (obs::MetricsEnabled() && options_.watchdog.enabled) {
+    watchdog_ = std::make_unique<obs::ConvergenceWatchdog>(options_.watchdog);
   }
 
   if (!options_.convergence_path.empty()) {
@@ -221,6 +243,8 @@ OnlineQueryExecutor::~OnlineQueryExecutor() {
   ts.Retire(ts_half_width_);
   ts.Retire(ts_fraction_);
   ts.Retire(ts_uncertain_);
+  ts.Retire(ts_half_width_worst_);
+  for (int r = 0; r < kGroupRsdRanks; ++r) ts.Retire(ts_group_rsd_[r]);
 }
 
 Result<OnlineUpdate> OnlineQueryExecutor::Step() {
@@ -377,12 +401,54 @@ Result<OnlineUpdate> OnlineQueryExecutor::Step() {
   // materialize_results is off.
   const HeadlineCell headline =
       ExtractHeadline(blocks_.back()->root_emission().result);
+
+  // Per-group convergence telemetry: fold every cell's companions into the
+  // bounded top-K summary; grouped queries converge on their worst group,
+  // so the worst cell's CI half-width — not the headline scalar — is the
+  // width signal the watchdog and /timez watch.
+  if (group_tracker_ != nullptr) {
+    update.groups = group_tracker_->Observe(
+        ExtractGroupCells(blocks_.back()->root_emission().result));
+  }
+  const double worst_half_width =
+      std::max(headline.half_width(), update.groups.worst_half_width);
+  if (watchdog_ != nullptr) {
+    update.alerts =
+        watchdog_->Observe(update.batch_index, headline.has_rsd(),
+                           update.max_rsd, worst_half_width,
+                           update.uncertain_tuples);
+    for (const obs::WatchdogAlert& a : update.alerts) {
+      obs::FlightRecorder::Global().Note("watchdog", a.kind.c_str(),
+                                         a.batch_index);
+      obs::MetricsRegistry::Global()
+          .GetCounter(Format("gola_watchdog_alerts_total{kind=\"%s\"}",
+                             a.kind.c_str()))
+          ->Increment();
+      if (warnings_.size() < 16) {
+        warnings_.push_back(
+            Format("batch %lld: %s — %s",
+                   static_cast<long long>(a.batch_index), a.kind.c_str(),
+                   a.detail.c_str()));
+      }
+    }
+  }
+
   if (obs::MetricsEnabled()) {
     auto& ts = obs::TimeSeriesStore::Global();
     ts.Append(ts_max_rsd_, update.max_rsd);
     ts.Append(ts_half_width_, headline.half_width());
     ts.Append(ts_fraction_, update.fraction_processed);
     ts.Append(ts_uncertain_, static_cast<double>(update.uncertain_tuples));
+    if (group_tracker_ != nullptr) {
+      ts.Append(ts_half_width_worst_, worst_half_width);
+      // Ranked worst-group RSDs; a rank with no measurable cell this update
+      // simply has no sample (absent ≠ 0).
+      for (int r = 0; r < kGroupRsdRanks; ++r) {
+        if (r >= static_cast<int>(update.groups.top.size())) break;
+        const obs::GroupCell& cell = update.groups.top[r];
+        if (cell.has_rsd) ts.Append(ts_group_rsd_[r], cell.rsd);
+      }
+    }
   }
 
   // SLO crossings are tracked unconditionally (the wide-event query log
@@ -465,6 +531,8 @@ void OnlineQueryExecutor::PublishStatus(const OnlineUpdate& update) {
   status.elapsed_seconds = update.elapsed_seconds;
   status.done = done();
   status.last_stats = update.stats;
+  status.groups = update.groups;
+  status.warnings = warnings_;
   obs::QueryRegistry::Global().Update(registry_id_, status);
 }
 
@@ -480,16 +548,104 @@ HeadlineCell ExtractHeadline(const Table& result) {
     auto value_col = schema.FieldIndex(name.substr(0, name.size() - 3));
     auto rsd_col = schema.FieldIndex(name.substr(0, name.size() - 3) + "_rsd");
     if (!value_col.ok()) continue;
+    // A value that fails to parse (null aggregate, string column sharing
+    // the suffix) must propagate as *absent*: reading a failed parse as 0
+    // would make an unparseable cell look fully converged (rsd = 0) and
+    // pin its CI at [0, 0].
+    const Result<double> estimate = result.At(0, *value_col).ToDouble();
+    const Result<double> lo = result.At(0, static_cast<int>(c)).ToDouble();
+    const Result<double> hi = result.At(0, static_cast<int>(c) + 1).ToDouble();
+    if (!estimate.ok() || !lo.ok() || !hi.ok()) break;
     cell.has_estimate = true;
-    cell.estimate = result.At(0, *value_col).ToDouble().ValueOr(0);
-    cell.ci_lo = result.At(0, static_cast<int>(c)).ToDouble().ValueOr(0);
-    cell.ci_hi = result.At(0, static_cast<int>(c) + 1).ToDouble().ValueOr(0);
+    cell.estimate = *estimate;
+    cell.ci_lo = *lo;
+    cell.ci_hi = *hi;
     if (rsd_col.ok()) {
-      cell.rsd = result.At(0, *rsd_col).ToDouble().ValueOr(0);
+      const Result<double> rsd = result.At(0, *rsd_col).ToDouble();
+      if (rsd.ok()) cell.rsd = *rsd;  // stays -1 (absent) on a failed parse
     }
     break;
   }
   return cell;
+}
+
+std::vector<obs::GroupCell> ExtractGroupCells(const Table& result) {
+  std::vector<obs::GroupCell> cells;
+  if (result.num_rows() == 0 || result.schema() == nullptr) return cells;
+  const Schema& schema = *result.schema();
+  const int num_fields = static_cast<int>(schema.num_fields());
+
+  // Locate aggregate columns by their `_lo` companion (same convention as
+  // ExtractHeadline); everything that is neither an aggregate value nor a
+  // companion is a group-key column.
+  struct AggCol {
+    std::string name;
+    int value = -1, lo = -1, hi = -1, rsd = -1;
+  };
+  std::vector<AggCol> aggs;
+  std::vector<bool> is_key(num_fields, true);
+  for (int c = 0; c < num_fields; ++c) {
+    const std::string& name = schema.field(c).name;
+    if (name.size() <= 3 || name.substr(name.size() - 3) != "_lo") continue;
+    const std::string base = name.substr(0, name.size() - 3);
+    auto value_col = schema.FieldIndex(base);
+    if (!value_col.ok()) continue;
+    AggCol agg;
+    agg.name = base;
+    agg.value = *value_col;
+    agg.lo = c;
+    auto hi_col = schema.FieldIndex(base + "_hi");
+    if (hi_col.ok()) agg.hi = *hi_col;
+    auto rsd_col = schema.FieldIndex(base + "_rsd");
+    if (rsd_col.ok()) agg.rsd = *rsd_col;
+    is_key[agg.value] = false;
+    is_key[agg.lo] = false;
+    if (agg.hi >= 0) is_key[agg.hi] = false;
+    if (agg.rsd >= 0) is_key[agg.rsd] = false;
+    aggs.push_back(std::move(agg));
+  }
+  if (aggs.empty()) return cells;
+  std::vector<int> key_cols;
+  for (int c = 0; c < num_fields; ++c) {
+    if (is_key[c]) key_cols.push_back(c);
+  }
+
+  cells.reserve(static_cast<size_t>(result.num_rows()) * aggs.size());
+  for (int64_t r = 0; r < result.num_rows(); ++r) {
+    std::string key;
+    if (key_cols.empty()) {
+      key = "*";  // scalar query: one implicit group
+    } else {
+      for (size_t i = 0; i < key_cols.size(); ++i) {
+        if (i) key += '|';
+        key += result.At(r, key_cols[i]).ToString();
+      }
+    }
+    for (const AggCol& agg : aggs) {
+      obs::GroupCell cell;
+      cell.group_key = key;
+      cell.column = agg.name;
+      const Result<double> estimate = result.At(r, agg.value).ToDouble();
+      const Result<double> lo = result.At(r, agg.lo).ToDouble();
+      const Result<double> hi =
+          agg.hi >= 0 ? result.At(r, agg.hi).ToDouble() : Result<double>(0.0);
+      if (estimate.ok() && lo.ok() && hi.ok()) {
+        cell.has_estimate = true;
+        cell.estimate = *estimate;
+        cell.ci_lo = *lo;
+        cell.ci_hi = *hi;
+      }
+      if (agg.rsd >= 0) {
+        const Result<double> rsd = result.At(r, agg.rsd).ToDouble();
+        if (rsd.ok()) {
+          cell.has_rsd = true;
+          cell.rsd = *rsd;
+        }
+      }
+      cells.push_back(std::move(cell));
+    }
+  }
+  return cells;
 }
 
 void OnlineQueryExecutor::RecordConvergence(const OnlineUpdate& update,
@@ -511,7 +667,9 @@ void OnlineQueryExecutor::RecordConvergence(const OnlineUpdate& update,
   rec.estimate = headline.estimate;
   rec.ci_lo = headline.ci_lo;
   rec.ci_hi = headline.ci_hi;
-  if (headline.rsd >= 0) rec.rsd = headline.rsd;
+  rec.has_rsd = headline.has_rsd();
+  if (headline.has_rsd()) rec.rsd = headline.rsd;
+  rec.groups = update.groups;
   convergence_->Append(rec);
 }
 

@@ -13,9 +13,11 @@
 #include "common/stopwatch.h"
 #include "gola/block_executor.h"
 #include "obs/convergence.h"
+#include "obs/group_telemetry.h"
 #include "obs/query_stats.h"
 #include "obs/slo.h"
 #include "obs/timeseries.h"
+#include "obs/watchdog.h"
 #include "plan/binder.h"
 #include "storage/partitioner.h"
 
@@ -47,7 +49,11 @@ struct HeadlineCell {
   double estimate = 0;
   double ci_lo = 0;
   double ci_hi = 0;
+  /// Relative standard deviation; -1 means *absent* (no `_rsd` companion,
+  /// or the companion did not parse as a number). Absent must never be
+  /// conflated with 0 — 0 claims full convergence.
   double rsd = -1;
+  bool has_rsd() const { return rsd >= 0; }
   /// CI half-width (hi − lo)/2; 0 without an estimate.
   double half_width() const {
     return has_estimate ? (ci_hi - ci_lo) / 2 : 0;
@@ -56,8 +62,17 @@ struct HeadlineCell {
 
 /// Locates the headline cell in a result table via its `<col>_lo`
 /// companion column (first aggregate-bearing column, first row). Returns
-/// has_estimate=false for empty results or plain tables.
+/// has_estimate=false for empty results, plain tables, or when the cell's
+/// estimate/CI values fail to parse as numbers (null aggregates) — an
+/// unparseable cell is "no estimate yet", never a fake converged 0.
 HeadlineCell ExtractHeadline(const Table& result);
+
+/// Walks every (row, aggregate-column) cell of a result table into
+/// per-group telemetry cells: group key = the non-aggregate, non-companion
+/// columns' values joined with "|" ("*" for scalar queries), one GroupCell
+/// per `<col>_lo`-bearing output column per row. Unparseable estimates /
+/// RSDs propagate as absent, mirroring ExtractHeadline.
+std::vector<obs::GroupCell> ExtractGroupCells(const Table& result);
 
 /// The running answer after one mini-batch — what a dashboard would render.
 struct OnlineUpdate {
@@ -91,6 +106,13 @@ struct OnlineUpdate {
 
   /// Per-phase cost breakdown and pipeline volume of this batch.
   obs::QueryStats stats;
+
+  /// Bounded per-group convergence summary of this update (top-K worst
+  /// cells by RSD, churn counts); empty when group_top_k is 0, telemetry
+  /// is disabled, or the result carries no aggregate cells.
+  obs::GroupConvergenceSummary groups;
+  /// Watchdog alerts that fired on this update (almost always empty).
+  std::vector<obs::WatchdogAlert> alerts;
 };
 
 class OnlineQueryExecutor {
@@ -231,6 +253,20 @@ class OnlineQueryExecutor {
       obs::TimeSeriesStore::kInvalidSeries;
   obs::TimeSeriesStore::SeriesId ts_uncertain_ =
       obs::TimeSeriesStore::kInvalidSeries;
+
+  // Estimator-quality observability (DESIGN.md §14): per-group convergence
+  // tracker + watchdog, their /timez series (worst-cell CI half-width and
+  // the top-`kGroupRsdRanks` worst per-group RSDs), and the bounded warning
+  // list /statusz renders. Null when disabled.
+  static constexpr int kGroupRsdRanks = 4;
+  std::unique_ptr<obs::GroupTelemetryTracker> group_tracker_;
+  std::unique_ptr<obs::ConvergenceWatchdog> watchdog_;
+  obs::TimeSeriesStore::SeriesId ts_half_width_worst_ =
+      obs::TimeSeriesStore::kInvalidSeries;
+  obs::TimeSeriesStore::SeriesId ts_group_rsd_[kGroupRsdRanks] = {
+      obs::TimeSeriesStore::kInvalidSeries, obs::TimeSeriesStore::kInvalidSeries,
+      obs::TimeSeriesStore::kInvalidSeries, obs::TimeSeriesStore::kInvalidSeries};
+  std::vector<std::string> warnings_;
 };
 
 }  // namespace gola

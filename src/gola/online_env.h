@@ -14,6 +14,7 @@
 #include "expr/evaluator.h"
 #include "gola/uncertain.h"
 #include "obs/metrics.h"
+#include "obs/watchdog.h"
 
 namespace gola {
 
@@ -104,6 +105,18 @@ struct GolaOptions {
   /// (`gola_online_batch_us{session_id=...}`, per-phase histograms) on top
   /// of the global unlabeled ones. Leave empty for zero extra cost.
   obs::MetricLabels metrics_labels;
+  /// Per-group convergence telemetry (DESIGN.md §14): every update, the
+  /// per-cell `_rsd`/`_lo`/`_hi` companions are folded into a bounded
+  /// top-K-worst-cells summary plus group-churn counts, exported through
+  /// /timez (`gola_group_rsd{rank=...}`), /statusz, the convergence JSONL
+  /// and the wide-event query log. K bounds the export, not the scan.
+  /// 0 disables per-group extraction entirely.
+  int group_top_k = 8;
+  /// Convergence-watchdog thresholds (stalled RSD, CI-width blowups,
+  /// unbounded uncertain-set growth); see obs/watchdog.h. Alerts surface as
+  /// `gola_watchdog_alerts_total{kind=...}` counters, /statusz warnings and
+  /// query-log lifecycle events. watchdog.enabled = false turns it off.
+  obs::WatchdogOptions watchdog;
 };
 
 /// Per-batch broadcast of a scalar subquery: point estimate plus the core

@@ -1,0 +1,88 @@
+// CI calibration audit: does a nominal 95% confidence interval actually
+// cover the true answer 95% of the time? Nothing else in the system
+// validates this — tests pin CI *math*, but only an end-to-end audit
+// catches miscalibration introduced by the multiplicity scale, envelope
+// rebuilds, or replicate maintenance bugs.
+//
+// Method: compute ground truth once with the exact batch engine, then
+// replay the online engine across many seeds (each seed = a different
+// mini-batch shuffle and bootstrap stream) and record, for every update of
+// every replay, whether each cell's [lo, hi] contains the truth. Empirical
+// coverage is aggregated overall, by update index (early updates run on
+// less data — calibration should hold from update 1), and by group-size
+// decile (rare groups are where bootstrap CIs degrade first — the classic
+// BlinkDB failure mode). bench/bench_calibration.cc drives this over the
+// seed workloads and emits BENCH_calibration.json, gated in CI by
+// tools/check_calibration.py (fail when empirical < nominal − slack).
+#ifndef GOLA_OBS_CALIBRATION_H_
+#define GOLA_OBS_CALIBRATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gola {
+
+class Engine;
+
+namespace obs {
+
+/// One calibration workload: an aggregate query replayed across seeds.
+struct CalibrationSpec {
+  std::string name;  // artifact key, e.g. "avg_buffer_by_geo"
+  std::string sql;   // the audited query (must aggregate)
+  /// Optional companion query — same GROUP BY with COUNT(*) — used to
+  /// bucket per-cell coverage by group size decile. Empty skips deciles.
+  std::string count_sql;
+  int seeds = 20;           // online replays (seed = base_seed + i)
+  uint64_t base_seed = 1;   // first replay seed
+  int num_batches = 10;     // mini-batches per replay
+  int bootstrap_replicates = 60;
+  double ci_level = 0.95;   // nominal coverage being audited
+};
+
+/// Covered / total cell observations for one aggregation bucket.
+struct CoverageBucket {
+  std::string key;      // "update 3", "decile 7", ...
+  int64_t covered = 0;  // observations with truth ∈ [lo, hi]
+  int64_t total = 0;    // observations with both a truth and an estimate
+  double rate() const {
+    return total > 0 ? static_cast<double>(covered) / static_cast<double>(total)
+                     : 0;
+  }
+};
+
+/// The audit result for one spec — everything BENCH_calibration.json needs.
+struct CalibrationReport {
+  std::string name;
+  std::string sql;
+  double nominal = 0.95;
+  int seeds = 0;
+  int num_batches = 0;
+
+  CoverageBucket overall;       // every (seed, update, cell) observation
+  CoverageBucket final_update;  // last update only (full data folded)
+  std::vector<CoverageBucket> by_update;  // update 1..num_batches
+  std::vector<CoverageBucket> by_decile;  // group-size decile 1..10
+
+  /// Cells seen online whose group never appears in the batch truth (should
+  /// be 0 — nonzero means key rendering diverged between engines).
+  int64_t cells_missing_truth = 0;
+  /// Cells with an absent estimate or RSD (tracked, not counted as misses).
+  int64_t cells_without_estimate = 0;
+
+  std::string ToJson() const;
+};
+
+/// Runs one calibration audit against `engine` (whose catalog must already
+/// hold the spec's table). Error when the SQL fails to compile/execute or
+/// the truth has no aggregate cells.
+Result<CalibrationReport> RunCalibration(Engine* engine,
+                                         const CalibrationSpec& spec);
+
+}  // namespace obs
+}  // namespace gola
+
+#endif  // GOLA_OBS_CALIBRATION_H_

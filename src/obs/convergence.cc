@@ -23,26 +23,31 @@ void ConvergenceRecorder::Append(const ConvergenceRecord& r) {
       "\"fraction_processed\": %.8g, ",
       r.batch_index, r.total_batches, r.fraction_processed);
   if (r.has_estimate) {
-    line += Format(
-        "\"estimate\": %.10g, \"ci_lo\": %.10g, \"ci_hi\": %.10g, "
-        "\"rsd\": %.6g, ",
-        r.estimate, r.ci_lo, r.ci_hi, r.rsd);
+    line += Format("\"estimate\": %.10g, \"ci_lo\": %.10g, \"ci_hi\": %.10g, ",
+                   r.estimate, r.ci_lo, r.ci_hi);
   } else {
-    line += "\"estimate\": null, \"ci_lo\": null, \"ci_hi\": null, "
-            "\"rsd\": null, ";
+    line += "\"estimate\": null, \"ci_lo\": null, \"ci_hi\": null, ";
+  }
+  // An absent RSD (no companion column, or one that failed to parse) is
+  // null — serializing it as 0 would claim full convergence.
+  if (r.has_rsd) {
+    line += Format("\"rsd\": %.6g, ", r.rsd);
+  } else {
+    line += "\"rsd\": null, ";
   }
   line += Format(
       "\"max_rsd\": %.6g, \"uncertain_tuples\": %lld, "
       "\"uncertain_groups\": %lld, \"recomputes\": %d, \"result_rows\": %lld, "
       "\"batch_seconds\": %.6g, \"elapsed_seconds\": %.6g, "
       "\"phases\": {\"envelope_check\": %.6g, \"delta_exec\": %.6g, "
-      "\"emit\": %.6g, \"rebuild\": %.6g, \"materialize\": %.6g}}\n",
+      "\"emit\": %.6g, \"rebuild\": %.6g, \"materialize\": %.6g}, ",
       r.max_rsd, static_cast<long long>(r.uncertain_tuples),
       static_cast<long long>(r.uncertain_groups), r.recomputes,
       static_cast<long long>(r.result_rows), r.batch_seconds, r.elapsed_seconds,
       r.stats.envelope_check_seconds, r.stats.delta_exec_seconds,
       r.stats.emit_seconds, r.stats.rebuild_seconds,
       r.stats.materialize_seconds);
+  line += "\"groups\": " + r.groups.ToJson() + "}\n";
   // One fwrite per record: stdio locks the stream per call, so the line
   // lands whole; flush immediately so a live tail (or a crash postmortem)
   // sees every completed batch.

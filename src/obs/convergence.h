@@ -12,6 +12,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "obs/group_telemetry.h"
 #include "obs/query_stats.h"
 
 namespace gola {
@@ -26,11 +27,14 @@ struct ConvergenceRecord {
 
   /// Headline aggregate cell (first aggregate-bearing output column,
   /// first result row) — the single trajectory a Fig-3-style plot tracks.
-  /// has_estimate is false when the result has no rows yet.
+  /// has_estimate is false when the result has no rows yet. has_rsd is
+  /// tracked separately: a cell can have an estimate whose RSD companion
+  /// is absent or unparseable, and that must serialize as null, not 0.
   bool has_estimate = false;
   double estimate = 0;
   double ci_lo = 0;
   double ci_hi = 0;
+  bool has_rsd = false;
   double rsd = 0;
 
   double max_rsd = 0;  // worst rsd across all aggregate cells
@@ -43,6 +47,10 @@ struct ConvergenceRecord {
   /// Per-phase seconds of this batch (envelope / delta / emit / rebuild /
   /// materialize).
   QueryStats stats;
+  /// Bounded per-group convergence summary of this update (DESIGN.md §14):
+  /// top-K worst cells by RSD plus group-churn counts. Empty (cells_total
+  /// 0) when per-group telemetry is disabled.
+  GroupConvergenceSummary groups;
 };
 
 /// Appends records to a JSONL file, one single-fwrite line per record (so

@@ -104,6 +104,8 @@ std::string QueryLogRecord::ToJson() const {
   }
   out += "], ";
 
+  out += "\"groups\": " + groups.ToJson() + ", ";
+
   AppendField(out, "has_estimate", has_estimate);
   AppendField(out, "estimate", estimate);
   AppendField(out, "ci_lo", ci_lo);

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/group_telemetry.h"
 #include "obs/query_stats.h"
 #include "obs/slo.h"
 
@@ -73,8 +74,13 @@ struct QueryLogRecord {
   // Cumulative QueryStats over every published batch.
   QueryStats stats;
 
-  // Lifecycle events in submit order.
+  // Lifecycle events in submit order. Watchdog alerts appear here by kind
+  // ("stall", "ci_regression", "uncertain_growth").
   std::vector<QueryLogEvent> events;
+
+  // Per-group convergence state at the last published update: top-K worst
+  // cells by RSD plus churn counts (DESIGN.md §14).
+  GroupConvergenceSummary groups;
 
   // Final headline estimate (first CI-carrying cell of the result).
   bool has_estimate = false;

@@ -39,6 +39,13 @@ void AppendQueryJson(const QueryStatus& q, std::string* out) {
       static_cast<long long>(q.uncertain_tuples),
       static_cast<long long>(q.uncertain_groups), q.recomputes, q.batch_seconds,
       q.elapsed_seconds, q.done ? "true" : "false");
+  *out += ", \"groups\": " + q.groups.ToJson();
+  *out += ", \"warnings\": [";
+  for (size_t i = 0; i < q.warnings.size(); ++i) {
+    if (i) *out += ", ";
+    *out += "\"" + JsonEscape(q.warnings[i]) + "\"";
+  }
+  *out += "]";
   const QueryStats& s = q.last_stats;
   *out += Format(
       ", \"last_batch\": {\"envelope_check_seconds\": %.6g, "

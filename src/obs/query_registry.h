@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/group_telemetry.h"
 #include "obs/query_stats.h"
 
 namespace gola {
@@ -36,6 +37,12 @@ struct QueryStatus {
   bool done = false;
   /// Per-phase cost breakdown and pipeline volume of the last batch.
   QueryStats last_stats;
+  /// Bounded per-group convergence summary of the last update (top-K worst
+  /// cells by RSD, churn counts); empty when telemetry is disabled.
+  GroupConvergenceSummary groups;
+  /// Cumulative convergence-watchdog warnings ("batch N: stall — ...");
+  /// bounded by the controller.
+  std::vector<std::string> warnings;
 };
 
 class QueryRegistry {

@@ -1,0 +1,105 @@
+#include "obs/watchdog.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace gola {
+namespace obs {
+
+ConvergenceWatchdog::ConvergenceWatchdog(WatchdogOptions options)
+    : options_(options) {
+  options_.stall_window = std::max(options_.stall_window, 2);
+  options_.uncertain_growth_window =
+      std::max(options_.uncertain_growth_window, 2);
+  options_.ci_regression_factor = std::max(options_.ci_regression_factor, 1.0);
+}
+
+void ConvergenceWatchdog::Raise(std::vector<WatchdogAlert>* out,
+                                int64_t batch_index, const char* kind,
+                                std::string detail) {
+  WatchdogAlert alert;
+  alert.batch_index = batch_index;
+  alert.kind = kind;
+  alert.detail = std::move(detail);
+  ++alerts_total_;
+  alerts_.push_back(alert);
+  if (alerts_.size() > 64) alerts_.erase(alerts_.begin());
+  out->push_back(std::move(alert));
+}
+
+std::vector<WatchdogAlert> ConvergenceWatchdog::Observe(
+    int64_t batch_index, bool has_rsd, double rsd, double ci_half_width,
+    int64_t uncertain_tuples) {
+  std::vector<WatchdogAlert> fired;
+  if (!options_.enabled) return fired;
+
+  // --- stall ---------------------------------------------------------------
+  if (has_rsd) {
+    rsd_window_.push_back(rsd);
+    while (static_cast<int>(rsd_window_.size()) > options_.stall_window) {
+      rsd_window_.pop_front();
+    }
+    if (static_cast<int>(rsd_window_.size()) == options_.stall_window) {
+      const double oldest = rsd_window_.front();
+      const double newest = rsd_window_.back();
+      // Relative improvement over the window; an oldest of 0 can't improve.
+      const double improvement =
+          oldest > 0 ? (oldest - newest) / oldest : (newest < oldest ? 1 : 0);
+      const bool stalled = improvement < options_.stall_min_improvement &&
+                           newest > options_.stall_rsd_floor;
+      if (stalled && !stall_active_) {
+        stall_active_ = true;
+        Raise(&fired, batch_index, "stall",
+              Format("rsd %.4g improved %.2f%% over last %d batches "
+                     "(floor %.4g)",
+                     newest, improvement * 100, options_.stall_window,
+                     options_.stall_rsd_floor));
+      } else if (!stalled) {
+        stall_active_ = false;  // re-arm on recovery
+      }
+    }
+  }
+
+  // --- ci_regression -------------------------------------------------------
+  if (has_prev_half_width_ && prev_half_width_ > 0) {
+    const double factor = ci_half_width / prev_half_width_;
+    if (factor > options_.ci_regression_factor) {
+      if (!ci_regression_active_) {
+        ci_regression_active_ = true;
+        Raise(&fired, batch_index, "ci_regression",
+              Format("ci half-width grew %.2fx (%.6g -> %.6g)", factor,
+                     prev_half_width_, ci_half_width));
+      }
+    } else {
+      ci_regression_active_ = false;
+    }
+  }
+  prev_half_width_ = ci_half_width;
+  has_prev_half_width_ = true;
+
+  // --- uncertain_growth ----------------------------------------------------
+  if (has_prev_uncertain_) {
+    if (uncertain_tuples > prev_uncertain_) {
+      ++growth_streak_;
+    } else {
+      growth_streak_ = 0;
+      growth_active_ = false;
+    }
+    if (growth_streak_ >= options_.uncertain_growth_window &&
+        !growth_active_) {
+      growth_active_ = true;
+      Raise(&fired, batch_index, "uncertain_growth",
+            Format("|U| grew for %d consecutive batches (now %lld tuples)",
+                   growth_streak_, static_cast<long long>(uncertain_tuples)));
+    }
+  }
+  prev_uncertain_ = uncertain_tuples;
+  has_prev_uncertain_ = true;
+
+  return fired;
+}
+
+}  // namespace obs
+}  // namespace gola

@@ -1,0 +1,93 @@
+// Convergence watchdog: detects the three estimator pathologies that the
+// scalar max_rsd stream hides until it is too late.
+//
+//  * stall            — RSD stops improving for a window of batches while
+//                       still above target (the sample is exhausted or the
+//                       query is variance-bound; more batches won't help).
+//  * ci_regression    — the CI half-width *blows up* between consecutive
+//                       updates (range-failure rebuilds legitimately widen
+//                       intervals, but a jump past the factor threshold
+//                       means the estimator lost more ground than a rebuild
+//                       should cost).
+//  * uncertain_growth — |U_i| grows monotonically for a window of batches;
+//                       G-OLA's contract is that the uncertain set shrinks,
+//                       so sustained growth means delta processing is no
+//                       longer bounding work.
+//
+// Pure detection logic — callers (the controller) turn WatchdogAlerts into
+// labeled metrics, /statusz warnings, and query-log lifecycle events.
+// Episode-based: each detector fires once when its condition first holds
+// and re-arms only after recovery, so a 100-batch stall yields one alert,
+// not 92.
+#ifndef GOLA_OBS_WATCHDOG_H_
+#define GOLA_OBS_WATCHDOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace gola {
+namespace obs {
+
+struct WatchdogOptions {
+  bool enabled = true;
+  // stall: RSD must improve by at least `stall_min_improvement` (relative,
+  // e.g. 0.01 = 1%) over any `stall_window` consecutive observations.
+  int stall_window = 8;
+  double stall_min_improvement = 0.01;
+  // RSD at or below this is converged; a flat line there is success, not a
+  // stall.
+  double stall_rsd_floor = 0.01;
+  // ci_regression: fire when half-width exceeds `ci_regression_factor` ×
+  // the previous update's half-width.
+  double ci_regression_factor = 1.5;
+  // uncertain_growth: fire after this many consecutive strictly-growing
+  // |U_i| observations.
+  int uncertain_growth_window = 6;
+};
+
+struct WatchdogAlert {
+  int64_t batch_index = 0;
+  std::string kind;    // "stall" | "ci_regression" | "uncertain_growth"
+  std::string detail;  // human-readable, shown in /statusz warnings
+};
+
+class ConvergenceWatchdog {
+ public:
+  explicit ConvergenceWatchdog(WatchdogOptions options = {});
+
+  /// Feed one update's signals; returns alerts that fired on *this*
+  /// observation (empty almost always). has_rsd=false observations skip the
+  /// stall detector (can't measure improvement against an absent value)
+  /// but still drive the other two.
+  std::vector<WatchdogAlert> Observe(int64_t batch_index, bool has_rsd,
+                                     double rsd, double ci_half_width,
+                                     int64_t uncertain_tuples);
+
+  /// Every alert ever fired, in order (bounded; oldest dropped past 64).
+  const std::vector<WatchdogAlert>& alerts() const { return alerts_; }
+  int64_t alerts_total() const { return alerts_total_; }
+
+ private:
+  void Raise(std::vector<WatchdogAlert>* out, int64_t batch_index,
+             const char* kind, std::string detail);
+
+  WatchdogOptions options_;
+  std::deque<double> rsd_window_;
+  bool stall_active_ = false;
+  bool has_prev_half_width_ = false;
+  double prev_half_width_ = 0;
+  bool ci_regression_active_ = false;
+  bool has_prev_uncertain_ = false;
+  int64_t prev_uncertain_ = 0;
+  int growth_streak_ = 0;
+  bool growth_active_ = false;
+  std::vector<WatchdogAlert> alerts_;
+  int64_t alerts_total_ = 0;
+};
+
+}  // namespace obs
+}  // namespace gola
+
+#endif  // GOLA_OBS_WATCHDOG_H_

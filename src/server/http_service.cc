@@ -186,6 +186,9 @@ std::string QueryService::SessionJson(const QuerySession& session,
                   JsonEscape(e.name).c_str());
   }
   out += "]";
+  // Per-group convergence state (DESIGN.md §14): top-K worst cells by RSD
+  // plus churn — the live twin of the wide event's `groups` block.
+  out += ", \"groups\": " + session.group_summary().ToJson();
   if (state == SessionState::kFailed) {
     out += ", \"error\": \"" + JsonEscape(session.status().ToString()) + "\"";
   }

@@ -159,6 +159,11 @@ std::vector<obs::QueryLogEvent> QuerySession::events() const {
   return events_;
 }
 
+obs::GroupConvergenceSummary QuerySession::group_summary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return group_summary_;
+}
+
 void QuerySession::Start(
     const Catalog* catalog,
     std::shared_ptr<const MiniBatchPartitioner> shared_scan) {
@@ -231,6 +236,12 @@ void QuerySession::Publish(OnlineUpdate update, bool final) {
   }
   degradation_ = update.degradation;
   recomputes_ = update.recomputes_so_far;
+  // Watchdog alerts become lifecycle events ("stall", "ci_regression",
+  // "uncertain_growth") — the wide event and /sessions/<id> both show them.
+  for (const obs::WatchdogAlert& alert : update.alerts) {
+    NoteEventLocked(alert.kind);
+  }
+  if (!update.groups.empty()) group_summary_ = update.groups;
   if (first_update_seconds_ < 0) {
     first_update_seconds_ = SecondsSince(submit_time_);
     // Time-to-first-estimate, the latency clients actually feel. The
@@ -345,6 +356,7 @@ void QuerySession::EmitWideEvent() {
     rec.slo = slo_crossings_;
     rec.stats = stats_total_;
     rec.events = events_;
+    rec.groups = group_summary_;
     rec.has_estimate = headline_.has_estimate;
     rec.estimate = headline_.estimate;
     rec.ci_lo = headline_.ci_lo;

@@ -113,8 +113,13 @@ class QuerySession {
   /// RSD ≤ 5/2/1%); empty while queued.
   std::vector<obs::SloCrossing> slo_crossings() const;
   /// Timestamped lifecycle events (scan_attach, degrade:<rung>,
-  /// cancel_requested, checkpoint) in submit order.
+  /// cancel_requested, checkpoint, and watchdog alerts by kind — stall,
+  /// ci_regression, uncertain_growth) in submit order.
   std::vector<obs::QueryLogEvent> events() const;
+  /// Per-group convergence summary of the most recent update carrying one
+  /// (top-K worst cells by RSD, churn counts); empty while queued or when
+  /// telemetry is disabled.
+  obs::GroupConvergenceSummary group_summary() const;
 
  private:
   friend class Dispatcher;
@@ -182,6 +187,7 @@ class QuerySession {
   int recomputes_ = 0;
   std::vector<obs::SloCrossing> slo_crossings_;
   std::vector<obs::QueryLogEvent> events_;
+  obs::GroupConvergenceSummary group_summary_;
 };
 
 using SessionPtr = std::shared_ptr<QuerySession>;

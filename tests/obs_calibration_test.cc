@@ -1,0 +1,124 @@
+// CI calibration audit: batch-engine ground truth vs. seeded online
+// replays. Small-scale end-to-end runs — the statistically heavyweight
+// version lives in bench/bench_calibration.cc behind the CI gate.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "gola/gola.h"
+#include "obs/calibration.h"
+
+namespace gola {
+namespace obs {
+namespace {
+
+void FillEngine(Engine* engine, int64_t rows, uint64_t seed) {
+  Rng rng(seed);
+  auto schema = std::make_shared<Schema>(std::vector<Field>{
+      {"g", TypeId::kString}, {"x", TypeId::kFloat64}});
+  TableBuilder builder(schema, 512);
+  const char* groups[] = {"a", "b", "c", "d"};
+  for (int64_t i = 0; i < rows; ++i) {
+    builder.AppendRow({Value::String(groups[rng.UniformInt(0, 3)]),
+                       Value::Float(rng.LogNormal(2.0, 1.0))});
+  }
+  GOLA_CHECK_OK(engine->RegisterTable("d", builder.Finish()));
+}
+
+TEST(CalibrationTest, ScalarAuditCoversTruth) {
+  Engine engine;
+  FillEngine(&engine, 4000, 11);
+  CalibrationSpec spec;
+  spec.name = "avg_scalar";
+  spec.sql = "SELECT AVG(x) AS m FROM d";
+  spec.seeds = 8;
+  spec.num_batches = 5;
+  spec.bootstrap_replicates = 80;
+  auto report = RunCalibration(&engine, spec);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  // One cell per update per seed.
+  EXPECT_EQ(report->overall.total, 8 * 5);
+  EXPECT_EQ(report->final_update.total, 8);
+  EXPECT_EQ(report->cells_missing_truth, 0);
+  ASSERT_EQ(report->by_update.size(), 5u);
+  EXPECT_EQ(report->by_update[0].total, 8);
+  EXPECT_TRUE(report->by_decile.empty());  // no count_sql
+  // Nominal 95%: even at 40 observations, a calibrated CI rarely dips
+  // below 0.7 — this is a smoke floor, the bench gates the real number.
+  EXPECT_GE(report->overall.rate(), 0.7) << report->ToJson();
+  // Final update folds all data: the estimate sits on the truth, so the
+  // CI covers it (smoke floor; the bench gates the statistical number).
+  EXPECT_GE(report->final_update.rate(), 0.7) << report->ToJson();
+}
+
+TEST(CalibrationTest, GroupedAuditMatchesKeysAndBucketsDeciles) {
+  Engine engine;
+  FillEngine(&engine, 4000, 13);
+  CalibrationSpec spec;
+  spec.name = "avg_by_g";
+  spec.sql = "SELECT g, AVG(x) AS m FROM d GROUP BY g";
+  spec.count_sql = "SELECT g, COUNT(x) AS n FROM d GROUP BY g";
+  spec.seeds = 6;
+  spec.num_batches = 4;
+  spec.bootstrap_replicates = 60;
+  auto report = RunCalibration(&engine, spec);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  // Key rendering must agree between the batch truth and the online cells:
+  // any mismatch shows up here and fails the CI gate.
+  EXPECT_EQ(report->cells_missing_truth, 0);
+  EXPECT_GT(report->overall.total, 0);
+  ASSERT_EQ(report->by_decile.size(), 10u);
+  int64_t decile_total = 0;
+  for (const CoverageBucket& b : report->by_decile) decile_total += b.total;
+  // Every observed cell has a known group size, so deciles partition them.
+  EXPECT_EQ(decile_total, report->overall.total);
+  EXPECT_GE(report->overall.rate(), 0.6) << report->ToJson();
+}
+
+TEST(CalibrationTest, ReportJsonCarriesAllBuckets) {
+  Engine engine;
+  FillEngine(&engine, 1000, 17);
+  CalibrationSpec spec;
+  spec.name = "json_shape";
+  spec.sql = "SELECT AVG(x) AS m FROM d";
+  spec.seeds = 2;
+  spec.num_batches = 2;
+  spec.bootstrap_replicates = 40;
+  auto report = RunCalibration(&engine, spec);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  const std::string json = report->ToJson();
+  EXPECT_NE(json.find("\"name\": \"json_shape\""), std::string::npos);
+  EXPECT_NE(json.find("\"nominal\": 0.95"), std::string::npos);
+  EXPECT_NE(json.find("\"overall\""), std::string::npos);
+  EXPECT_NE(json.find("\"final_update\""), std::string::npos);
+  EXPECT_NE(json.find("\"key\": \"update 1\""), std::string::npos);
+  EXPECT_NE(json.find("\"cells_missing_truth\": 0"), std::string::npos);
+}
+
+TEST(CalibrationTest, BadSqlPropagatesError) {
+  Engine engine;
+  FillEngine(&engine, 500, 19);
+  CalibrationSpec spec;
+  spec.name = "broken";
+  spec.sql = "SELECT AVG(nope) AS m FROM d";
+  spec.seeds = 1;
+  spec.num_batches = 2;
+  EXPECT_FALSE(RunCalibration(&engine, spec).ok());
+}
+
+TEST(CalibrationTest, CountSqlWithoutKeysIsRejected) {
+  Engine engine;
+  FillEngine(&engine, 500, 23);
+  CalibrationSpec spec;
+  spec.name = "bad_counts";
+  spec.sql = "SELECT g, AVG(x) AS m FROM d GROUP BY g";
+  spec.count_sql = "SELECT COUNT(x) AS n FROM d";  // no key column
+  spec.seeds = 1;
+  spec.num_batches = 2;
+  EXPECT_FALSE(RunCalibration(&engine, spec).ok());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace gola

@@ -1,0 +1,163 @@
+// Convergence watchdog: episode semantics for the three detectors — each
+// fires once when its condition first holds, re-arms only after recovery.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "obs/watchdog.h"
+
+namespace gola {
+namespace obs {
+namespace {
+
+WatchdogOptions SmallOptions() {
+  WatchdogOptions o;
+  o.stall_window = 3;
+  o.stall_min_improvement = 0.05;
+  o.stall_rsd_floor = 0.01;
+  o.ci_regression_factor = 1.5;
+  o.uncertain_growth_window = 3;
+  return o;
+}
+
+// Feed an observation where only the stall signal matters: half-width and
+// uncertain count shrink steadily so the other detectors stay quiet.
+std::vector<WatchdogAlert> FeedRsd(ConvergenceWatchdog& dog, int64_t batch,
+                                   double rsd) {
+  return dog.Observe(batch, /*has_rsd=*/true, rsd,
+                     /*ci_half_width=*/1.0 / (batch + 1),
+                     /*uncertain_tuples=*/1000 - batch);
+}
+
+TEST(WatchdogTest, StallFiresOncePerEpisode) {
+  ConvergenceWatchdog dog(SmallOptions());
+  // Improving: no alert.
+  EXPECT_TRUE(FeedRsd(dog, 0, 0.40).empty());
+  EXPECT_TRUE(FeedRsd(dog, 1, 0.30).empty());
+  EXPECT_TRUE(FeedRsd(dog, 2, 0.20).empty());
+  // Flat-line above the floor: window [0.20, 0.20, 0.20] → stall.
+  EXPECT_TRUE(FeedRsd(dog, 3, 0.20).empty());  // window still improving
+  auto fired = FeedRsd(dog, 4, 0.20);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].kind, "stall");
+  EXPECT_EQ(fired[0].batch_index, 4);
+  // Still stalled: same episode, no repeat alert.
+  EXPECT_TRUE(FeedRsd(dog, 5, 0.20).empty());
+  EXPECT_TRUE(FeedRsd(dog, 6, 0.20).empty());
+  // Recovery re-arms...
+  EXPECT_TRUE(FeedRsd(dog, 7, 0.10).empty());
+  EXPECT_TRUE(FeedRsd(dog, 8, 0.05).empty());
+  // ...so a second flat-line fires again.
+  EXPECT_TRUE(FeedRsd(dog, 9, 0.05).empty());
+  fired = FeedRsd(dog, 10, 0.05);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].kind, "stall");
+  EXPECT_EQ(dog.alerts_total(), 2);
+}
+
+TEST(WatchdogTest, FlatRsdAtFloorIsConvergedNotStalled) {
+  ConvergenceWatchdog dog(SmallOptions());
+  for (int64_t b = 0; b < 10; ++b) {
+    EXPECT_TRUE(FeedRsd(dog, b, 0.005).empty()) << "batch " << b;
+  }
+  EXPECT_EQ(dog.alerts_total(), 0);
+}
+
+TEST(WatchdogTest, AbsentRsdSkipsStallDetector) {
+  ConvergenceWatchdog dog(SmallOptions());
+  for (int64_t b = 0; b < 10; ++b) {
+    auto fired = dog.Observe(b, /*has_rsd=*/false, 0.0,
+                             /*ci_half_width=*/1.0, /*uncertain_tuples=*/100);
+    EXPECT_TRUE(fired.empty()) << "batch " << b;
+  }
+  EXPECT_EQ(dog.alerts_total(), 0);
+}
+
+TEST(WatchdogTest, CiRegressionFiresOnBlowupAndRearmsAfterRecovery) {
+  ConvergenceWatchdog dog(SmallOptions());
+  // has_rsd=false keeps the stall detector out of this test's way.
+  auto feed = [&](int64_t b, double half) {
+    return dog.Observe(b, /*has_rsd=*/false, 0.0, half, 1000 - b);
+  };
+  EXPECT_TRUE(feed(0, 1.0).empty());
+  EXPECT_TRUE(feed(1, 0.9).empty());   // shrinking: fine
+  EXPECT_TRUE(feed(2, 1.2).empty());   // 1.33x: below factor 1.5
+  auto fired = feed(3, 2.0);           // 1.67x: blowup
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].kind, "ci_regression");
+  // Still wide but not growing past factor again: same episode resolved.
+  EXPECT_TRUE(feed(4, 2.1).empty());
+  // Second blowup after re-arm fires again.
+  fired = feed(5, 4.0);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].kind, "ci_regression");
+}
+
+TEST(WatchdogTest, UncertainGrowthNeedsConsecutiveIncreases) {
+  ConvergenceWatchdog dog(SmallOptions());
+  auto feed = [&](int64_t b, int64_t uncertain) {
+    return dog.Observe(b, /*has_rsd=*/false, 0.0, 1.0, uncertain);
+  };
+  EXPECT_TRUE(feed(0, 100).empty());
+  EXPECT_TRUE(feed(1, 110).empty());  // streak 1
+  EXPECT_TRUE(feed(2, 120).empty());  // streak 2
+  auto fired = feed(3, 130);          // streak 3 == window
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].kind, "uncertain_growth");
+  // Continued growth: same episode.
+  EXPECT_TRUE(feed(4, 140).empty());
+  // A shrink resets both the streak and the episode.
+  EXPECT_TRUE(feed(5, 50).empty());
+  EXPECT_TRUE(feed(6, 60).empty());
+  EXPECT_TRUE(feed(7, 70).empty());
+  fired = feed(8, 80);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].kind, "uncertain_growth");
+}
+
+TEST(WatchdogTest, NonMonotoneGrowthDoesNotFire) {
+  ConvergenceWatchdog dog(SmallOptions());
+  auto feed = [&](int64_t b, int64_t uncertain) {
+    return dog.Observe(b, /*has_rsd=*/false, 0.0, 1.0, uncertain);
+  };
+  // Sawtooth: grows twice, dips, repeats — never 3 consecutive increases.
+  const int64_t pattern[] = {100, 110, 120, 90, 100, 110, 80, 90, 100, 70};
+  for (int64_t b = 0; b < 10; ++b) {
+    EXPECT_TRUE(feed(b, pattern[b]).empty()) << "batch " << b;
+  }
+  EXPECT_EQ(dog.alerts_total(), 0);
+}
+
+TEST(WatchdogTest, DisabledWatchdogNeverFires) {
+  WatchdogOptions o = SmallOptions();
+  o.enabled = false;
+  ConvergenceWatchdog dog(o);
+  for (int64_t b = 0; b < 10; ++b) {
+    // Pathological on every axis at once.
+    EXPECT_TRUE(dog.Observe(b, true, 0.5, 1 << b, 100 * (b + 1)).empty());
+  }
+  EXPECT_EQ(dog.alerts_total(), 0);
+}
+
+TEST(WatchdogTest, AlertLogIsBounded) {
+  WatchdogOptions o = SmallOptions();
+  o.ci_regression_factor = 1.0;  // clamp floor: fire on any >1.0x growth
+  ConvergenceWatchdog dog(o);
+  double half = 1.0;
+  int64_t total = 0;
+  for (int64_t b = 0; b < 400; ++b) {
+    // Alternate blowup / recovery so every other observation fires.
+    half = (b % 2 == 0) ? half * 3 : half * 0.5;
+    total += dog.Observe(b, false, 0, half, 10).size();
+  }
+  EXPECT_GT(total, 64);
+  EXPECT_EQ(dog.alerts_total(), total);
+  EXPECT_EQ(dog.alerts().size(), 64u);
+  // Oldest dropped, newest retained.
+  EXPECT_GT(dog.alerts().front().batch_index, 0);
+  EXPECT_GT(dog.alerts().back().batch_index, dog.alerts().front().batch_index);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace gola

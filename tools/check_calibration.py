@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""CI gate for BENCH_calibration.json (bench_calibration output).
+
+Fails when empirical CI coverage drops below nominal - slack on any
+workload, checked on the overall and final-update buckets. Per-update and
+per-decile tables are printed for the log but only gated when they have
+enough observations to be statistically meaningful (small buckets are
+noisy; a 10-observation decile missing once is not a regression).
+
+Usage:
+  tools/check_calibration.py BENCH_calibration.json [--slack 0.10]
+      [--min-bucket 200]
+"""
+
+import argparse
+import json
+import sys
+
+
+def check_bucket(name, bucket, nominal, slack, failures, gate=True):
+    rate = bucket.get("rate", 0.0)
+    total = bucket.get("total", 0)
+    floor = nominal - slack
+    status = "ok"
+    if gate and rate < floor:
+        status = "FAIL"
+        failures.append(
+            f"{name}: coverage {rate:.3f} < {floor:.3f} "
+            f"(nominal {nominal:.2f} - slack {slack:.2f}, n={total})"
+        )
+    elif not gate:
+        status = "info"
+    print(
+        f"  {bucket.get('key', name):>12}: {bucket.get('covered', 0):>7}/"
+        f"{total:<7} = {rate:.3f}  [{status}]"
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="BENCH_calibration.json path")
+    parser.add_argument(
+        "--slack",
+        type=float,
+        default=0.10,
+        help="allowed gap below nominal coverage (default 0.10 — matches the "
+        "statistics_test floor of 0.82 for a nominal 0.95 at small n)",
+    )
+    parser.add_argument(
+        "--min-bucket",
+        type=int,
+        default=200,
+        help="per-update / per-decile buckets below this many observations "
+        "are reported but not gated",
+    )
+    args = parser.parse_args()
+
+    with open(args.report, "r", encoding="utf-8") as f:
+        reports = json.load(f)
+    if not isinstance(reports, list) or not reports:
+        print(f"error: {args.report} holds no calibration reports", file=sys.stderr)
+        return 2
+
+    failures = []
+    for rep in reports:
+        nominal = rep.get("nominal", 0.95)
+        print(
+            f"\n{rep.get('name', '?')} (nominal {nominal:.2f}, "
+            f"{rep.get('seeds', 0)} seeds x {rep.get('num_batches', 0)} updates)"
+        )
+        name = rep.get("name", "?")
+        check_bucket(f"{name}/overall", rep["overall"], nominal, args.slack, failures)
+        check_bucket(
+            f"{name}/final_update", rep["final_update"], nominal, args.slack, failures
+        )
+        for bucket in rep.get("by_update", []):
+            gate = bucket.get("total", 0) >= args.min_bucket
+            check_bucket(
+                f"{name}/{bucket.get('key')}", bucket, nominal, args.slack,
+                failures, gate=gate,
+            )
+        for bucket in rep.get("by_decile", []):
+            gate = bucket.get("total", 0) >= args.min_bucket
+            check_bucket(
+                f"{name}/{bucket.get('key')}", bucket, nominal, args.slack,
+                failures, gate=gate,
+            )
+        missing = rep.get("cells_missing_truth", 0)
+        if missing:
+            failures.append(
+                f"{name}: {missing} online cells had no batch-truth match "
+                "(group-key rendering diverged between engines)"
+            )
+
+    if failures:
+        print("\nCALIBRATION GATE FAILED:", file=sys.stderr)
+        for f_msg in failures:
+            print(f"  - {f_msg}", file=sys.stderr)
+        return 1
+    print("\ncalibration gate passed: empirical coverage within slack of nominal")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

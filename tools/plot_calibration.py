@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Render BENCH_calibration.json as CSV + SVG (stdlib only, like
+tools/plot_convergence.py): one panel per workload showing empirical
+coverage by update index and by group-size decile against the nominal
+level.
+
+Usage:
+  tools/plot_calibration.py BENCH_calibration.json [-o calibration.svg]
+      [--csv calibration.csv]
+"""
+
+import argparse
+import json
+
+WIDTH, PANEL_H, MARGIN = 640, 180, 48
+
+
+def scale(v, lo, hi, out_lo, out_hi):
+    if hi <= lo:
+        return out_lo
+    return out_lo + (v - lo) / (hi - lo) * (out_hi - out_lo)
+
+
+def polyline(points, color, width=2, dash=None):
+    pts = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+    dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+    return (
+        f'<polyline fill="none" stroke="{color}" stroke-width="{width}"'
+        f'{dash_attr} points="{pts}"/>'
+    )
+
+
+def text(x, y, s, size=11, anchor="start", color="#333"):
+    return (
+        f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" fill="{color}" '
+        f'text-anchor="{anchor}" font-family="sans-serif">{s}</text>'
+    )
+
+
+def panel(rep, y0):
+    """One workload: coverage-by-update polyline + per-decile dots."""
+    parts = []
+    x_lo, x_hi = MARGIN, WIDTH - MARGIN
+    y_lo, y_hi = y0 + PANEL_H - 28, y0 + 22  # SVG y grows downward
+    nominal = rep.get("nominal", 0.95)
+    cov_lo = 0.7  # axis floor: coverage below 0.7 is off-the-chart broken
+
+    parts.append(text(x_lo, y0 + 14, rep.get("name", "?"), size=13))
+    # Axis frame + nominal line.
+    parts.append(polyline([(x_lo, y_hi), (x_lo, y_lo), (x_hi, y_lo)], "#999", 1))
+    ny = scale(nominal, cov_lo, 1.0, y_lo, y_hi)
+    parts.append(polyline([(x_lo, ny), (x_hi, ny)], "#c33", 1, dash="4,3"))
+    parts.append(text(x_hi, ny - 3, f"nominal {nominal:.2f}", 10, "end", "#c33"))
+    for tick in (0.7, 0.8, 0.9, 1.0):
+        ty = scale(tick, cov_lo, 1.0, y_lo, y_hi)
+        parts.append(text(x_lo - 4, ty + 3, f"{tick:.1f}", 9, "end", "#777"))
+
+    by_update = [b for b in rep.get("by_update", []) if b.get("total", 0) > 0]
+    if by_update:
+        pts = [
+            (
+                scale(i, 0, max(len(by_update) - 1, 1), x_lo, x_hi),
+                scale(max(b["rate"], cov_lo), cov_lo, 1.0, y_lo, y_hi),
+            )
+            for i, b in enumerate(by_update)
+        ]
+        parts.append(polyline(pts, "#36c"))
+        parts.append(text(x_lo, y_lo + 14, "update index →", 9, "start", "#36c"))
+
+    by_decile = [b for b in rep.get("by_decile", []) if b.get("total", 0) > 0]
+    for i, b in enumerate(by_decile):
+        x = scale(i, 0, max(len(by_decile) - 1, 1), x_lo, x_hi)
+        y = scale(max(b["rate"], cov_lo), cov_lo, 1.0, y_lo, y_hi)
+        parts.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3" fill="#393" '
+            f'opacity="0.8"><title>{b["key"]}: {b["rate"]:.3f} '
+            f'(n={b["total"]})</title></circle>'
+        )
+    if by_decile:
+        parts.append(
+            text(x_hi, y_lo + 14, "● group-size decile (small → large)", 9,
+                 "end", "#393")
+        )
+    overall = rep.get("overall", {})
+    parts.append(
+        text(
+            x_hi, y0 + 14,
+            f"overall {overall.get('rate', 0):.3f} "
+            f"(n={overall.get('total', 0)})",
+            10, "end",
+        )
+    )
+    return parts
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="BENCH_calibration.json path")
+    parser.add_argument("-o", "--out", default="calibration.svg")
+    parser.add_argument("--csv", default=None, help="also write a flat CSV")
+    args = parser.parse_args()
+
+    with open(args.report, "r", encoding="utf-8") as f:
+        reports = json.load(f)
+
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as f:
+            f.write("workload,bucket,covered,total,rate\n")
+            for rep in reports:
+                buckets = (
+                    [rep["overall"], rep["final_update"]]
+                    + rep.get("by_update", [])
+                    + rep.get("by_decile", [])
+                )
+                for b in buckets:
+                    f.write(
+                        f"{rep['name']},{b['key']},{b['covered']},"
+                        f"{b['total']},{b['rate']:.6f}\n"
+                    )
+        print(f"wrote {args.csv}")
+
+    height = len(reports) * PANEL_H + 16
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{height}" viewBox="0 0 {WIDTH} {height}">',
+        f'<rect width="{WIDTH}" height="{height}" fill="white"/>',
+    ]
+    for i, rep in enumerate(reports):
+        parts.extend(panel(rep, 8 + i * PANEL_H))
+    parts.append("</svg>")
+    with open(args.out, "w", encoding="utf-8") as f:
+        f.write("\n".join(parts))
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()
